@@ -1,0 +1,16 @@
+-- ASCII Mandelbrot: a classic staged-language demo. The palette and the
+-- sampling grid are Lua data, staged into the Terra inner loop as
+-- constants; the escape-time kernel is pure Terra.
+
+local std = terralib.includec("stdio.h")
+
+local W, H = 64, 24
+local MAXIT = 48
+
+terra escape_time(cr : double, ci : double) : int
+end
+
+-- build one row at a time in Lua, calling the Terra kernel via the FFI
+local palette = " .:-=+*#%@"
+for y = 0, H - 1 do
+end

@@ -1,0 +1,42 @@
+-- The paper's surface code, nearly verbatim, running end to end.
+
+-- Section 6.2 (Figure 7): Orion diffuse via overloaded operators
+local N = 64
+local iter = 4
+function diffuse(x, x0, diff, dt)
+end
+
+local x0 = orion.input(0)
+local x = orion.input(1)
+local result = diffuse(x, x0, 0.1, 0.2)
+local pipeline = orion.compile(result, { width = N, height = N, inputs = 2, vectorize = 4 })
+local bx0 = pipeline:buffer()
+local bx = pipeline:buffer()
+bx0:fill(function(i, j) return math.sin(i / 5) + math.cos(j / 7) end)
+bx:fill(function(i, j) return 0 end)
+local out = pipeline:buffer()
+pipeline(bx0, bx, out)
+print(string.format("orion diffuse checksum: %.4f", out:checksum()))
+
+-- Section 6.3.1: the class system
+J = javalike
+Drawable = J.interface { draw = {} -> int }
+struct Shape { }
+terra Shape:draw() : int return 0 end
+struct Square { length : int }
+J.extends(Square, Shape)
+J.implements(Square, Drawable)
+terra Square:draw() : int return self.length * self.length end
+
+terra drawit(s : &Shape) : int
+end
+terra makeanddraw(len : int) : int
+end
+print("square:draw() through &Shape:", makeanddraw(9))
+
+-- Section 6.3.2: DataTable with a one-word layout switch
+local std = terralib.includec("stdlib.h")
+FluidData = DataTable({ vx = float, vy = float,
+terra usefluid(n : int64) : float
+end
+print("fluid table sum:", usefluid(100))

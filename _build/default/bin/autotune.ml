@@ -1,0 +1,40 @@
+(* The matrix-multiply auto-tuner as a command-line tool (Section 6.1). *)
+
+let tune precision test_n top =
+  let elem =
+    match precision with
+    | "single" | "float" -> Terra.Types.float_
+    | _ -> Terra.Types.double
+  in
+  let machine =
+    Tmachine.Machine.create
+      (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
+  in
+  let ctx = Terra.Context.create ~machine () in
+  Printf.printf "auto-tuning %cGEMM on %s (test case N=%d)...\n"
+    (if elem = Terra.Types.float_ then 'S' else 'D')
+    machine.Tmachine.Machine.config.Tmachine.Config.name test_n;
+  let t0 = Sys.time () in
+  let results = Tuner.Search.search ~test_n ctx ~elem () in
+  Printf.printf "searched %d configurations in %.1fs\n" (List.length results)
+    (Sys.time () -. t0);
+  List.iteri
+    (fun i c ->
+      if i < top then Format.printf "%2d. %a@." (i + 1) Tuner.Search.pp_candidate c)
+    results;
+  let best = Tuner.Search.best results in
+  Format.printf "best: %a@." Tuner.Search.pp_candidate best
+
+let () =
+  let open Cmdliner in
+  let precision =
+    Arg.(value & opt string "double" & info [ "p"; "precision" ] ~docv:"double|single")
+  in
+  let test_n = Arg.(value & opt int 96 & info [ "n" ] ~docv:"N") in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "autotune" ~doc:"auto-tune the GEMM kernel (Section 6.1)")
+      Term.(const tune $ precision $ test_n $ top)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,40 @@
+(* Run a combined Lua–Terra program: the equivalent of the paper's
+   modified LuaJIT binary. *)
+
+let run_file path stats =
+  let src =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let engine = Terrastd.create () in
+  (match Terra.Engine.run engine src with
+  | _ -> ()
+  | exception Mlua.Value.Lua_error v ->
+      Printf.eprintf "lua error: %s\n" (Mlua.Value.tostring v);
+      exit 1
+  | exception Mlua.Parser.Parse_error (msg, line) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+  | exception Terra.Typecheck.Tc_error msg ->
+      Printf.eprintf "type error: %s\n" msg;
+      exit 1);
+  if stats then
+    Format.eprintf "-- machine model --@.%a@." Tmachine.Machine.pp_report
+      (Terra.Engine.report engine)
+
+let () =
+  let open Cmdliner in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.t")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"print machine-model counters")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
+      Term.(const run_file $ path $ stats)
+  in
+  exit (Cmd.eval cmd)

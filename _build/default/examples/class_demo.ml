@@ -1,0 +1,91 @@
+(* The class system of Section 6.3.1, built entirely on Terra's type
+   reflection: single inheritance, interfaces, vtable dispatch, and
+   implicit subtyping casts inside Terra code. *)
+
+open Terra
+open Stage
+open Stage.Infix
+module J = Javalike
+
+let () =
+  let ctx = Context.create () in
+  let drawable = J.interface ~name:"Drawable" [ ("area", [], Types.double) ] in
+
+  let shape = J.new_class ctx "Shape" in
+  J.field shape "x" Types.double;
+  ignore
+    (J.method_ shape "area" ~params:[] ~ret:Types.double (fun _self ->
+         [ sreturn (Some (flt 0.0)) ]));
+
+  let square = J.new_class ctx "Square" in
+  J.extends square shape;
+  J.implements square drawable;
+  J.field square "length" Types.double;
+  ignore
+    (J.method_ square "area" ~params:[] ~ret:Types.double (fun self ->
+         [
+           sreturn
+             (Some (select (var self) "length" *! select (var self) "length"));
+         ]));
+
+  let circle = J.new_class ctx "Circle" in
+  J.extends circle shape;
+  J.implements circle drawable;
+  J.field circle "r" Types.double;
+  ignore
+    (J.method_ circle "area" ~params:[] ~ret:Types.double (fun self ->
+         [
+           sreturn
+             (Some (flt 3.14159265 *! (select (var self) "r" *! select (var self) "r")));
+         ]));
+
+  (* terra code dispatching virtually through &Shape: the __cast
+     metamethod converts &Square / &Circle implicitly *)
+  let total = declare ctx "total_area" in
+  let s1 = sym ~name:"sq" () and s2 = sym ~name:"ci" () in
+  ignore
+    (define_func total
+       ~params:[ (s1, J.cptr square); (s2, J.cptr circle) ]
+       ~ret:Types.double
+       [
+         defvar (sym ~name:"base" ()) ~ty:(J.cptr shape) ~init:(var s1);
+         sreturn
+           (Some
+              (method_ (deref (var s1)) "area" []
+              +! method_ (deref (var s2)) "area" []));
+       ]);
+
+  let sq = J.alloc_object square and ci = J.alloc_object circle in
+  let setf cls obj f v =
+    match Types.field_of cls.J.sinfo f with
+    | Some (_, _, off) -> Tvm.Mem.set_f64 ctx.Context.vm.Tvm.Vm.mem (obj + off) v
+    | None -> assert false
+  in
+  setf square sq "length" 3.0;
+  setf circle ci "r" 2.0;
+  (match
+     Jit.call total
+       [ Ffi.wrap_cdata ctx (J.cptr square) sq; Ffi.wrap_cdata ctx (J.cptr circle) ci ]
+   with
+  | [ Mlua.Value.Num x ] ->
+      Printf.printf "total area (9 + 4π) = %.4f\n" x
+  | _ -> assert false);
+
+  (* interface dispatch *)
+  let via_iface = declare ctx "via_iface" in
+  let d = sym ~name:"d" () in
+  ignore
+    (define_func via_iface
+       ~params:[ (d, J.iface_ref_type drawable) ]
+       ~ret:Types.double
+       [ sreturn (Some (J.icall drawable "area" (var d) [])) ]);
+  let use = declare ctx "use" in
+  let sq_arg = sym ~name:"sq" () in
+  ignore
+    (define_func use
+       ~params:[ (sq_arg, J.cptr square) ]
+       ~ret:Types.double
+       [ sreturn (Some (callf via_iface [ var sq_arg ])) ]);
+  (match Jit.call use [ Ffi.wrap_cdata ctx (J.cptr square) sq ] with
+  | [ Mlua.Value.Num x ] -> Printf.printf "area through Drawable = %.1f\n" x
+  | _ -> assert false)

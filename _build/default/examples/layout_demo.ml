@@ -1,0 +1,25 @@
+(* DataTable (Section 6.3.2): one record interface, two memory layouts.
+   Changing "AoS" to "SoA" changes performance, never results. *)
+
+module D = Datalayout.Datatable
+module M = Datalayout.Mesh
+
+let () =
+  let machine =
+    Tmachine.Machine.create
+      (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
+  in
+  let ctx = Terra.Context.create ~machine () in
+  let nverts = 120_000 and nfaces = 240_000 in
+  Printf.printf "mesh: %d vertices, %d faces\n" nverts nfaces;
+  List.iter
+    (fun layout ->
+      let m = M.build ctx ~layout ~nverts ~nfaces in
+      let (), rn = M.run_normals ctx m in
+      let (), rt = M.run_translate ctx m in
+      Printf.printf
+        "%-4s  calc normals: %6.2f GB/s   translate: %6.2f GB/s   checksum %.1f\n"
+        (D.layout_name layout) rn.Tmachine.Machine.r_gbps
+        rt.Tmachine.Machine.r_gbps (M.checksum ctx m))
+    [ D.AoS; D.SoA ];
+  print_endline "(gathers favour AoS; streaming over a few fields favours SoA)"

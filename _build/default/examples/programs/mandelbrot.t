@@ -1,0 +1,32 @@
+-- ASCII Mandelbrot: a classic staged-language demo. The palette and the
+-- sampling grid are Lua data, staged into the Terra inner loop as
+-- constants; the escape-time kernel is pure Terra.
+
+local std = terralib.includec("stdio.h")
+
+local W, H = 64, 24
+local MAXIT = 48
+
+terra escape_time(cr : double, ci : double) : int
+  var zr, zi = 0.0, 0.0
+  var it = 0
+  while it < MAXIT and zr * zr + zi * zi < 4.0 do
+    zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
+    it = it + 1
+  end
+  return it
+end
+
+-- build one row at a time in Lua, calling the Terra kernel via the FFI
+local palette = " .:-=+*#%@"
+for y = 0, H - 1 do
+  local row = {}
+  for x = 0, W - 1 do
+    local cr = -2.2 + 3.0 * x / W
+    local ci = -1.2 + 2.4 * y / H
+    local it = escape_time(cr, ci)
+    local idx = 1 + math.floor((#palette - 1) * it / MAXIT)
+    row[#row + 1] = string.sub(palette, idx, idx)
+  end
+  print(table.concat(row))
+end

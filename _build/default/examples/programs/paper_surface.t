@@ -1,0 +1,66 @@
+-- The paper's surface code, nearly verbatim, running end to end.
+
+-- Section 6.2 (Figure 7): Orion diffuse via overloaded operators
+local N = 64
+local iter = 4
+function diffuse(x, x0, diff, dt)
+  local a = dt * diff * N * N
+  for k = 1, iter do
+    x = orion.materialize((x0 + a * (x(-1,0) + x(1,0) + x(0,-1) + x(0,1))) / (1 + 4 * a))
+  end
+  return x, x0
+end
+
+local x0 = orion.input(0)
+local x = orion.input(1)
+local result = diffuse(x, x0, 0.1, 0.2)
+local pipeline = orion.compile(result, { width = N, height = N, inputs = 2, vectorize = 4 })
+local bx0 = pipeline:buffer()
+local bx = pipeline:buffer()
+bx0:fill(function(i, j) return math.sin(i / 5) + math.cos(j / 7) end)
+bx:fill(function(i, j) return 0 end)
+local out = pipeline:buffer()
+pipeline(bx0, bx, out)
+print(string.format("orion diffuse checksum: %.4f", out:checksum()))
+
+-- Section 6.3.1: the class system
+J = javalike
+Drawable = J.interface { draw = {} -> int }
+struct Shape { }
+terra Shape:draw() : int return 0 end
+struct Square { length : int }
+J.extends(Square, Shape)
+J.implements(Square, Drawable)
+terra Square:draw() : int return self.length * self.length end
+
+terra drawit(s : &Shape) : int
+  return s:draw()   -- virtual dispatch
+end
+terra makeanddraw(len : int) : int
+  var sq : Square
+  sq:initvt()
+  sq.length = len
+  return drawit(&sq)   -- implicit upcast via __cast
+end
+print("square:draw() through &Shape:", makeanddraw(9))
+
+-- Section 6.3.2: DataTable with a one-word layout switch
+local std = terralib.includec("stdlib.h")
+FluidData = DataTable({ vx = float, vy = float,
+                        pressure = float, density = float }, "AoS")
+terra usefluid(n : int64) : float
+  var fd : FluidData
+  fd:init(n)
+  for i = 0, n do
+    var r = fd:row(i)
+    r:setvx([float](i) * 0.5f)
+    r:setdensity(1.f)
+  end
+  var s = 0.f
+  for i = 0, n do
+    var r = fd:row(i)
+    s = s + r:vx() * r:density()
+  end
+  return s
+end
+print("fluid table sum:", usefluid(100))

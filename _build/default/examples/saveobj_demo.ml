@@ -1,0 +1,36 @@
+(* Separate evaluation (Section 4.1): compile Terra functions, save them
+   to an object file, then run them in a fresh VM with no Lua environment
+   — the code cannot depend on the Lua runtime because it is gone. *)
+
+let () =
+  let engine = Terra.Engine.create () in
+  let _ =
+    Terra.Engine.run engine
+      {|
+        local K = 7   -- captured at specialization time
+
+        terra mulk(x : int64) : int64
+          return x * K
+        end
+        terra fact(n : int64) : int64
+          if n <= 1 then return 1 end
+          return n * fact(n - 1)
+        end
+
+        K = 1000  -- too late: mulk already specialized (eager staging)
+        terralib.saveobj("demo.tobj", { mulk = mulk, fact = fact })
+      |}
+  in
+  print_endline "saved demo.tobj";
+  (* a completely fresh VM: no engine, no Lua scope *)
+  let obj = Terra.Objfile.load_file "demo.tobj" in
+  let vm, exports = Terra.Objfile.instantiate obj in
+  let call name x =
+    match Tvm.Vm.call vm (List.assoc name exports) [| Tvm.Vm.VI x |] with
+    | Tvm.Vm.VI r -> r
+    | _ -> assert false
+  in
+  Printf.printf "mulk(6) = %Ld (expect 42: K was 7 at definition)\n"
+    (call "mulk" 6L);
+  Printf.printf "fact(10) = %Ld\n" (call "fact" 10L);
+  Sys.remove "demo.tobj"

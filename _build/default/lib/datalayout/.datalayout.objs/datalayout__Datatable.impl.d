@@ -1,0 +1,1 @@
+lib/datalayout/datatable.ml: Context Func Int64 Jit List Mlua Printf Stage Terra Tvm Types

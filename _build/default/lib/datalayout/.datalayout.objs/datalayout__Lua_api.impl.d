@@ -1,0 +1,1 @@
+lib/datalayout/lua_api.ml: Datatable Hashtbl List Mlua Terra

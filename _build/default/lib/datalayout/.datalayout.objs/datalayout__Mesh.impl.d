@@ -1,0 +1,1 @@
+lib/datalayout/mesh.ml: Context Datatable Func Int32 Int64 Jit List Stage Terra Tmachine Tvm Types

@@ -1,0 +1,288 @@
+(** The paper's [DataTable] type constructor (Section 6.3.2): given a
+    record of fields and a layout — array-of-structs or struct-of-arrays —
+    build a Terra container type whose row/field interface is identical
+    for both, so the layout can be changed by flipping one argument. *)
+
+open Terra
+open Stage
+open Stage.Infix
+
+type layout = AoS | SoA
+
+let layout_name = function AoS -> "AoS" | SoA -> "SoA"
+
+type t = {
+  tname : string;
+  fields : (string * Types.t) list;
+  layout : layout;
+  tstruct : Types.struct_info;  (** the container *)
+  row_struct : Types.struct_info;  (** the row handle *)
+  tctx : Context.t;
+  init : Func.t;  (** terra (self : &T, n : int64) -> {} *)
+  free : Func.t;
+  row : Func.t;  (** terra (self : &T, i : int64) -> Row *)
+  getters : (string * Func.t) list;  (** on &Row *)
+  setters : (string * Func.t) list;
+}
+
+let container_type t = Types.Tstruct t.tstruct
+let row_type t = Types.Tstruct t.row_struct
+
+let create ctx ?(name = "DataTable") (fields : (string * Types.t) list)
+    (layout : layout) : t =
+  let full_name = Printf.sprintf "%s_%s" name (layout_name layout) in
+  let tstruct = Types.new_struct full_name in
+  let row_struct = Types.new_struct (full_name ^ "_row") in
+  let malloc =
+    Func.extern ctx ~name:"malloc" ~cname:"malloc" ~params:[ Types.int64 ]
+      ~ret:(Types.ptr Types.uint8)
+  in
+  let cfree =
+    Func.extern ctx ~name:"free" ~cname:"free"
+      ~params:[ Types.ptr Types.uint8 ]
+      ~ret:Types.Tunit
+  in
+  (* layout of container and row handle *)
+  (match layout with
+  | AoS ->
+      let rowdata = Types.new_struct (full_name ^ "_data") in
+      List.iter (fun (n, ty) -> Types.add_entry rowdata n ty) fields;
+      Types.add_entry tstruct "data" (Types.ptr (Types.Tstruct rowdata));
+      Types.add_entry tstruct "n" Types.int64;
+      Types.add_entry row_struct "ptr" (Types.ptr (Types.Tstruct rowdata))
+  | SoA ->
+      List.iter
+        (fun (n, ty) -> Types.add_entry tstruct ("col_" ^ n) (Types.ptr ty))
+        fields;
+      Types.add_entry tstruct "n" Types.int64;
+      List.iter
+        (fun (n, ty) -> Types.add_entry row_struct ("col_" ^ n) (Types.ptr ty))
+        fields;
+      Types.add_entry row_struct "i" Types.int64);
+  let tptr = Types.ptr (Types.Tstruct tstruct) in
+  let rptr = Types.ptr (Types.Tstruct row_struct) in
+  (* init *)
+  let self = sym ~name:"self" () and n = sym ~name:"n" () in
+  let init =
+    let body =
+      match layout with
+      | AoS ->
+          let rowbytes =
+            Types.sizeof (Types.Tstruct (match Types.field_of tstruct "data" with
+              | Some (_, Types.Tptr (Types.Tstruct rd), _) -> rd
+              | _ -> assert false))
+          in
+          [
+            assign1
+              (select (var self) "data")
+              (cast
+                 (match Types.field_of tstruct "data" with
+                 | Some (_, ty, _) -> ty
+                 | None -> assert false)
+                 (callf malloc [ var n *! int_ rowbytes ]));
+            assign1 (select (var self) "n") (var n);
+          ]
+      | SoA ->
+          List.map
+            (fun (fname, ty) ->
+              assign1
+                (select (var self) ("col_" ^ fname))
+                (cast (Types.ptr ty)
+                   (callf malloc [ var n *! int_ (Types.sizeof ty) ])))
+            fields
+          @ [ assign1 (select (var self) "n") (var n) ]
+    in
+    func ctx ~name:(full_name ^ ":init")
+      ~params:[ (self, tptr); (n, Types.int64) ]
+      ~ret:Types.Tunit body
+  in
+  (* free *)
+  let self2 = sym ~name:"self" () in
+  let free =
+    let body =
+      match layout with
+      | AoS ->
+          [
+            sexpr
+              (callf cfree
+                 [ cast (Types.ptr Types.uint8) (select (var self2) "data") ]);
+          ]
+      | SoA ->
+          List.map
+            (fun (fname, _) ->
+              sexpr
+                (callf cfree
+                   [
+                     cast (Types.ptr Types.uint8)
+                       (select (var self2) ("col_" ^ fname));
+                   ]))
+            fields
+    in
+    func ctx ~name:(full_name ^ ":free") ~params:[ (self2, tptr) ]
+      ~ret:Types.Tunit body
+  in
+  (* row(i) — returns the handle by value *)
+  let self3 = sym ~name:"self" () and i = sym ~name:"i" () in
+  let row =
+    let body =
+      match layout with
+      | AoS ->
+          [
+            sreturn
+              (Some
+                 (construct (Types.Tstruct row_struct)
+                    [ addr (index (select (var self3) "data") (var i)) ]));
+          ]
+      | SoA ->
+          [
+            sreturn
+              (Some
+                 (construct (Types.Tstruct row_struct)
+                    (List.map
+                       (fun (fname, _) -> select (var self3) ("col_" ^ fname))
+                       fields
+                    @ [ var i ])));
+          ]
+    in
+    let f =
+      func ctx ~name:(full_name ^ ":row")
+        ~params:[ (self3, tptr); (i, Types.int64) ]
+        ~ret:(Types.Tstruct row_struct) body
+    in
+    f.Func.always_inline <- true;
+    f
+  in
+  (* per-field accessors on the row handle *)
+  let getters, setters =
+    List.split
+      (List.map
+         (fun (fname, fty) ->
+           let rs = sym ~name:"r" () in
+           let getter =
+             let body =
+               match layout with
+               | AoS ->
+                   [ sreturn (Some (select (select (var rs) "ptr") fname)) ]
+               | SoA ->
+                   [
+                     sreturn
+                       (Some
+                          (index
+                             (select (var rs) ("col_" ^ fname))
+                             (select (var rs) "i")));
+                   ]
+             in
+             let f =
+               func ctx
+                 ~name:(full_name ^ ":" ^ fname)
+                 ~params:[ (rs, rptr) ] ~ret:fty body
+             in
+             f.Func.always_inline <- true;
+             f
+           in
+           let rs2 = sym ~name:"r" () and v = sym ~name:"v" () in
+           let setter =
+             let body =
+               match layout with
+               | AoS ->
+                   [ assign1 (select (select (var rs2) "ptr") fname) (var v) ]
+               | SoA ->
+                   [
+                     assign1
+                       (index
+                          (select (var rs2) ("col_" ^ fname))
+                          (select (var rs2) "i"))
+                       (var v);
+                   ]
+             in
+             func ctx
+               ~name:(full_name ^ ":set" ^ fname)
+               ~params:[ (rs2, rptr); (v, fty) ]
+               ~ret:Types.Tunit body
+           in
+           ((fname, getter), (fname, setter)))
+         fields)
+  in
+  (* expose everything as struct methods so Terra code writes
+     t:init(n), r = t:row(i), r:x(), r:setx(v) *)
+  let mset s name f = Mlua.Value.raw_set_str s.Types.methods name (Func.wrap f) in
+  mset tstruct "init" init;
+  mset tstruct "free" free;
+  mset tstruct "row" row;
+  List.iter (fun (n, f) -> mset row_struct n f) getters;
+  List.iter (fun (n, f) -> mset row_struct ("set" ^ n) f) setters;
+  {
+    tname = full_name;
+    fields;
+    layout;
+    tstruct;
+    row_struct;
+    tctx = ctx;
+    init;
+    free;
+    row;
+    getters;
+    setters;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Quotation-level accessors.
+
+   LLVM inlines the row/getter/setter calls into their callers, reducing
+   them to direct indexed loads and stores; our VM does not inline, so
+   kernels that care about memory behaviour use these staged accessors,
+   which produce exactly the code the inlined methods reduce to. The
+   function-based interface above stays — it is the API the paper shows —
+   and the test suite checks both compute identical results. *)
+
+(** [get_q t tbl i field] — the value of [field] of row [i];
+    [tbl] must be an expression of type &T. *)
+let get_q (t : t) (tbl : Stage.q) (i : Stage.q) field : Stage.q =
+  match t.layout with
+  | AoS -> select (index (select tbl "data") i) field
+  | SoA -> index (select tbl ("col_" ^ field)) i
+
+let set_q (t : t) (tbl : Stage.q) (i : Stage.q) field (v : Stage.q) : Stage.st =
+  match t.layout with
+  | AoS -> assign1 (select (index (select tbl "data") i) field) v
+  | SoA -> assign1 (index (select tbl ("col_" ^ field)) i) v
+
+type hoisted = {
+  prelude : Stage.st list;  (** hoisted base-pointer declarations *)
+  hget : Stage.q -> string -> Stage.q;  (** index, field *)
+  hset : Stage.q -> string -> Stage.q -> Stage.st;
+}
+
+(** Loop-invariant accessors: the base pointers are loaded once before the
+    loop, as LLVM's LICM would do. *)
+let hoist (t : t) (tbl : Stage.q) : hoisted =
+  match t.layout with
+  | AoS ->
+      let d = sym ~name:"data" () in
+      {
+        prelude = [ defvar d ~init:(select tbl "data") ];
+        hget = (fun i f -> select (index (var d) i) f);
+        hset = (fun i f v -> assign1 (select (index (var d) i) f) v);
+      }
+  | SoA ->
+      let cols = List.map (fun (f, _) -> (f, sym ~name:("col_" ^ f) ())) t.fields in
+      {
+        prelude =
+          List.map
+            (fun (f, s) -> defvar s ~init:(select tbl ("col_" ^ f)))
+            cols;
+        hget = (fun i f -> index (var (List.assoc f cols)) i);
+        hset = (fun i f v -> assign1 (index (var (List.assoc f cols)) i) v);
+      }
+
+(** Allocate and initialize a container with [n] rows from OCaml;
+    returns its address. *)
+let alloc_container (t : t) n =
+  Jit.ensure_compiled t.init;
+  let vm = t.tctx.Context.vm in
+  let size = Types.sizeof (Types.Tstruct t.tstruct) in
+  let addr = Tvm.Alloc.malloc vm.Tvm.Vm.alloc size in
+  ignore
+    (Tvm.Vm.call vm t.init.Func.vmid
+       [| Tvm.Vm.VI (Int64.of_int addr); Tvm.Vm.VI (Int64.of_int n) |]);
+  addr

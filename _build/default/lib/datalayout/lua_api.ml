@@ -1,0 +1,38 @@
+(** The Lua-facing [DataTable] constructor from Section 6.3.2:
+
+    {v
+      FluidData = DataTable({ vx = float, vy = float,
+                              pressure = float, density = float }, "AoS")
+    v}
+
+    The result is an ordinary Terra struct type whose [init], [row] and
+    per-field accessor methods are already attached, so surface Terra code
+    uses it directly. *)
+
+module V = Mlua.Value
+
+let install (ctx : Terra.Context.t) (globals : V.table) =
+  V.raw_set_str globals "DataTable"
+    (V.Func
+       (V.new_func ~name:"DataTable" (fun args ->
+            match args with
+            | [ V.Table fields; V.Str layout ] ->
+                let layout =
+                  match layout with
+                  | "AoS" -> Datatable.AoS
+                  | "SoA" -> Datatable.SoA
+                  | s -> V.error_str ("unknown layout " ^ s)
+                in
+                let fields =
+                  Hashtbl.fold
+                    (fun k v acc ->
+                      match (k, Terra.Types.unwrap_opt v) with
+                      | V.Kstr name, Some ty -> (name, ty) :: acc
+                      | _ ->
+                          V.error_str "DataTable: fields must map to types")
+                    fields.V.hash []
+                  |> List.sort compare
+                in
+                let t = Datatable.create ctx fields layout in
+                [ Terra.Types.wrap (Datatable.container_type t) ]
+            | _ -> V.error_str {|DataTable(fields, "AoS"|"SoA")|})))

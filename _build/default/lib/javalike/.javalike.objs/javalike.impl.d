@@ -1,0 +1,1 @@
+lib/javalike/javalike.ml: Classes Lua_api

@@ -1,0 +1,1 @@
+lib/javalike/classes.ml: Context Format Func Hashtbl Int64 Jit List Mlua Option Stage Tast Terra Tvm Types

@@ -1,0 +1,1 @@
+lib/javalike/lua_api.ml: Classes Hashtbl List Mlua Terra

@@ -1,0 +1,557 @@
+(** A single-inheritance class system with multiple interface subtyping
+    (Section 6.3.1), built as a *library* on Terra's type reflection:
+    vtable layout happens in a [__finalizelayout] metamethod, subtyping
+    conversions in a [__cast] metamethod, and method dispatch goes through
+    generated stub functions — the same architecture as the paper's
+    250-line Lua implementation, expressed through the same reflection
+    API. Uses the subset of Stroustrup's multiple-inheritance layout
+    needed for single inheritance with interfaces. *)
+
+module V = Mlua.Value
+open Terra
+open Stage
+open Stage.Infix
+
+exception Class_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Class_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Interfaces *)
+
+type iface = {
+  iname : string;
+  imethods : (string * Types.t list * Types.t) list;
+      (** name, argument types (no self), return type *)
+  ivt : Types.struct_info;  (** vtable struct: one function pointer each *)
+}
+
+(** The Terra type of an interface reference: a pointer to the interface
+    vtable-pointer slot embedded in the object. *)
+let iface_ref_type i = Types.ptr (Types.ptr (Types.Tstruct i.ivt))
+
+(** [interface ~name methods] — the paper's
+    [J.interface { draw = {} -> {} }]. *)
+let interface ~name (methods : (string * Types.t list * Types.t) list) =
+  let ivt = Types.new_struct (name ^ "_vtable") in
+  let i = { iname = name; imethods = methods; ivt } in
+  List.iter
+    (fun (m, args, ret) ->
+      Types.add_entry ivt m
+        (Types.Tfunc (iface_ref_type i :: args, ret)))
+    methods;
+  i
+
+(* ------------------------------------------------------------------ *)
+(* Classes *)
+
+type cls = {
+  cname : string;
+  sinfo : Types.struct_info;
+  cctx : Context.t;
+  mutable parent : cls option;
+  mutable own_ifaces : iface list;
+  mutable own_methods : (string * Func.t) list;  (** concrete definitions *)
+  mutable own_fields : (string * Types.t) list;
+  mutable finalized : bool;
+  mutable vt : Types.struct_info option;
+  mutable vtable_global : Func.global option;
+  mutable iface_globals : (string * Func.global) list;
+  mutable slot_order : (string * Types.t list * Types.t * string) list;
+      (** vtable slots in layout order: name, args, ret, defining class *)
+}
+
+let ctype c = Types.Tstruct c.sinfo
+let cptr c = Types.ptr (ctype c)
+
+let rec ancestors c = match c.parent with None -> [ c ] | Some p -> c :: ancestors p
+
+let rec all_ifaces c =
+  (match c.parent with None -> [] | Some p -> all_ifaces p) @ c.own_ifaces
+
+let iface_slot_name i = "__if_" ^ i.iname
+
+(* Concrete implementation of a method, walking up the hierarchy. *)
+let rec find_impl c name =
+  match List.assoc_opt name c.own_methods with
+  | Some f -> Some f
+  | None -> ( match c.parent with Some p -> find_impl p name | None -> None)
+
+let registry : (int, cls) Hashtbl.t = Hashtbl.create 16
+
+let class_of_struct (s : Types.struct_info) =
+  Hashtbl.find_opt registry s.Types.sid
+
+let is_subclass ~sub ~super =
+  List.exists (fun a -> a.sinfo.Types.sid = super.sinfo.Types.sid) (ancestors sub)
+
+let implements_iface c i =
+  List.exists (fun j -> j.ivt.Types.sid = i.ivt.Types.sid) (all_ifaces c)
+
+(* ------------------------------------------------------------------ *)
+(* Finalization: compute vtable layout, globals, stubs (the paper's
+   __finalizelayout) *)
+
+let rec finalize (c : cls) =
+  if not c.finalized then begin
+    c.finalized <- true;
+    (match c.parent with Some p -> finalize p | None -> ());
+    (* concrete methods defined through the surface syntax
+       (terra Square:draw() ...) live in the struct's methods table *)
+    Hashtbl.iter
+      (fun k v ->
+        match (k, Func.unwrap_opt v) with
+        | V.Kstr name, Some f when not (List.mem_assoc name c.own_methods) ->
+            c.own_methods <- (name, f) :: c.own_methods
+        | _ -> ())
+      c.sinfo.Types.methods.V.hash;
+    (* fields declared in the surface struct body become our own fields;
+       the entry list is rebuilt below with the vtable prefix first *)
+    let surface_fields =
+      let n = V.length c.sinfo.Types.entries in
+      List.init n (fun i ->
+          match V.raw_get c.sinfo.Types.entries (V.Num (float_of_int (i + 1))) with
+          | V.Table e -> (
+              match
+                (V.raw_get_str e "field", Types.unwrap_opt (V.raw_get_str e "type"))
+              with
+              | V.Str f, Some t -> (f, t)
+              | _ -> err "class %s: malformed entry" c.cname)
+          | _ -> err "class %s: malformed entries" c.cname)
+    in
+    Hashtbl.reset c.sinfo.Types.entries.V.hash;
+    c.own_fields <- surface_fields @ c.own_fields;
+    (* vtable slots: parent's slots (same order: prefix compatibility),
+       then own new methods *)
+    let parent_slots =
+      match c.parent with Some p -> p.slot_order | None -> []
+    in
+    let own_new =
+      List.filter_map
+        (fun (name, f) ->
+          if List.exists (fun (n, _, _, _) -> n = name) parent_slots then None
+          else
+            match Func.type_of f with
+            | Types.Tfunc (_self :: args, ret) -> Some (name, args, ret, c.cname)
+            | _ -> err "method %s.%s must take self" c.cname name)
+        c.own_methods
+    in
+    c.slot_order <- parent_slots @ own_new;
+    (* the vtable struct: entries use the defining class's self pointer *)
+    let vt = Types.new_struct (c.cname ^ "_vtable") in
+    List.iter
+      (fun (name, args, ret, _) ->
+        Types.add_entry vt name (Types.Tfunc (cptr c :: args, ret)))
+      c.slot_order;
+    c.vt <- Some vt;
+    (* object layout: [__vtable | parent's non-vtable entries... ] —
+       i.e. parent prefix — then own interface slots, then own fields *)
+    let entries =
+      match c.parent with
+      | None -> [ ("__vtable", Types.ptr (Types.Tstruct vt)) ]
+      | Some p ->
+          (* parent layout is a prefix: reuse its entry list but with our
+             own vtable type in slot 0 (same size/alignment) *)
+          let playout = Types.struct_layout p.sinfo in
+          List.map
+            (fun (n, t, _) ->
+              if n = "__vtable" then (n, Types.ptr (Types.Tstruct vt)) else (n, t))
+            playout.Types.fields
+    in
+    let entries =
+      entries
+      @ List.map
+          (fun i -> (iface_slot_name i, Types.ptr (Types.Tstruct i.ivt)))
+          c.own_ifaces
+      @ c.own_fields
+    in
+    List.iter (fun (n, t) -> Types.add_entry c.sinfo n t) entries;
+    (* we need byte offsets below (interface-slot stubs), while the
+       typechecker is still waiting for __finalizelayout to return:
+       compute and publish the layout now *)
+    c.sinfo.Types.layout <- Some (Types.compute_layout c.sinfo);
+    (* concrete implementations for every slot *)
+    let impls =
+      List.map
+        (fun (name, args, ret, _) ->
+          match find_impl c name with
+          | Some f -> (name, args, ret, f)
+          | None -> err "class %s does not implement method %s" c.cname name)
+        c.slot_order
+    in
+    (* class vtable global *)
+    List.iter (fun (_, _, _, f) -> Jit.ensure_compiled f) impls;
+    let vtg = Func.new_global c.cctx (Types.Tstruct vt) in
+    List.iter
+      (fun (name, _, _, f) ->
+        match Types.field_of vt name with
+        | Some (_, _, off) ->
+            Tvm.Mem.set_i64 c.cctx.Context.vm.Tvm.Vm.mem
+              (vtg.Func.gaddr + off)
+              (Int64.of_int (Tvm.Ir.func_addr f.Func.vmid));
+            Context.note_funcptr c.cctx (vtg.Func.gaddr + off) f.Func.vmid
+        | None -> assert false)
+      impls;
+    c.vtable_global <- Some vtg;
+    (* dispatch stubs become the struct's methods: invoke through the
+       object's vtable, so subclasses override *)
+    List.iter
+      (fun (name, args, ret, _) ->
+        let self = sym ~name:"self" () in
+        let argsyms = List.map (fun t -> (sym ~name:"a" (), t)) args in
+        let callexpr =
+          call
+            (select (select (var self) "__vtable") name)
+            (var self :: List.map (fun (s, _) -> var s) argsyms)
+        in
+        let body =
+          if Types.is_unit ret then [ sexpr callexpr ]
+          else [ sreturn (Some callexpr) ]
+        in
+        let stub =
+          func c.cctx
+            ~name:(c.cname ^ ":" ^ name)
+            ~params:((self, cptr c) :: argsyms)
+            ~ret body
+        in
+        (* dispatch stubs are always inlined (as LLVM does), leaving one
+           vtable load plus one indirect call at the call site *)
+        stub.Func.always_inline <- true;
+        V.raw_set_str c.sinfo.Types.methods name (Func.wrap stub))
+      c.slot_order;
+    (* interface vtables: stubs recover the object from the slot address
+       and call the concrete implementation directly *)
+    c.iface_globals <-
+      List.map
+        (fun i ->
+          let islot_off =
+            match Types.field_of c.sinfo (iface_slot_name i) with
+            | Some (_, _, off) -> off
+            | None -> err "missing interface slot %s" (iface_slot_name i)
+          in
+          let ivtg = Func.new_global c.cctx (Types.Tstruct i.ivt) in
+          List.iter
+            (fun (mname, margs, mret) ->
+              let impl =
+                match find_impl c mname with
+                | Some f -> f
+                | None ->
+                    err "class %s does not implement %s.%s" c.cname i.iname
+                      mname
+              in
+              Jit.ensure_compiled impl;
+              let ifp = sym ~name:"ifp" () in
+              let argsyms = List.map (fun t -> (sym ~name:"a" (), t)) margs in
+              let objq =
+                cast (cptr c)
+                  (cast (Types.ptr Types.uint8) (var ifp) -! int_ islot_off)
+              in
+              let callexpr =
+                callf impl (objq :: List.map (fun (s, _) -> var s) argsyms)
+              in
+              let body =
+                if Types.is_unit mret then [ sexpr callexpr ]
+                else [ sreturn (Some callexpr) ]
+              in
+              let istub =
+                func c.cctx
+                  ~name:(c.cname ^ "::" ^ i.iname ^ "." ^ mname)
+                  ~params:((ifp, iface_ref_type i) :: argsyms)
+                  ~ret:mret body
+              in
+              Jit.ensure_compiled istub;
+              match Types.field_of i.ivt mname with
+              | Some (_, _, off) ->
+                  Tvm.Mem.set_i64 c.cctx.Context.vm.Tvm.Vm.mem
+                    (ivtg.Func.gaddr + off)
+                    (Int64.of_int (Tvm.Ir.func_addr istub.Func.vmid));
+                  Context.note_funcptr c.cctx (ivtg.Func.gaddr + off)
+                    istub.Func.vmid
+              | None -> assert false)
+            i.imethods;
+          (i.iname, ivtg))
+        (all_ifaces c);
+    (* a generated initializer so Terra code can set up vtables on stack
+       or heap objects: obj:initvt() *)
+    let selfs = sym ~name:"self" () in
+    let obj = deref (var selfs) in
+    let vtg = Option.get c.vtable_global in
+    let stmts =
+      assign1
+        (select obj "__vtable")
+        (cast
+           (Types.ptr (Types.Tstruct (Option.get c.vt)))
+           (i64 (Int64.of_int vtg.Func.gaddr)))
+      :: List.map
+           (fun i ->
+             let ivtg = List.assoc i.iname c.iface_globals in
+             assign1
+               (select obj (iface_slot_name i))
+               (cast
+                  (Types.ptr (Types.Tstruct i.ivt))
+                  (i64 (Int64.of_int ivtg.Func.gaddr))))
+           (all_ifaces c)
+    in
+    let initvt =
+      func c.cctx ~name:(c.cname ^ ":initvt")
+        ~params:[ (selfs, cptr c) ]
+        ~ret:Types.Tunit stmts
+    in
+    V.raw_set_str c.sinfo.Types.methods "initvt" (Func.wrap initvt)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public construction API *)
+
+let make_class ctx (sinfo : Types.struct_info) : cls =
+  let name = sinfo.Types.sname in
+  let c =
+    {
+      cname = name;
+      sinfo;
+      cctx = ctx;
+      parent = None;
+      own_ifaces = [];
+      own_methods = [];
+      own_fields = [];
+      finalized = false;
+      vt = None;
+      vtable_global = None;
+      iface_globals = [];
+      slot_order = [];
+    }
+  in
+  Hashtbl.replace registry sinfo.Types.sid c;
+  (* layout on demand, the latest possible time (the paper's design) *)
+  V.raw_set_str sinfo.Types.metamethods "__finalizelayout"
+    (V.Func
+       (V.new_func ~name:(name ^ "._finalize") (fun _ ->
+            finalize c;
+            [])));
+  (* subtyping conversions (the paper's __cast in Section 6.3.1) *)
+  V.raw_set_str sinfo.Types.metamethods "__cast"
+    (V.Func
+       (V.new_func ~name:(name ^ "._cast") (fun args ->
+            match args with
+            | [ fromv; tov; V.Userdata { u = Tast.Uquote (Tast.Qexpr e); _ } ]
+              -> (
+                let fromt = Types.unwrap fromv and tot = Types.unwrap tov in
+                match (fromt, tot) with
+                | Types.Tptr (Types.Tstruct fs), Types.Tptr (Types.Tstruct ts)
+                  -> (
+                    match (class_of_struct fs, class_of_struct ts) with
+                    | Some sub, Some super when is_subclass ~sub ~super ->
+                        (* prefix layout: reinterpret the pointer *)
+                        [
+                          Tast.wrap_quote
+                            (Tast.Qexpr (cast tot e));
+                        ]
+                    | _ -> V.error_str "not a subtype")
+                | Types.Tptr (Types.Tstruct fs), Types.Tptr (Types.Tptr (Types.Tstruct ivs))
+                  -> (
+                    match class_of_struct fs with
+                    | Some sub -> (
+                        match
+                          List.find_opt
+                            (fun i -> i.ivt.Types.sid = ivs.Types.sid)
+                            (all_ifaces sub)
+                        with
+                        | Some i ->
+                            (* select the interface subobject *)
+                            [
+                              Tast.wrap_quote
+                                (Tast.Qexpr
+                                   (addr (select e (iface_slot_name i))));
+                            ]
+                        | None -> V.error_str "interface not implemented")
+                    | None -> V.error_str "not a class")
+                | _ -> V.error_str "not a subtype")
+            | _ -> V.error_str "bad __cast invocation")));
+  c
+
+let new_class ctx name : cls = make_class ctx (Types.new_struct name)
+
+(** Adopt a struct created elsewhere (e.g. by a surface [struct Square
+    {...}] declaration) as a class, the paper's usage pattern. *)
+let adopt ctx (sinfo : Types.struct_info) : cls =
+  match Hashtbl.find_opt registry sinfo.Types.sid with
+  | Some c -> c
+  | None ->
+      if Types.is_finalized sinfo then
+        err "struct %s is already laid out; it cannot become a class"
+          sinfo.Types.sname;
+      make_class ctx sinfo
+
+let extends (c : cls) (p : cls) =
+  if c.finalized then err "class %s is already finalized" c.cname;
+  c.parent <- Some p
+
+let implements (c : cls) (i : iface) =
+  if c.finalized then err "class %s is already finalized" c.cname;
+  c.own_ifaces <- c.own_ifaces @ [ i ]
+
+let field (c : cls) name ty =
+  if c.finalized then err "class %s is already finalized" c.cname;
+  c.own_fields <- c.own_fields @ [ (name, ty) ]
+
+(** Define (or override) a method. [body] receives the self symbol. *)
+let method_ (c : cls) name ~params ?(ret = Types.Tunit)
+    (body : Tast.sym -> Stage.st list) =
+  if c.finalized then err "class %s is already finalized" c.cname;
+  let self = sym ~name:"self" () in
+  let f =
+    func c.cctx
+      ~name:(c.cname ^ "." ^ name)
+      ~params:((self, cptr c) :: params)
+      ~ret (body self)
+  in
+  c.own_methods <- (name, f) :: c.own_methods;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Runtime helpers *)
+
+(** A quotation initializing an object's vtable slots; call it on a
+    freshly allocated [&C]. *)
+let init_vtables_q (c : cls) (objq : Stage.q) : Stage.st list =
+  finalize c;
+  ignore (Types.struct_layout c.sinfo);
+  let vtg = Option.get c.vtable_global in
+  let vt_ptr_ty = Types.ptr (Types.Tstruct (Option.get c.vt)) in
+  assign1
+    (select objq "__vtable")
+    (cast vt_ptr_ty (i64 (Int64.of_int vtg.Func.gaddr)))
+  :: List.map
+       (fun i ->
+         let ivtg = List.assoc i.iname c.iface_globals in
+         assign1
+           (select objq (iface_slot_name i))
+           (cast
+              (Types.ptr (Types.Tstruct i.ivt))
+              (i64 (Int64.of_int ivtg.Func.gaddr))))
+       (all_ifaces c)
+
+(** Allocate an object on the VM heap from OCaml and initialize its
+    vtables; returns its address. *)
+let alloc_object (c : cls) =
+  finalize c;
+  let layout = Types.struct_layout c.sinfo in
+  let vm = c.cctx.Context.vm in
+  let addr = Tvm.Alloc.malloc vm.Tvm.Vm.alloc layout.Types.size in
+  Tvm.Mem.fill vm.Tvm.Vm.mem addr layout.Types.size '\000';
+  (match Types.field_of c.sinfo "__vtable" with
+  | Some (_, _, off) ->
+      Tvm.Mem.set_i64 vm.Tvm.Vm.mem (addr + off)
+        (Int64.of_int (Option.get c.vtable_global).Func.gaddr)
+  | None -> assert false);
+  List.iter
+    (fun i ->
+      match Types.field_of c.sinfo (iface_slot_name i) with
+      | Some (_, _, off) ->
+          Tvm.Mem.set_i64 vm.Tvm.Vm.mem (addr + off)
+            (Int64.of_int (List.assoc i.iname c.iface_globals).Func.gaddr)
+      | None -> assert false)
+    (all_ifaces c);
+  addr
+
+(** Build the expression invoking interface method [name] on an interface
+    reference (the double-indirect dispatch through the interface
+    vtable). *)
+let icall (i : iface) name (ifq : Stage.q) args : Stage.q =
+  if not (List.exists (fun (m, _, _) -> m = name) i.imethods) then
+    err "interface %s has no method %s" i.iname name;
+  call (select (deref ifq) name) (ifq :: args)
+
+(* ------------------------------------------------------------------ *)
+(* Fat-pointer interfaces.
+
+   The paper (end of Section 6.3.1): "we have also implemented a system
+   that implements interfaces using fat pointers that store both the
+   object pointer and vtable together." A fat reference is a two-word
+   struct passed by value; dispatch needs no embedded interface slot in
+   the object and no object-pointer adjustment. *)
+
+type fat_iface = {
+  fname : string;
+  fmethods : (string * Types.t list * Types.t) list;
+  fvt : Types.struct_info;  (** vtable of plain &uint8-self functions *)
+  fref : Types.struct_info;  (** { obj : &uint8; vtable : &fvt } *)
+}
+
+let obj_ptr = Types.ptr Types.uint8
+
+let fat_interface ~name (methods : (string * Types.t list * Types.t) list) =
+  let fvt = Types.new_struct (name ^ "_fatvtable") in
+  List.iter
+    (fun (m, args, ret) ->
+      Types.add_entry fvt m (Types.Tfunc (obj_ptr :: args, ret)))
+    methods;
+  let fref = Types.new_struct (name ^ "_fatref") in
+  Types.add_entry fref "obj" obj_ptr;
+  Types.add_entry fref "vtable" (Types.ptr (Types.Tstruct fvt));
+  { fname = name; fmethods = methods; fvt; fref }
+
+let fat_ref_type i = Types.Tstruct i.fref
+
+(* per (class, interface) vtable of stubs taking &uint8 self *)
+let fat_vtables : (int * int, Func.global) Hashtbl.t = Hashtbl.create 8
+
+let fat_vtable_for (i : fat_iface) (c : cls) : Func.global =
+  match Hashtbl.find_opt fat_vtables (i.fvt.Types.sid, c.sinfo.Types.sid) with
+  | Some g -> g
+  | None ->
+      finalize c;
+      let g = Func.new_global c.cctx (Types.Tstruct i.fvt) in
+      List.iter
+        (fun (mname, margs, mret) ->
+          let impl =
+            match find_impl c mname with
+            | Some f -> f
+            | None ->
+                err "class %s does not implement %s.%s" c.cname i.fname mname
+          in
+          Jit.ensure_compiled impl;
+          let self = sym ~name:"self" () in
+          let argsyms = List.map (fun t -> (sym ~name:"a" (), t)) margs in
+          let callexpr =
+            callf impl
+              (cast (cptr c) (var self)
+              :: List.map (fun (s, _) -> var s) argsyms)
+          in
+          let body =
+            if Types.is_unit mret then [ sexpr callexpr ]
+            else [ sreturn (Some callexpr) ]
+          in
+          let stub =
+            func c.cctx
+              ~name:(c.cname ^ "::" ^ i.fname ^ "." ^ mname ^ ":fat")
+              ~params:((self, obj_ptr) :: argsyms)
+              ~ret:mret body
+          in
+          Jit.ensure_compiled stub;
+          match Types.field_of i.fvt mname with
+          | Some (_, _, off) ->
+              Tvm.Mem.set_i64 c.cctx.Context.vm.Tvm.Vm.mem
+                (g.Func.gaddr + off)
+                (Int64.of_int (Tvm.Ir.func_addr stub.Func.vmid));
+              Context.note_funcptr c.cctx (g.Func.gaddr + off) stub.Func.vmid
+          | None -> assert false)
+        i.fmethods;
+      Hashtbl.replace fat_vtables (i.fvt.Types.sid, c.sinfo.Types.sid) g;
+      g
+
+(** Build a fat reference from an object pointer expression. *)
+let fat_ref (i : fat_iface) (c : cls) (objq : Stage.q) : Stage.q =
+  let g = fat_vtable_for i c in
+  construct (Types.Tstruct i.fref)
+    [
+      cast obj_ptr objq;
+      cast (Types.ptr (Types.Tstruct i.fvt)) (i64 (Int64.of_int g.Func.gaddr));
+    ]
+
+(** Invoke a fat-reference method: one load from the two-word struct, one
+    indirect call — no pointer adjustment. *)
+let fat_call (i : fat_iface) name (refq : Stage.q) args : Stage.q =
+  if not (List.exists (fun (m, _, _) -> m = name) i.fmethods) then
+    err "fat interface %s has no method %s" i.fname name;
+  call (select (select refq "vtable") name) (select refq "obj" :: args)

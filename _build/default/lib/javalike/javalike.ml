@@ -1,0 +1,5 @@
+(** The class-system library (Section 6.3.1). [include]s the core
+    implementation; [Lua_api] is the paper's Lua-facing surface. *)
+
+include Classes
+module Lua_api = Lua_api

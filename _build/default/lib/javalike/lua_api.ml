@@ -1,0 +1,73 @@
+(** The Lua-facing class-system API, matching the paper's Section 6.3.1
+    usage:
+
+    {v
+      J = javalike
+      Drawable = J.interface { draw = {} -> {} }
+      struct Square { length : int }
+      J.extends(Square, Shape)
+      J.implements(Square, Drawable)
+      terra Square:draw() : {} ... end
+    v} *)
+
+module V = Mlua.Value
+
+type Mlua.Value.u += Uiface of Classes.iface
+
+let iface_meta : V.table = V.new_table ()
+
+let wrap_iface i =
+  let ud = V.new_userdata ~tag:"interface" (Uiface i) in
+  ud.V.umeta <- Some iface_meta;
+  V.Userdata ud
+
+let to_iface = function
+  | V.Userdata { u = Uiface i; _ } -> i
+  | v -> V.error_str ("not an interface: " ^ V.type_name v)
+
+let () =
+  V.raw_set_str iface_meta "__index"
+    (V.Func
+       (V.new_func ~name:"iface_index" (fun args ->
+            match args with
+            | [ V.Userdata { u = Uiface i; _ }; V.Str "reftype" ] ->
+                [ Terra.Types.wrap (Classes.iface_ref_type i) ]
+            | _ -> [ V.Nil ])))
+
+let to_cls ctx v =
+  match Terra.Types.unwrap_opt v with
+  | Some (Terra.Types.Tstruct s) -> Classes.adopt ctx s
+  | _ -> V.error_str "expected a struct type"
+
+let reg tbl name f = V.raw_set_str tbl name (V.Func (V.new_func ~name f))
+let arg args i = match List.nth_opt args i with Some v -> v | None -> V.Nil
+
+(** Install the [javalike] table into an engine's globals. *)
+let install (ctx : Terra.Context.t) (globals : V.table) =
+  let j = V.new_table () in
+  V.raw_set_str globals "javalike" (V.Table j);
+  reg j "interface" (fun args ->
+      match arg args 0 with
+      | V.Table t ->
+          let methods =
+            Hashtbl.fold
+              (fun k v acc ->
+                match (k, Terra.Types.unwrap_opt v) with
+                | V.Kstr name, Some (Terra.Types.Tfunc (margs, ret)) ->
+                    (name, margs, ret) :: acc
+                | _ -> V.error_str "interface: entries must be function types")
+              t.V.hash []
+          in
+          [ wrap_iface (Classes.interface ~name:"anon" methods) ]
+      | _ -> V.error_str "interface expects a table of method types");
+  reg j "extends" (fun args ->
+      Classes.extends (to_cls ctx (arg args 0)) (to_cls ctx (arg args 1));
+      []);
+  reg j "implements" (fun args ->
+      Classes.implements (to_cls ctx (arg args 0)) (to_iface (arg args 1));
+      []);
+  (* J.new(Type): heap-allocate an object with vtables initialized *)
+  reg j "new" (fun args ->
+      let c = to_cls ctx (arg args 0) in
+      let addr = Classes.alloc_object c in
+      [ Terra.Ffi.wrap_cdata ctx (Classes.cptr c) addr ])

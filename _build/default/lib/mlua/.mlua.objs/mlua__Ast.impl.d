@@ -1,0 +1,1 @@
+lib/mlua/ast.ml: Value

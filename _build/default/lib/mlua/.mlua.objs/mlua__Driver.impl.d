@@ -1,0 +1,1 @@
+lib/mlua/driver.ml: Buffer Fun Interp Lualib Parser Value

@@ -1,0 +1,1 @@
+lib/mlua/interp.ml: Ast Float Format List String Value

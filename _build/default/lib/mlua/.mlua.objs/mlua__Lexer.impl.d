@@ -1,0 +1,1 @@
+lib/mlua/lexer.ml: Array Buffer Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/mlua/lualib.ml: Array Buffer Char Float Hashtbl Interp List Printf Scanf String Sys Value

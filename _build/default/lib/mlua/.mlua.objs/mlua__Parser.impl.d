@@ -1,0 +1,1 @@
+lib/mlua/parser.ml: Array Ast Format Lexer List Option Value

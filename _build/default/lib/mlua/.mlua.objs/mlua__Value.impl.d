@@ -1,0 +1,1 @@
+lib/mlua/value.ml: Float Hashtbl Printf String

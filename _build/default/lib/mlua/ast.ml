@@ -1,0 +1,59 @@
+(** Abstract syntax of the Lua subset.
+
+    [Eprim]/[Sprim] are extension nodes holding closures over the lexical
+    scope: the combined Lua–Terra frontend parses Terra constructs into
+    these, mirroring the paper's preprocessor, which "replaces the Terra
+    function text with a call to specialize the Terra function in the local
+    environment". *)
+
+type unop = Neg | Not | Len
+
+type binop =
+  | Add | Sub | Mul | Div | Mod | Pow | Concat
+  | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+  | Arrow
+      (** [{T} -> R] function-type syntax; behaviour is installed by the
+          Terra library via {!Interp.arrow_impl} *)
+
+type expr =
+  | Enil
+  | Etrue
+  | Efalse
+  | Enum of float
+  | Estr of string
+  | Evar of string
+  | Eindex of expr * expr
+  | Ecall of expr * expr list
+  | Eparen of expr  (** parentheses truncate multiple results *)
+  | Emethod of expr * string * expr list
+  | Efunc of string list * block
+  | Etable of field list
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eprim of string * (Value.scope -> Value.t)
+
+and field = Fpos of expr | Fnamed of string * expr | Fkey of expr * expr
+
+and lhs = Lvar of string | Lindex of expr * expr
+
+and stat = { sd : stat_desc; line : int }
+
+and stat_desc =
+  | Slocal of string list * expr list
+  | Slocalfunc of string * string list * block
+      (** [local function f]: the name is in scope inside the body *)
+  | Sassign of lhs list * expr list
+  | Scall of expr
+  | Sif of (expr * block) list * block
+  | Swhile of expr * block
+  | Srepeat of block * expr
+  | Sfornum of string * expr * expr * expr option * block
+  | Sforin of string list * expr list * block
+  | Sdo of block
+  | Sreturn of expr list
+  | Sbreak
+  | Sprim of string * (Value.scope -> unit)
+
+and block = stat list
+
+let stat ?(line = 0) sd = { sd; line }

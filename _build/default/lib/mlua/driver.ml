@@ -1,0 +1,38 @@
+(** Convenience entry points: build a ready-to-use Lua state and run
+    source text in it. The Terra frontend layers its own driver on top of
+    this one, adding the combined-language parser hooks. *)
+
+open Value
+
+let make_scope () =
+  let g = new_table () in
+  Lualib.install g;
+  root_scope g
+
+let globals scope =
+  match scope_globals scope with
+  | Some g -> g
+  | None -> invalid_arg "Driver.globals: scope has no globals table"
+
+(** Run a chunk; returns the chunk's return values (usually []). *)
+let run_in ?ext_expr ?ext_stat scope src =
+  let block = Parser.parse_string ?ext_expr ?ext_stat src in
+  try
+    Interp.exec_stats_in scope block;
+    []
+  with Interp.Return_exc vs -> vs
+
+let run ?ext_expr ?ext_stat src =
+  let scope = make_scope () in
+  (scope, run_in ?ext_expr ?ext_stat scope src)
+
+(** Run and capture everything printed, for tests. *)
+let run_capture ?ext_expr ?ext_stat src =
+  let buf = Buffer.create 256 in
+  let saved = !Lualib.output_sink in
+  Lualib.output_sink := Buffer.add_string buf;
+  Fun.protect
+    ~finally:(fun () -> Lualib.output_sink := saved)
+    (fun () ->
+      let _scope, rets = run ?ext_expr ?ext_stat src in
+      (Buffer.contents buf, rets))

@@ -1,0 +1,348 @@
+(** Tree-walking evaluator for the Lua subset, including metatables and
+    the metamethods the paper's DSLs rely on for operator overloading. *)
+
+open Value
+
+exception Break_exc
+exception Return_exc of t list
+
+(* Set by Stdlib so string values can answer method calls (s:rep(2)). *)
+let string_table : table option ref = ref None
+
+(* Set by the Terra library: the `{T} -> R` function-type constructor. *)
+let arrow_impl : (t -> t -> t) ref =
+  ref (fun _ _ -> error_str "the '->' operator requires the terra library")
+
+let runtime_error fmt = Format.kasprintf error_str fmt
+
+let get_metamethod v name =
+  let meta =
+    match v with
+    | Table t -> t.meta
+    | Userdata u -> u.umeta
+    | _ -> None
+  in
+  match meta with
+  | None -> Nil
+  | Some m -> raw_get_str m name
+
+let rec index obj key =
+  match obj with
+  | Table t -> (
+      let v = raw_get t key in
+      if v <> Nil then v
+      else
+        match get_metamethod obj "__index" with
+        | Nil -> Nil
+        | Func f -> ( match f.call [ obj; key ] with v :: _ -> v | [] -> Nil)
+        | handler -> index handler key)
+  | Str _ -> (
+      match !string_table with
+      | Some st -> raw_get st key
+      | None -> Nil)
+  | Userdata _ -> (
+      match get_metamethod obj "__index" with
+      | Nil -> runtime_error "cannot index a %s value" (type_name obj)
+      | Func f -> ( match f.call [ obj; key ] with v :: _ -> v | [] -> Nil)
+      | handler -> index handler key)
+  | _ -> runtime_error "cannot index a %s value" (type_name obj)
+
+let newindex obj key v =
+  match obj with
+  | Table t -> (
+      if raw_get t key <> Nil then raw_set t key v
+      else
+        match get_metamethod obj "__newindex" with
+        | Nil -> raw_set t key v
+        | Func f -> ignore (f.call [ obj; key; v ])
+        | Table _ as handler -> (
+            match handler with
+            | Table ht -> raw_set ht key v
+            | _ -> assert false)
+        | _ -> runtime_error "bad __newindex")
+  | Userdata _ -> (
+      match get_metamethod obj "__newindex" with
+      | Func f -> ignore (f.call [ obj; key; v ])
+      | _ -> runtime_error "cannot assign into a %s value" (type_name obj))
+  | _ -> runtime_error "cannot index a %s value" (type_name obj)
+
+let rec call_value f args =
+  match f with
+  | Func fn -> fn.call args
+  | _ -> (
+      match get_metamethod f "__call" with
+      | Nil -> runtime_error "attempt to call a %s value" (type_name f)
+      | handler -> call_value handler (f :: args))
+
+let call1 f args = match call_value f args with v :: _ -> v | [] -> Nil
+
+let meta_binop name a b =
+  let h = get_metamethod a name in
+  let h = if h = Nil then get_metamethod b name else h in
+  if h = Nil then
+    runtime_error "cannot apply %s to %s and %s"
+      (String.sub name 2 (String.length name - 2))
+      (type_name a) (type_name b)
+  else call1 h [ a; b ]
+
+let arith op name fop a b =
+  match (a, b) with
+  | Num x, Num y -> Num (fop x y)
+  | (Num _ | Str _), (Num _ | Str _) -> (
+      match
+        ( float_of_string_opt (String.trim (tostring a)),
+          float_of_string_opt (String.trim (tostring b)) )
+      with
+      | Some x, Some y -> Num (fop x y)
+      | _ -> meta_binop name a b)
+  | _ -> ignore op; meta_binop name a b
+
+let compare_lt a b =
+  match (a, b) with
+  | Num x, Num y -> Bool (x < y)
+  | Str x, Str y -> Bool (String.compare x y < 0)
+  | _ -> ( match meta_binop "__lt" a b with v -> Bool (truthy v))
+
+let compare_le a b =
+  match (a, b) with
+  | Num x, Num y -> Bool (x <= y)
+  | Str x, Str y -> Bool (String.compare x y <= 0)
+  | _ -> ( match meta_binop "__le" a b with v -> Bool (truthy v))
+
+let value_eq a b =
+  if equal a b then Bool true
+  else
+    match (a, b) with
+    | Table _, Table _ | Userdata _, Userdata _ ->
+        let h = get_metamethod a "__eq" in
+        let h2 = get_metamethod b "__eq" in
+        if h <> Nil && equal h h2 then Bool (truthy (call1 h [ a; b ]))
+        else Bool false
+    | _ -> Bool false
+
+let concat a b =
+  match (a, b) with
+  | (Num _ | Str _), (Num _ | Str _) -> Str (tostring a ^ tostring b)
+  | _ -> meta_binop "__concat" a b
+
+let value_len v =
+  match v with
+  | Str s -> Num (float_of_int (String.length s))
+  | Table t -> (
+      match get_metamethod v "__len" with
+      | Nil -> Num (float_of_int (length t))
+      | h -> call1 h [ v ])
+  | _ -> (
+      match get_metamethod v "__len" with
+      | Nil -> runtime_error "cannot take length of a %s value" (type_name v)
+      | h -> call1 h [ v ])
+
+let unary_minus v =
+  match v with
+  | Num n -> Num (-.n)
+  | _ -> (
+      match get_metamethod v "__unm" with
+      | Nil -> runtime_error "cannot negate a %s value" (type_name v)
+      | h -> call1 h [ v; v ])
+
+(* ------------------------------------------------------------------ *)
+
+let rec eval (scope : scope) (e : Ast.expr) : t =
+  match e with
+  | Ast.Enil -> Nil
+  | Etrue -> Bool true
+  | Efalse -> Bool false
+  | Enum n -> Num n
+  | Estr s -> Str s
+  | Evar n -> scope_lookup scope n
+  | Eparen e -> eval scope e
+  | Eindex (b, k) ->
+      let bv = eval scope b in
+      index bv (eval scope k)
+  | Ecall _ | Emethod _ -> (
+      match eval_multi scope e with v :: _ -> v | [] -> Nil)
+  | Efunc (params, body) -> Func (make_closure scope params body "anonymous")
+  | Etable fields ->
+      let t = new_table () in
+      let pos = ref 0 in
+      List.iter
+        (function
+          | Ast.Fpos e ->
+              incr pos;
+              raw_set t (Num (float_of_int !pos)) (eval scope e)
+          | Ast.Fnamed (n, e) -> raw_set_str t n (eval scope e)
+          | Ast.Fkey (k, e) -> raw_set t (eval scope k) (eval scope e))
+        fields;
+      Table t
+  | Ebin (Ast.And, a, b) ->
+      let va = eval scope a in
+      if truthy va then eval scope b else va
+  | Ebin (Ast.Or, a, b) ->
+      let va = eval scope a in
+      if truthy va then va else eval scope b
+  | Ebin (op, a, b) ->
+      let va = eval scope a in
+      eval_binop op va (eval scope b)
+  | Eun (Ast.Not, a) -> Bool (not (truthy (eval scope a)))
+  | Eun (Ast.Neg, a) -> unary_minus (eval scope a)
+  | Eun (Ast.Len, a) -> value_len (eval scope a)
+  | Eprim (_, f) -> f scope
+
+and eval_binop op a b =
+  match op with
+  | Ast.Add -> arith op "__add" ( +. ) a b
+  | Sub -> arith op "__sub" ( -. ) a b
+  | Mul -> arith op "__mul" ( *. ) a b
+  | Div -> arith op "__div" ( /. ) a b
+  | Mod -> arith op "__mod" (fun x y -> x -. (Float.floor (x /. y) *. y)) a b
+  | Pow -> arith op "__pow" ( ** ) a b
+  | Concat -> concat a b
+  | Eq -> value_eq a b
+  | Ne -> Bool (not (truthy (value_eq a b)))
+  | Lt -> compare_lt a b
+  | Le -> compare_le a b
+  | Gt -> compare_lt b a
+  | Ge -> compare_le b a
+  | Arrow -> !arrow_impl a b
+  | And | Or -> assert false
+
+(* Calls in the last position of an expression list expand to all their
+   results; elsewhere they truncate to one. *)
+and eval_multi scope (e : Ast.expr) : t list =
+  match e with
+  | Ast.Ecall (f, args) ->
+      let fv = eval scope f in
+      call_value fv (eval_exprlist scope args)
+  | Ast.Emethod (obj, m, args) ->
+      let ov = eval scope obj in
+      let fv = index ov (Str m) in
+      call_value fv (ov :: eval_exprlist scope args)
+  | e -> [ eval scope e ]
+
+and eval_exprlist scope = function
+  | [] -> []
+  | [ last ] -> eval_multi scope last
+  | e :: rest ->
+      (* left to right, as Lua requires *)
+      let v = eval scope e in
+      v :: eval_exprlist scope rest
+
+and make_closure defscope params body name =
+  new_func ~name (fun args ->
+      let s = new_scope ~parent:defscope () in
+      let rec bind ps vs =
+        match (ps, vs) with
+        | [], _ -> ()
+        | p :: ps', [] ->
+            scope_define s p Nil;
+            bind ps' []
+        | p :: ps', v :: vs' ->
+            scope_define s p v;
+            bind ps' vs'
+      in
+      bind params args;
+      try
+        exec_block s body;
+        []
+      with Return_exc vs -> vs)
+
+and exec_block parent_scope block =
+  let s = new_scope ~parent:parent_scope () in
+  List.iter (exec_stat s) block
+
+(* Execute statements directly in [scope] (no new scope): used for blocks
+   that introduce their own scope themselves. *)
+and exec_stats_in scope block = List.iter (exec_stat scope) block
+
+and assign scope lhs v =
+  match lhs with
+  | Ast.Lvar n -> scope_assign scope n v
+  | Ast.Lindex (b, k) -> newindex (eval scope b) (eval scope k) v
+
+and exec_stat scope (st : Ast.stat) =
+  match st.sd with
+  | Ast.Slocal (names, exprs) ->
+      let vs = eval_exprlist scope exprs in
+      List.iteri
+        (fun i n ->
+          scope_define scope n (match List.nth_opt vs i with Some v -> v | None -> Nil))
+        names
+  | Slocalfunc (name, params, body) ->
+      scope_define scope name Nil;
+      let f = Func (make_closure scope params body name) in
+      scope_assign scope name f
+  | Sassign (lhss, exprs) ->
+      let vs = eval_exprlist scope exprs in
+      List.iteri
+        (fun i l ->
+          assign scope l (match List.nth_opt vs i with Some v -> v | None -> Nil))
+        lhss
+  | Scall e -> ignore (eval_multi scope e)
+  | Sif (arms, els) ->
+      let rec go = function
+        | [] -> exec_block scope els
+        | (c, b) :: rest ->
+            if truthy (eval scope c) then exec_block scope b else go rest
+      in
+      go arms
+  | Swhile (c, b) -> (
+      try
+        while truthy (eval scope c) do
+          exec_block scope b
+        done
+      with Break_exc -> ())
+  | Srepeat (b, c) -> (
+      try
+        let continue_ = ref true in
+        while !continue_ do
+          (* the condition sees the loop body's scope *)
+          let s = new_scope ~parent:scope () in
+          exec_stats_in s b;
+          if truthy (eval s c) then continue_ := false
+        done
+      with Break_exc -> ())
+  | Sfornum (n, e1, e2, e3, b) -> (
+      let v1 = to_num ~what:"for start" (eval scope e1) in
+      let v2 = to_num ~what:"for limit" (eval scope e2) in
+      let step =
+        match e3 with
+        | Some e -> to_num ~what:"for step" (eval scope e)
+        | None -> 1.0
+      in
+      if step = 0.0 then runtime_error "for loop step is zero";
+      try
+        let i = ref v1 in
+        while (step > 0.0 && !i <= v2) || (step < 0.0 && !i >= v2) do
+          let s = new_scope ~parent:scope () in
+          scope_define s n (Num !i);
+          exec_stats_in s b;
+          i := !i +. step
+        done
+      with Break_exc -> ())
+  | Sforin (names, exprs, b) -> (
+      let vs = eval_exprlist scope exprs in
+      let nth i = match List.nth_opt vs i with Some v -> v | None -> Nil in
+      let f = nth 0 and state = nth 1 in
+      let control = ref (nth 2) in
+      try
+        let continue_ = ref true in
+        while !continue_ do
+          let rets = call_value f [ state; !control ] in
+          let first = match rets with v :: _ -> v | [] -> Nil in
+          if first = Nil then continue_ := false
+          else begin
+            control := first;
+            let s = new_scope ~parent:scope () in
+            List.iteri
+              (fun i n ->
+                scope_define s n
+                  (match List.nth_opt rets i with Some v -> v | None -> Nil))
+              names;
+            exec_stats_in s b
+          end
+        done
+      with Break_exc -> ())
+  | Sdo b -> exec_block scope b
+  | Sreturn exprs -> raise (Return_exc (eval_exprlist scope exprs))
+  | Sbreak -> raise Break_exc
+  | Sprim (_, f) -> f scope

@@ -1,0 +1,264 @@
+(** Hand-written lexer for the combined Lua–Terra surface syntax. Both
+    languages share one token stream; Terra-only tokens ([&], [@], [`],
+    [->]) are lexed unconditionally and rejected by the Lua parser when
+    they appear outside Terra code. *)
+
+(** How a numeric literal was written: used by the Terra frontend to type
+    constants; Lua only cares about the value. *)
+type numkind = NInt | NFloat | NFloat32
+
+type token =
+  | Tname of string
+  | Tnum of float * numkind
+  | Tstr of string
+  | Tkw of string
+  | Tsym of string
+  | Teof
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "and"; "break"; "do"; "else"; "elseif"; "end"; "false"; "for"; "function";
+    "if"; "in"; "local"; "nil"; "not"; "or"; "repeat"; "return"; "then";
+    "true"; "until"; "while";
+    (* Terra extensions *)
+    "terra"; "quote"; "var"; "struct"; "defer"; "emit"; "escape";
+  ]
+
+let is_keyword s = List.mem s keywords
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable toks : (token * int) list;
+}
+
+let peek_char st ofs =
+  let j = st.i + ofs in
+  if j < String.length st.src then Some st.src.[j] else None
+
+let error st msg = raise (Lex_error (msg, st.line))
+
+let read_string st quote =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st 0 with
+    | None -> error st "unterminated string"
+    | Some c when c = quote -> st.i <- st.i + 1
+    | Some '\n' -> error st "unterminated string"
+    | Some '\\' -> (
+        st.i <- st.i + 1;
+        match peek_char st 0 with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            st.i <- st.i + 1;
+            let ch =
+              match c with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | 'r' -> '\r'
+              | '0' -> '\000'
+              | '\\' -> '\\'
+              | '"' -> '"'
+              | '\'' -> '\''
+              | c -> c
+            in
+            Buffer.add_char buf ch;
+            go ())
+    | Some c ->
+        st.i <- st.i + 1;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_long_bracket st =
+  (* assumes we are positioned after the opening "[[" *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match (peek_char st 0, peek_char st 1) with
+    | Some ']', Some ']' -> st.i <- st.i + 2
+    | Some '\n', _ ->
+        st.line <- st.line + 1;
+        Buffer.add_char buf '\n';
+        st.i <- st.i + 1;
+        go ()
+    | Some c, _ ->
+        Buffer.add_char buf c;
+        st.i <- st.i + 1;
+        go ()
+    | None, _ -> error st "unterminated long bracket"
+  in
+  go ();
+  Buffer.contents buf
+
+let read_number st =
+  let start = st.i in
+  let hex =
+    match (peek_char st 0, peek_char st 1) with
+    | Some '0', Some ('x' | 'X') ->
+        st.i <- st.i + 2;
+        true
+    | _ -> false
+  in
+  let digit_ok c = if hex then is_hex c else is_digit c in
+  let consume_digits () =
+    let rec go () =
+      match peek_char st 0 with
+      | Some c when digit_ok c ->
+          st.i <- st.i + 1;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  consume_digits ();
+  let fractional = ref false in
+  (* A fractional part, but not when the dot starts `..` (range/concat). *)
+  (match (peek_char st 0, peek_char st 1) with
+  | Some '.', Some '.' -> ()
+  | Some '.', Some c when digit_ok c || (not hex) ->
+      fractional := true;
+      st.i <- st.i + 1;
+      consume_digits ()
+  | Some '.', None ->
+      fractional := true;
+      st.i <- st.i + 1
+  | _ -> ());
+  (if not hex then
+     match peek_char st 0 with
+     | Some ('e' | 'E') ->
+         fractional := true;
+         st.i <- st.i + 1;
+         (match peek_char st 0 with
+         | Some ('+' | '-') -> st.i <- st.i + 1
+         | _ -> ());
+         consume_digits ()
+     | _ -> ());
+  let text = String.sub st.src start (st.i - start) in
+  let f32 =
+    match peek_char st 0 with
+    | Some ('f' | 'F') when not hex ->
+        st.i <- st.i + 1;
+        true
+    | _ -> false
+  in
+  let v =
+    if hex then
+      match Int64.of_string_opt text with
+      | Some i -> Int64.to_float i
+      | None -> error st ("bad hex literal " ^ text)
+    else
+      match float_of_string_opt text with
+      | Some f -> f
+      | None -> error st ("bad number literal " ^ text)
+  in
+  Tnum (v, if f32 then NFloat32 else if !fractional then NFloat else NInt)
+
+let three_char_syms = [ "..." ]
+let two_char_syms = [ "=="; "~="; "<="; ">="; ".."; "->"; "::" ]
+
+let one_char_syms =
+  [
+    "+"; "-"; "*"; "/"; "%"; "^"; "#"; "("; ")"; "{"; "}"; "["; "]"; ";";
+    ":"; ","; "."; "="; "<"; ">"; "&"; "@"; "`";
+  ]
+
+let rec skip_space_and_comments st =
+  match peek_char st 0 with
+  | Some (' ' | '\t' | '\r') ->
+      st.i <- st.i + 1;
+      skip_space_and_comments st
+  | Some '\n' ->
+      st.i <- st.i + 1;
+      st.line <- st.line + 1;
+      skip_space_and_comments st
+  | Some '-' when peek_char st 1 = Some '-' ->
+      st.i <- st.i + 2;
+      (match (peek_char st 0, peek_char st 1) with
+      | Some '[', Some '[' ->
+          st.i <- st.i + 2;
+          ignore (read_long_bracket st)
+      | _ ->
+          let rec to_eol () =
+            match peek_char st 0 with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                st.i <- st.i + 1;
+                to_eol ()
+          in
+          to_eol ());
+      skip_space_and_comments st
+  | _ -> ()
+
+let next_token st =
+  skip_space_and_comments st;
+  match peek_char st 0 with
+  | None -> Teof
+  | Some c when is_name_start c ->
+      let start = st.i in
+      while
+        match peek_char st 0 with Some c -> is_name_char c | None -> false
+      do
+        st.i <- st.i + 1
+      done;
+      let name = String.sub st.src start (st.i - start) in
+      if is_keyword name then Tkw name else Tname name
+  | Some c when is_digit c -> read_number st
+  | Some '.' when (match peek_char st 1 with Some c -> is_digit c | None -> false) ->
+      read_number st
+  | Some ('"' as q) | Some ('\'' as q) ->
+      st.i <- st.i + 1;
+      Tstr (read_string st q)
+  | Some '[' when peek_char st 1 = Some '[' ->
+      st.i <- st.i + 2;
+      Tstr (read_long_bracket st)
+  | Some _ ->
+      let try_syms n syms =
+        if st.i + n <= String.length st.src then
+          let s = String.sub st.src st.i n in
+          if List.mem s syms then Some s else None
+        else None
+      in
+      let m =
+        match try_syms 3 three_char_syms with
+        | Some s -> Some s
+        | None -> (
+            match try_syms 2 two_char_syms with
+            | Some s -> Some s
+            | None -> try_syms 1 one_char_syms)
+      in
+      (match m with
+      | Some s ->
+          st.i <- st.i + String.length s;
+          Tsym s
+      | None -> error st (Printf.sprintf "unexpected character %C" st.src.[st.i]))
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; toks = [] } in
+  let rec go acc =
+    skip_space_and_comments st;
+    let line = st.line in
+    match next_token st with
+    | Teof -> List.rev ((Teof, line) :: acc)
+    | t -> go ((t, line) :: acc)
+  in
+  Array.of_list (go [])
+
+let pp_token ppf = function
+  | Tname n -> Format.fprintf ppf "name '%s'" n
+  | Tnum (v, _) -> Format.fprintf ppf "number %g" v
+  | Tstr s -> Format.fprintf ppf "string %S" s
+  | Tkw k -> Format.fprintf ppf "'%s'" k
+  | Tsym s -> Format.fprintf ppf "'%s'" s
+  | Teof -> Format.fprintf ppf "<eof>"

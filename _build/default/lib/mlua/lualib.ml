@@ -1,0 +1,328 @@
+(** The base library subset: everything the paper's Lua-side code uses
+    (print, pairs/ipairs, setmetatable, pcall, math, string.format,
+    table.insert/sort, ...). *)
+
+open Value
+
+let output_sink : (string -> unit) ref = ref print_string
+
+let reg tbl name f = raw_set_str tbl name (Func (new_func ~name f))
+
+let arg args i = match List.nth_opt args i with Some v -> v | None -> Nil
+
+let bad_arg name i v =
+  error_str
+    (Printf.sprintf "bad argument #%d to '%s' (%s)" (i + 1) name (type_name v))
+
+let lua_tostring = tostring
+
+let install_base g =
+  reg g "print" (fun args ->
+      !output_sink (String.concat "\t" (List.map lua_tostring args));
+      !output_sink "\n";
+      []);
+  reg g "type" (fun args -> [ Str (type_name (arg args 0)) ]);
+  reg g "tostring" (fun args -> [ Str (lua_tostring (arg args 0)) ]);
+  reg g "tonumber" (fun args ->
+      match arg args 0 with
+      | Num n -> [ Num n ]
+      | Str s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some n -> [ Num n ]
+          | None -> [ Nil ])
+      | _ -> [ Nil ]);
+  reg g "rawget" (fun args ->
+      [ raw_get (to_table (arg args 0)) (arg args 1) ]);
+  reg g "rawset" (fun args ->
+      raw_set (to_table (arg args 0)) (arg args 1) (arg args 2);
+      [ arg args 0 ]);
+  reg g "rawequal" (fun args -> [ Bool (equal (arg args 0) (arg args 1)) ]);
+  reg g "setmetatable" (fun args ->
+      let t = to_table (arg args 0) in
+      (match arg args 1 with
+      | Nil -> t.meta <- None
+      | Table m -> t.meta <- Some m
+      | v -> bad_arg "setmetatable" 1 v);
+      [ arg args 0 ]);
+  reg g "getmetatable" (fun args ->
+      match arg args 0 with
+      | Table { meta = Some m; _ } -> [ Table m ]
+      | Userdata { umeta = Some m; _ } -> [ Table m ]
+      | _ -> [ Nil ]);
+  reg g "error" (fun args -> raise (Lua_error (arg args 0)));
+  reg g "assert" (fun args ->
+      if truthy (arg args 0) then args
+      else
+        match arg args 1 with
+        | Nil -> error_str "assertion failed!"
+        | v -> raise (Lua_error v));
+  reg g "pcall" (fun args ->
+      match args with
+      | f :: rest -> (
+          try Bool true :: Interp.call_value f rest
+          with
+          | Lua_error v -> [ Bool false; v ]
+          | Failure msg -> [ Bool false; Str msg ])
+      | [] -> error_str "pcall: missing function");
+  reg g "unpack" (fun args ->
+      let t = to_table (arg args 0) in
+      let n = length t in
+      List.init n (fun i -> raw_get t (Num (float_of_int (i + 1)))));
+  reg g "select" (fun args ->
+      match args with
+      | Str "#" :: rest -> [ Num (float_of_int (List.length rest)) ]
+      | Num n :: rest ->
+          let i = int_of_float n in
+          let rec drop k l = if k <= 1 then l else drop (k - 1) (List.tl l) in
+          if i >= 1 && i <= List.length rest then drop i rest else []
+      | v :: _ -> bad_arg "select" 0 v
+      | [] -> error_str "select: missing arguments");
+  let pairs_impl args =
+    let t = to_table (arg args 0) in
+    let keys =
+      Hashtbl.fold
+        (fun k _ acc ->
+          (match k with
+          | Knum n -> Num n
+          | Kstr s -> Str s
+          | Kbool b -> Bool b
+          | Kid _ -> Nil)
+          :: acc)
+        t.hash []
+      |> List.filter (fun k -> k <> Nil)
+    in
+    let remaining = ref keys in
+    let iter =
+      new_func ~name:"pairs_iter" (fun _ ->
+          match !remaining with
+          | [] -> [ Nil ]
+          | k :: rest ->
+              remaining := rest;
+              [ k; raw_get t k ])
+    in
+    [ Func iter; arg args 0; Nil ]
+  in
+  reg g "pairs" pairs_impl;
+  reg g "ipairs" (fun args ->
+      let tv = arg args 0 in
+      let t = to_table tv in
+      let iter =
+        new_func ~name:"ipairs_iter" (fun iargs ->
+            let i = to_int (arg iargs 1) + 1 in
+            let v = raw_get t (Num (float_of_int i)) in
+            if v = Nil then [ Nil ] else [ Num (float_of_int i); v ])
+      in
+      [ Func iter; tv; Num 0.0 ])
+
+let format_value spec conv v =
+  let open Printf in
+  match conv with
+  | 'd' | 'i' ->
+      sprintf (Scanf.format_from_string (spec ^ "d") "%d") (to_int v)
+  | 'u' | 'x' | 'X' | 'o' ->
+      sprintf (Scanf.format_from_string (spec ^ String.make 1 conv) "%x") (to_int v)
+  | 'f' | 'g' | 'G' | 'e' | 'E' ->
+      sprintf (Scanf.format_from_string (spec ^ String.make 1 conv) "%f") (to_num v)
+  | 's' -> sprintf (Scanf.format_from_string (spec ^ "s") "%s") (lua_tostring v)
+  | 'c' -> String.make 1 (Char.chr (to_int v land 0xff))
+  | 'q' -> sprintf "%S" (lua_tostring v)
+  | c -> error_str (Printf.sprintf "string.format: unsupported conversion %%%c" c)
+
+let lua_format fmt args =
+  let buf = Buffer.create (String.length fmt) in
+  let n = String.length fmt in
+  let argi = ref 0 in
+  let next_arg () =
+    let v = match List.nth_opt args !argi with Some v -> v | None -> Nil in
+    incr argi;
+    v
+  in
+  let i = ref 0 in
+  while !i < n do
+    if fmt.[!i] = '%' then begin
+      if !i + 1 < n && fmt.[!i + 1] = '%' then begin
+        Buffer.add_char buf '%';
+        i := !i + 2
+      end
+      else begin
+        let start = !i in
+        incr i;
+        while
+          !i < n
+          && (match fmt.[!i] with
+             | '-' | '+' | ' ' | '#' | '0' | '.' -> true
+             | c -> c >= '0' && c <= '9')
+        do
+          incr i
+        done;
+        if !i >= n then error_str "string.format: truncated format";
+        let conv = fmt.[!i] in
+        let spec = String.sub fmt start (!i - start) in
+        incr i;
+        Buffer.add_string buf (format_value spec conv (next_arg ()))
+      end
+    end
+    else begin
+      Buffer.add_char buf fmt.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let install_string g =
+  let st = new_table () in
+  raw_set_str g "string" (Table st);
+  reg st "format" (fun args ->
+      match args with
+      | Str fmt :: rest -> [ Str (lua_format fmt rest) ]
+      | v :: _ -> bad_arg "format" 0 v
+      | [] -> error_str "string.format: missing format");
+  reg st "len" (fun args -> [ Num (float_of_int (String.length (to_str (arg args 0)))) ]);
+  reg st "sub" (fun args ->
+      let s = to_str (arg args 0) in
+      let n = String.length s in
+      let norm i = if i < 0 then max 1 (n + i + 1) else max 1 i in
+      let i = norm (to_int (arg args 1)) in
+      let j =
+        match arg args 2 with
+        | Nil -> n
+        | v -> ( match to_int v with j when j < 0 -> n + j + 1 | j -> min n j)
+      in
+      if i > j then [ Str "" ] else [ Str (String.sub s (i - 1) (j - i + 1)) ]);
+  reg st "rep" (fun args ->
+      let s = to_str (arg args 0) and n = to_int (arg args 1) in
+      let buf = Buffer.create (String.length s * max 0 n) in
+      for _ = 1 to n do
+        Buffer.add_string buf s
+      done;
+      [ Str (Buffer.contents buf) ]);
+  reg st "upper" (fun args -> [ Str (String.uppercase_ascii (to_str (arg args 0))) ]);
+  reg st "lower" (fun args -> [ Str (String.lowercase_ascii (to_str (arg args 0))) ]);
+  reg st "byte" (fun args ->
+      let s = to_str (arg args 0) in
+      let i = match arg args 1 with Nil -> 1 | v -> to_int v in
+      if i >= 1 && i <= String.length s then
+        [ Num (float_of_int (Char.code s.[i - 1])) ]
+      else [ Nil ]);
+  reg st "char" (fun args ->
+      [ Str (String.init (List.length args) (fun i -> Char.chr (to_int (arg args i) land 0xff))) ]);
+  Interp.string_table := Some st
+
+let install_math g =
+  let mt = new_table () in
+  raw_set_str g "math" (Table mt);
+  let f1 name f = reg mt name (fun args -> [ Num (f (to_num (arg args 0))) ]) in
+  f1 "floor" Float.floor;
+  f1 "ceil" Float.ceil;
+  f1 "sqrt" sqrt;
+  f1 "abs" Float.abs;
+  f1 "exp" exp;
+  f1 "log" log;
+  f1 "sin" sin;
+  f1 "cos" cos;
+  f1 "tan" tan;
+  raw_set_str mt "huge" (Num infinity);
+  raw_set_str mt "pi" (Num Float.pi);
+  reg mt "max" (fun args ->
+      match args with
+      | [] -> error_str "math.max: no arguments"
+      | first :: rest ->
+          [ Num (List.fold_left (fun acc v -> Float.max acc (to_num v)) (to_num first) rest) ]);
+  reg mt "min" (fun args ->
+      match args with
+      | [] -> error_str "math.min: no arguments"
+      | first :: rest ->
+          [ Num (List.fold_left (fun acc v -> Float.min acc (to_num v)) (to_num first) rest) ]);
+  reg mt "fmod" (fun args -> [ Num (Float.rem (to_num (arg args 0)) (to_num (arg args 1))) ]);
+  reg mt "pow" (fun args -> [ Num (to_num (arg args 0) ** to_num (arg args 1)) ]);
+  (* Deterministic PRNG so every run reproduces the same results. *)
+  let seed = ref 42 in
+  let next () =
+    seed := (!seed * 1103515245) + 12345;
+    (!seed lsr 16) land 0x7fff
+  in
+  reg mt "randomseed" (fun args ->
+      seed := to_int (arg args 0);
+      []);
+  reg mt "random" (fun args ->
+      let r = float_of_int (next ()) /. 32768.0 in
+      match args with
+      | [] -> [ Num r ]
+      | [ m ] -> [ Num (float_of_int (1 + int_of_float (r *. to_num m))) ]
+      | m :: n :: _ ->
+          let lo = to_num m and hi = to_num n in
+          [ Num (float_of_int (int_of_float lo + int_of_float (r *. (hi -. lo +. 1.)))) ])
+
+let install_table g =
+  let tt = new_table () in
+  raw_set_str g "table" (Table tt);
+  reg tt "insert" (fun args ->
+      let t = to_table (arg args 0) in
+      (match args with
+      | [ _; v ] -> raw_set t (Num (float_of_int (length t + 1))) v
+      | [ _; pos; v ] ->
+          let p = to_int pos and n = length t in
+          for i = n downto p do
+            raw_set t (Num (float_of_int (i + 1))) (raw_get t (Num (float_of_int i)))
+          done;
+          raw_set t (Num (float_of_int p)) v
+      | _ -> error_str "table.insert: wrong number of arguments");
+      []);
+  reg tt "remove" (fun args ->
+      let t = to_table (arg args 0) in
+      let n = length t in
+      if n = 0 then [ Nil ]
+      else begin
+        let p = match arg args 1 with Nil -> n | v -> to_int v in
+        let removed = raw_get t (Num (float_of_int p)) in
+        for i = p to n - 1 do
+          raw_set t (Num (float_of_int i)) (raw_get t (Num (float_of_int (i + 1))))
+        done;
+        raw_set t (Num (float_of_int n)) Nil;
+        [ removed ]
+      end);
+  reg tt "concat" (fun args ->
+      let t = to_table (arg args 0) in
+      let sep = match arg args 1 with Nil -> "" | v -> to_str v in
+      let n = length t in
+      let parts = List.init n (fun i -> lua_tostring (raw_get t (Num (float_of_int (i + 1))))) in
+      [ Str (String.concat sep parts) ]);
+  reg tt "sort" (fun args ->
+      let t = to_table (arg args 0) in
+      let n = length t in
+      let items = Array.init n (fun i -> raw_get t (Num (float_of_int (i + 1)))) in
+      let cmp =
+        match arg args 1 with
+        | Nil ->
+            fun a b ->
+              if truthy (Interp.compare_lt a b) then -1
+              else if truthy (Interp.compare_lt b a) then 1
+              else 0
+        | f ->
+            fun a b ->
+              if truthy (Interp.call1 f [ a; b ]) then -1
+              else if truthy (Interp.call1 f [ b; a ]) then 1
+              else 0
+      in
+      Array.sort cmp items;
+      Array.iteri (fun i v -> raw_set t (Num (float_of_int (i + 1))) v) items;
+      [])
+
+let install_io g =
+  let io = new_table () in
+  raw_set_str g "io" (Table io);
+  reg io "write" (fun args ->
+      List.iter (fun v -> !output_sink (lua_tostring v)) args;
+      []);
+  let os = new_table () in
+  raw_set_str g "os" (Table os);
+  reg os "clock" (fun _ -> [ Num (Sys.time ()) ]);
+  reg os "time" (fun _ -> [ Num (Float.floor (Sys.time () *. 1000.)) ])
+
+let install g =
+  install_base g;
+  install_string g;
+  install_math g;
+  install_table g;
+  install_io g;
+  raw_set_str g "_G" (Table g)

@@ -1,0 +1,453 @@
+(** Recursive-descent parser for the Lua subset, with extension hooks
+    through which the Terra frontend plugs the combined-language syntax
+    ([terra], [struct], [quote], backtick). Hooks see the parser state and
+    may consume tokens; escapes inside Terra re-enter this parser. *)
+
+open Lexer
+
+exception Parse_error of string * int
+
+type t = {
+  toks : (token * int) array;
+  mutable pos : int;
+  mutable ext_expr : (t -> token -> Ast.expr option) option;
+  mutable ext_stat : (t -> token -> Ast.stat_desc option) option;
+}
+
+let create ?ext_expr ?ext_stat src =
+  { toks = tokenize src; pos = 0; ext_expr; ext_stat }
+
+let peek p = fst p.toks.(p.pos)
+let peek2 p = if p.pos + 1 < Array.length p.toks then fst p.toks.(p.pos + 1) else Teof
+let line p = snd p.toks.(p.pos)
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let next p =
+  let t = peek p in
+  advance p;
+  t
+
+let error p msg = raise (Parse_error (msg, line p))
+
+let errorf p fmt = Format.kasprintf (fun s -> error p s) fmt
+
+let accept_sym p s =
+  match peek p with
+  | Tsym s' when s' = s ->
+      advance p;
+      true
+  | _ -> false
+
+let accept_kw p k =
+  match peek p with
+  | Tkw k' when k' = k ->
+      advance p;
+      true
+  | _ -> false
+
+let expect_sym p s =
+  if not (accept_sym p s) then
+    errorf p "expected '%s' but found %a" s pp_token (peek p)
+
+let expect_kw p k =
+  if not (accept_kw p k) then
+    errorf p "expected '%s' but found %a" k pp_token (peek p)
+
+let expect_name p =
+  match peek p with
+  | Tname n ->
+      advance p;
+      n
+  | t -> errorf p "expected a name but found %a" pp_token t
+
+(* Binary operator precedence, Lua 5.1 table. *)
+let binop_of_token = function
+  | Tkw "or" -> Some (Ast.Or, 1, 2)
+  | Tkw "and" -> Some (Ast.And, 2, 3)
+  | Tsym "<" -> Some (Ast.Lt, 3, 4)
+  | Tsym ">" -> Some (Ast.Gt, 3, 4)
+  | Tsym "<=" -> Some (Ast.Le, 3, 4)
+  | Tsym ">=" -> Some (Ast.Ge, 3, 4)
+  | Tsym "==" -> Some (Ast.Eq, 3, 4)
+  | Tsym "~=" -> Some (Ast.Ne, 3, 4)
+  | Tsym ".." -> Some (Ast.Concat, 5, 4)  (* right associative *)
+  | Tsym "->" -> Some (Ast.Arrow, 3, 2)  (* right associative *)
+  | Tsym "+" -> Some (Ast.Add, 6, 7)
+  | Tsym "-" -> Some (Ast.Sub, 6, 7)
+  | Tsym "*" -> Some (Ast.Mul, 7, 8)
+  | Tsym "/" -> Some (Ast.Div, 7, 8)
+  | Tsym "%" -> Some (Ast.Mod, 7, 8)
+  | Tsym "^" -> Some (Ast.Pow, 10, 9)  (* right associative, above unary *)
+  | _ -> None
+
+let unary_prec = 8
+
+let rec parse_expr p = parse_binexpr p 0
+
+and parse_binexpr p limit =
+  let left =
+    match peek p with
+    | Tkw "not" ->
+        advance p;
+        Ast.Eun (Ast.Not, parse_binexpr p unary_prec)
+    | Tsym "-" ->
+        advance p;
+        Ast.Eun (Ast.Neg, parse_binexpr p unary_prec)
+    | Tsym "#" ->
+        advance p;
+        Ast.Eun (Ast.Len, parse_binexpr p unary_prec)
+    | _ -> parse_simple_expr p
+  in
+  let rec loop left =
+    match binop_of_token (peek p) with
+    | Some (op, lprec, rprec) when lprec > limit ->
+        advance p;
+        let right = parse_binexpr p (rprec - 1) in
+        loop (Ast.Ebin (op, left, right))
+    | _ -> left
+  in
+  loop left
+
+and parse_simple_expr p =
+  let ext_result =
+    match p.ext_expr with Some h -> h p (peek p) | None -> None
+  in
+  match ext_result with
+  | Some e -> e
+  | None -> (
+      match peek p with
+      | Tkw "nil" ->
+          advance p;
+          Ast.Enil
+      | Tkw "true" ->
+          advance p;
+          Ast.Etrue
+      | Tkw "false" ->
+          advance p;
+          Ast.Efalse
+      | Tnum (v, _) ->
+          advance p;
+          Ast.Enum v
+      | Tstr s ->
+          advance p;
+          Ast.Estr s
+      | Tkw "function" ->
+          advance p;
+          let params, body = parse_func_body p in
+          Ast.Efunc (params, body)
+      | Tsym "{" -> parse_table p
+      | _ -> parse_suffixed p)
+
+and parse_table p =
+  expect_sym p "{";
+  let fields = ref [] in
+  let rec go () =
+    if accept_sym p "}" then ()
+    else begin
+      (match (peek p, peek2 p) with
+      | Tname n, Tsym "=" ->
+          advance p;
+          advance p;
+          fields := Ast.Fnamed (n, parse_expr p) :: !fields
+      | Tsym "[", _ ->
+          advance p;
+          let k = parse_expr p in
+          expect_sym p "]";
+          expect_sym p "=";
+          fields := Ast.Fkey (k, parse_expr p) :: !fields
+      | _ -> fields := Ast.Fpos (parse_expr p) :: !fields);
+      if accept_sym p "," || accept_sym p ";" then go () else expect_sym p "}"
+    end
+  in
+  go ();
+  Ast.Etable (List.rev !fields)
+
+and parse_primary p =
+  match peek p with
+  | Tname n ->
+      advance p;
+      Ast.Evar n
+  | Tsym "(" ->
+      advance p;
+      let e = parse_expr p in
+      expect_sym p ")";
+      Ast.Eparen e
+  | t -> errorf p "unexpected %a in expression" pp_token t
+
+and parse_args p =
+  match peek p with
+  | Tsym "(" ->
+      advance p;
+      let args = if accept_sym p ")" then [] else parse_exprlist_close p in
+      args
+  | Tstr s ->
+      advance p;
+      [ Ast.Estr s ]
+  | Tsym "{" -> [ parse_table p ]
+  | t -> errorf p "expected arguments but found %a" pp_token t
+
+and parse_exprlist_close p =
+  let e = parse_expr p in
+  if accept_sym p "," then e :: parse_exprlist_close p
+  else begin
+    expect_sym p ")";
+    [ e ]
+  end
+
+and parse_suffixed p =
+  let base = parse_primary p in
+  parse_suffixes p base
+
+and parse_suffixes p base =
+  match peek p with
+  | Tsym "." ->
+      advance p;
+      let n = expect_name p in
+      parse_suffixes p (Ast.Eindex (base, Ast.Estr n))
+  | Tsym "[" ->
+      advance p;
+      let k = parse_expr p in
+      expect_sym p "]";
+      parse_suffixes p (Ast.Eindex (base, k))
+  | Tsym ":" ->
+      advance p;
+      let m = expect_name p in
+      let args = parse_args p in
+      parse_suffixes p (Ast.Emethod (base, m, args))
+  | Tsym "(" | Tstr _ | Tsym "{" ->
+      let args = parse_args p in
+      parse_suffixes p (Ast.Ecall (base, args))
+  | _ -> base
+
+and parse_func_body p =
+  expect_sym p "(";
+  let params = ref [] in
+  if not (accept_sym p ")") then begin
+    let rec go () =
+      params := expect_name p :: !params;
+      if accept_sym p "," then go () else expect_sym p ")"
+    in
+    go ()
+  end;
+  let body = parse_block p in
+  expect_kw p "end";
+  (List.rev !params, body)
+
+and parse_exprlist p =
+  let e = parse_expr p in
+  if accept_sym p "," then e :: parse_exprlist p else [ e ]
+
+and block_follows p =
+  match peek p with
+  | Teof | Tkw ("end" | "else" | "elseif" | "until") -> true
+  | _ -> false
+
+and parse_block p =
+  let stats = ref [] in
+  let rec go () =
+    if block_follows p then ()
+    else begin
+      match parse_statement p with
+      | None -> go ()  (* bare ';' *)
+      | Some s ->
+          stats := s :: !stats;
+          (* return must close the block *)
+          (match s.Ast.sd with
+          | Ast.Sreturn _ -> ()
+          | _ -> go ())
+    end
+  in
+  go ();
+  List.rev !stats
+
+and lhs_of_expr p = function
+  | Ast.Evar n -> Ast.Lvar n
+  | Ast.Eindex (b, k) -> Ast.Lindex (b, k)
+  | _ -> error p "cannot assign to this expression"
+
+and parse_statement p : Ast.stat option =
+  let ln = line p in
+  let mk sd = Some (Ast.stat ~line:ln sd) in
+  let ext_result =
+    match p.ext_stat with Some h -> h p (peek p) | None -> None
+  in
+  match ext_result with
+  | Some sd -> mk sd
+  | None -> (
+      match peek p with
+      | Tsym ";" ->
+          advance p;
+          None
+      | Tkw "local"
+        when (match peek2 p with Tkw ("terra" | "struct") -> true | _ -> false)
+             && p.ext_stat <> None -> (
+          (* local terra f ... / local struct S ...: bind the name locally
+             before the extension statement resolves it *)
+          advance p;
+          let name =
+            if p.pos + 1 < Array.length p.toks then
+              match fst p.toks.(p.pos + 1) with Tname n -> Some n | _ -> None
+            else None
+          in
+          match ((Option.get p.ext_stat) p (peek p), name) with
+          | Some (Ast.Sprim (what, run)), Some n ->
+              mk
+                (Ast.Sprim
+                   ( "local " ^ what,
+                     fun scope ->
+                       Value.scope_define scope n Value.Nil;
+                       run scope ))
+          | Some sd, _ -> mk sd
+          | None, _ -> error p "expected a terra or struct definition")
+      | Tkw "local" -> (
+          advance p;
+          match peek p with
+          | Tkw "function" ->
+              advance p;
+              let name = expect_name p in
+              let params, body = parse_func_body p in
+              mk (Ast.Slocalfunc (name, params, body))
+          | _ ->
+              let rec names acc =
+                let n = expect_name p in
+                if accept_sym p "," then names (n :: acc)
+                else List.rev (n :: acc)
+              in
+              let ns = names [] in
+              let es = if accept_sym p "=" then parse_exprlist p else [] in
+              mk (Ast.Slocal (ns, es)))
+      | Tkw "function" ->
+          advance p;
+          let first = expect_name p in
+          let rec path acc =
+            if accept_sym p "." then path (expect_name p :: acc)
+            else List.rev acc
+          in
+          let fields = path [] in
+          let is_method = accept_sym p ":" in
+          let meth = if is_method then Some (expect_name p) else None in
+          let params, body = parse_func_body p in
+          let params =
+            if is_method then "self" :: params else params
+          in
+          let target =
+            List.fold_left
+              (fun acc f -> Ast.Eindex (acc, Ast.Estr f))
+              (Ast.Evar first) fields
+          in
+          let target =
+            match meth with
+            | Some m -> Ast.Eindex (target, Ast.Estr m)
+            | None -> target
+          in
+          mk
+            (Ast.Sassign
+               ([ lhs_of_expr p target ], [ Ast.Efunc (params, body) ]))
+      | Tkw "if" ->
+          advance p;
+          let rec arms () =
+            let c = parse_expr p in
+            expect_kw p "then";
+            let b = parse_block p in
+            match peek p with
+            | Tkw "elseif" ->
+                advance p;
+                let rest, els = arms () in
+                ((c, b) :: rest, els)
+            | Tkw "else" ->
+                advance p;
+                let els = parse_block p in
+                expect_kw p "end";
+                ([ (c, b) ], els)
+            | _ ->
+                expect_kw p "end";
+                ([ (c, b) ], [])
+          in
+          let arms, els = arms () in
+          mk (Ast.Sif (arms, els))
+      | Tkw "while" ->
+          advance p;
+          let c = parse_expr p in
+          expect_kw p "do";
+          let b = parse_block p in
+          expect_kw p "end";
+          mk (Ast.Swhile (c, b))
+      | Tkw "repeat" ->
+          advance p;
+          let b = parse_block p in
+          expect_kw p "until";
+          let c = parse_expr p in
+          mk (Ast.Srepeat (b, c))
+      | Tkw "for" -> (
+          advance p;
+          let n1 = expect_name p in
+          match peek p with
+          | Tsym "=" ->
+              advance p;
+              let e1 = parse_expr p in
+              expect_sym p ",";
+              let e2 = parse_expr p in
+              let e3 = if accept_sym p "," then Some (parse_expr p) else None in
+              expect_kw p "do";
+              let b = parse_block p in
+              expect_kw p "end";
+              mk (Ast.Sfornum (n1, e1, e2, e3, b))
+          | _ ->
+              let rec names acc =
+                if accept_sym p "," then names (expect_name p :: acc)
+                else List.rev acc
+              in
+              let ns = n1 :: names [] in
+              expect_kw p "in";
+              let es = parse_exprlist p in
+              expect_kw p "do";
+              let b = parse_block p in
+              expect_kw p "end";
+              mk (Ast.Sforin (ns, es, b)))
+      | Tkw "do" ->
+          advance p;
+          let b = parse_block p in
+          expect_kw p "end";
+          mk (Ast.Sdo b)
+      | Tkw "return" ->
+          advance p;
+          let es = if block_follows p || peek p = Tsym ";" then [] else parse_exprlist p in
+          ignore (accept_sym p ";");
+          mk (Ast.Sreturn es)
+      | Tkw "break" ->
+          advance p;
+          mk Ast.Sbreak
+      | _ ->
+          let e = parse_suffixed p in
+          if accept_sym p "=" || peek p = Tsym "," then begin
+            let lhss = ref [ lhs_of_expr p e ] in
+            (* we may have consumed '=' already, or be at ',' *)
+            let consumed_eq = p.toks.(p.pos - 1) |> fun (t, _) -> t = Tsym "=" in
+            if not consumed_eq then begin
+              let rec more () =
+                if accept_sym p "," then begin
+                  lhss := lhs_of_expr p (parse_suffixed p) :: !lhss;
+                  more ()
+                end
+                else expect_sym p "="
+              in
+              more ()
+            end;
+            let es = parse_exprlist p in
+            mk (Ast.Sassign (List.rev !lhss, es))
+          end
+          else
+            match e with
+            | Ast.Ecall _ | Ast.Emethod _ | Ast.Eprim _ -> mk (Ast.Scall e)
+            | _ -> error p "syntax error: expression is not a statement")
+
+let parse_program p =
+  let b = parse_block p in
+  (match peek p with
+  | Teof -> ()
+  | t -> errorf p "unexpected %a after program" pp_token t);
+  b
+
+let parse_string ?ext_expr ?ext_stat src =
+  parse_program (create ?ext_expr ?ext_stat src)

@@ -1,0 +1,204 @@
+(** Runtime values of the Lua subset.
+
+    Userdata payloads use an extensible variant so the Terra library can
+    make Terra functions, types, quotations, and symbols first-class Lua
+    values — the heart of the paper's shared-environment design — without
+    [mlua] depending on Terra. *)
+
+type u = ..
+
+type t =
+  | Nil
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Table of table
+  | Func of func
+  | Userdata of userdata
+
+and table = {
+  tid : int;
+  hash : (key, t) Hashtbl.t;
+  mutable meta : table option;
+}
+
+and key = Knum of float | Kstr of string | Kbool of bool | Kid of int
+
+and func = {
+  fid : int;
+  fname : string;
+  call : t list -> t list;
+}
+
+and userdata = {
+  uid : int;
+  mutable umeta : table option;
+  u : u;
+  utag : string;  (** type name reported by [type()] and used in errors *)
+}
+
+(** Lua runtime error carrying a Lua value (usually a string). *)
+exception Lua_error of t
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let new_table () = { tid = fresh_id (); hash = Hashtbl.create 8; meta = None }
+
+let new_func ?(name = "?") call = { fid = fresh_id (); fname = name; call }
+
+let new_userdata ?(tag = "userdata") u =
+  { uid = fresh_id (); umeta = None; u; utag = tag }
+
+let key_of_value = function
+  | Nil -> None
+  | Bool b -> Some (Kbool b)
+  | Num n -> Some (Knum n)
+  | Str s -> Some (Kstr s)
+  | Table t -> Some (Kid t.tid)
+  | Func f -> Some (Kid f.fid)
+  | Userdata u -> Some (Kid u.uid)
+
+let error_str msg = raise (Lua_error (Str msg))
+
+let raw_get tbl v =
+  match key_of_value v with
+  | None -> Nil
+  | Some k -> ( match Hashtbl.find_opt tbl.hash k with Some x -> x | None -> Nil)
+
+let raw_set tbl k v =
+  match key_of_value k with
+  | None -> error_str "table index is nil"
+  | Some key -> (
+      match v with
+      | Nil -> Hashtbl.remove tbl.hash key
+      | _ -> Hashtbl.replace tbl.hash key v)
+
+let raw_get_str tbl s = raw_get tbl (Str s)
+let raw_set_str tbl s v = raw_set tbl (Str s) v
+
+(** Lua [#t]: the number of consecutive integer keys from 1. *)
+let length tbl =
+  let rec go n =
+    if Hashtbl.mem tbl.hash (Knum (float_of_int (n + 1))) then go (n + 1) else n
+  in
+  go 0
+
+let truthy = function Nil | Bool false -> false | _ -> true
+
+let type_name = function
+  | Nil -> "nil"
+  | Bool _ -> "boolean"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Table _ -> "table"
+  | Func _ -> "function"
+  | Userdata u -> u.utag
+
+let num_to_string n =
+  if Float.is_integer n && Float.abs n < 1e15 then
+    Printf.sprintf "%.0f" n
+  else Printf.sprintf "%.14g" n
+
+let rec tostring v =
+  let with_meta meta default =
+    match meta with
+    | Some m -> (
+        match raw_get_str m "__tostring" with
+        | Func f -> (
+            match f.call [ v ] with s :: _ -> tostring s | [] -> default)
+        | _ -> default)
+    | None -> default
+  in
+  match v with
+  | Nil -> "nil"
+  | Bool b -> string_of_bool b
+  | Num n -> num_to_string n
+  | Str s -> s
+  | Table t -> with_meta t.meta (Printf.sprintf "table: 0x%06x" t.tid)
+  | Func f -> Printf.sprintf "function: %s" f.fname
+  | Userdata u -> with_meta u.umeta (Printf.sprintf "%s: 0x%06x" u.utag u.uid)
+
+let equal a b =
+  match (a, b) with
+  | Nil, Nil -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Table x, Table y -> x.tid = y.tid
+  | Func x, Func y -> x.fid = y.fid
+  | Userdata x, Userdata y -> x.uid = y.uid
+  | _ -> false
+
+(** Lexical scopes, shared between Lua evaluation and Terra specialization
+    (the paper's environment [Γ]). Variables are boxes so closures and
+    assignment interact correctly. *)
+type scope = {
+  vars : (string, t ref) Hashtbl.t;
+  parent : scope option;
+  gtable : table option;  (** globals, set on the root scope only *)
+}
+
+let new_scope ?parent () =
+  { vars = Hashtbl.create 8; parent; gtable = None }
+
+let root_scope globals = { vars = Hashtbl.create 8; parent = None; gtable = Some globals }
+
+let rec scope_find scope name =
+  match Hashtbl.find_opt scope.vars name with
+  | Some box -> Some box
+  | None -> (
+      match scope.parent with
+      | Some p -> scope_find p name
+      | None -> None)
+
+let rec scope_globals scope =
+  match scope.parent with
+  | Some p -> scope_globals p
+  | None -> scope.gtable
+
+let scope_define scope name v = Hashtbl.replace scope.vars name (ref v)
+
+(** Resolve a name: locals by lexical scope, then the globals table.
+    This single function is the shared environment of the paper — Terra
+    specialization resolves escaped variables through it too. *)
+let scope_lookup scope name =
+  match scope_find scope name with
+  | Some box -> !box
+  | None -> (
+      match scope_globals scope with
+      | Some g -> raw_get_str g name
+      | None -> Nil)
+
+let scope_assign scope name v =
+  match scope_find scope name with
+  | Some box -> box := v
+  | None -> (
+      match scope_globals scope with
+      | Some g -> raw_set_str g name v
+      | None -> error_str ("assignment to unknown variable " ^ name))
+
+let to_num ?(what = "value") = function
+  | Num n -> n
+  | Str s as v -> (
+      match float_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> error_str (Printf.sprintf "cannot convert %s to number" (tostring v)))
+  | v -> error_str (Printf.sprintf "%s: expected number, got %s" what (type_name v))
+
+let to_int ?what v = int_of_float (to_num ?what v)
+
+let to_str = function
+  | Str s -> s
+  | v -> error_str ("expected string, got " ^ type_name v)
+
+let to_table = function
+  | Table t -> t
+  | v -> error_str ("expected table, got " ^ type_name v)
+
+let to_func = function
+  | Func f -> f
+  | v -> error_str ("expected function, got " ^ type_name v)

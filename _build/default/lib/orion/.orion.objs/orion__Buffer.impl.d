@@ -1,0 +1,1 @@
+lib/orion/buffer.ml: Float Terra Timage Tvm

@@ -1,0 +1,1 @@
+lib/orion/codegen.ml: Array Buffer Context Func Hashtbl Int64 Ir Jit List Printf Stage Tast Terra Tvm Types

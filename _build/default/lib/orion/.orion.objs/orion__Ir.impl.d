@@ -1,0 +1,1 @@
+lib/orion/ir.ml: Hashtbl List Terra

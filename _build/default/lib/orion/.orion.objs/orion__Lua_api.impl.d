@@ -1,0 +1,1 @@
+lib/orion/lua_api.ml: Buffer Codegen Ir List Mlua Terra

@@ -1,0 +1,1 @@
+lib/orion/workloads.ml: Buffer Codegen Context Ir Stage Terra Types

@@ -1,0 +1,69 @@
+(** Padded float32 image buffers in VM memory: every Orion buffer has a
+    [pad]-pixel zeroed border so stencils read neighbours without bounds
+    checks — the paper's zero boundary condition. *)
+
+module Mem = Tvm.Mem
+module Alloc = Tvm.Alloc
+
+type t = {
+  ctx : Terra.Context.t;
+  addr : int;
+  w : int;
+  h : int;
+  pad : int;
+  stride : int;  (** pixels per padded row *)
+}
+
+let vm t = t.ctx.Terra.Context.vm
+let rows t = t.h + (2 * t.pad)
+
+let alloc ctx ~w ~h ~pad =
+  let stride = w + (2 * pad) in
+  let bytes = stride * (h + (2 * pad)) * 4 in
+  let addr = Alloc.malloc ctx.Terra.Context.vm.Tvm.Vm.alloc bytes in
+  Mem.fill ctx.Terra.Context.vm.Tvm.Vm.mem addr bytes '\000';
+  { ctx; addr; w; h; pad; stride }
+
+let free t = Alloc.free (vm t).Tvm.Vm.alloc t.addr
+
+(** Address of the pixel (0,0), past the padding. *)
+let origin t = t.addr + (4 * ((t.pad * t.stride) + t.pad))
+
+let get t x y = Mem.get_f32 (vm t).Tvm.Vm.mem (origin t + (4 * ((y * t.stride) + x)))
+let set t x y v = Mem.set_f32 (vm t).Tvm.Vm.mem (origin t + (4 * ((y * t.stride) + x))) v
+
+let fill t f =
+  for y = 0 to t.h - 1 do
+    for x = 0 to t.w - 1 do
+      set t x y (f x y)
+    done
+  done
+
+let of_image ?(pad = 8) (img : Timage.Image.t) =
+  let b = alloc img.Timage.Image.ctx ~w:img.Timage.Image.width ~h:img.Timage.Image.height ~pad in
+  fill b (fun x y -> Timage.Image.get img x y);
+  b
+
+let to_image t =
+  let img = Timage.Image.alloc t.ctx ~width:t.w ~height:t.h in
+  Timage.Image.fill img (fun x y -> get t x y);
+  img
+
+let checksum t =
+  let acc = ref 0.0 in
+  for y = 0 to t.h - 1 do
+    for x = 0 to t.w - 1 do
+      acc := !acc +. get t x y
+    done
+  done;
+  !acc
+
+let max_abs_diff ?(border = 0) a b =
+  if a.w <> b.w || a.h <> b.h then invalid_arg "buffer size mismatch";
+  let worst = ref 0.0 in
+  for y = border to a.h - 1 - border do
+    for x = border to a.w - 1 - border do
+      worst := Float.max !worst (Float.abs (get a x y -. get b x y))
+    done
+  done;
+  !worst

@@ -1,0 +1,460 @@
+(** Orion's compiler: lowers a scheduled image-expression DAG to one Terra
+    function via the staging API (the paper: "we use Terra's staging
+    annotations to generate the code for the inner loop").
+
+    Schedules map to loop structure:
+    - materialized nodes each get a full padded buffer and their own loop
+      nest;
+    - inlined nodes are substituted into their consumers;
+    - line-buffered producers are fused into their consumer's y-loop,
+      writing a circular buffer of a few rows (a scratchpad that stays in
+      cache — the point of the schedule);
+    - any pipeline can be vectorized by width V, turning the inner x-loop
+      into vector loads/stores. *)
+
+open Terra
+open Stage
+open Stage.Infix
+
+exception Schedule_error of string
+
+type member = {
+  node : Ir.node;
+  resolved : Ir.t;  (** body with inline nodes substituted *)
+  mutable lead : int;  (** rows ahead of the group's consumer *)
+  mutable depth : int;  (** circular-buffer rows (line-buffered only) *)
+}
+
+type group =
+  | Stencil of { consumer : member; producers : member list }
+      (** producers are line-buffered, computed furthest-ahead first *)
+  | External of { node : Ir.node; fn : Func.t; inputs : Ir.esrc list }
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling analysis *)
+
+let resolved_body (n : Ir.node) =
+  match n.Ir.body with
+  | Ir.Expr e -> Ir.resolve_inline e
+  | Ir.Extern _ -> invalid_arg "resolved_body: extern"
+
+let rec scan_refs f = function
+  | Ir.Const _ | Ir.In _ -> ()
+  | Ir.Ref (p, dx, dy) -> f p dx dy
+  | Ir.Bin (_, a, b) ->
+      scan_refs f a;
+      scan_refs f b
+
+let build_groups (nodes : Ir.node list) : group list =
+  let claimed = Hashtbl.create 8 in
+  List.filter_map
+    (fun (n : Ir.node) ->
+      match (n.Ir.sched, n.Ir.body) with
+      | Ir.Inline, _ | Ir.LineBuffer, _ -> None
+      | Ir.Materialize, Ir.Extern (fn, inputs) ->
+          Some (External { node = n; fn; inputs })
+      | Ir.Materialize, Ir.Expr _ ->
+          let members = ref [] in
+          let rec collect (c : member) =
+            scan_refs
+              (fun p _ _ ->
+                if p.Ir.sched = Ir.LineBuffer then
+                  if Hashtbl.mem claimed p.Ir.id then begin
+                    if
+                      not
+                        (List.exists (fun m -> m.node.Ir.id = p.Ir.id) !members)
+                    then
+                      raise
+                        (Schedule_error
+                           (Printf.sprintf
+                              "line-buffered stage '%s' feeds more than one \
+                               materialized consumer"
+                              p.Ir.name))
+                  end
+                  else begin
+                    Hashtbl.replace claimed p.Ir.id ();
+                    let m =
+                      {
+                        node = p;
+                        resolved = resolved_body p;
+                        lead = 0;
+                        depth = 0;
+                      }
+                    in
+                    members := m :: !members;
+                    collect m
+                  end)
+              c.resolved
+          in
+          let consumer =
+            { node = n; resolved = resolved_body n; lead = 0; depth = 0 }
+          in
+          collect consumer;
+          let all = consumer :: !members in
+          let find id = List.find (fun m -> m.node.Ir.id = id) all in
+          (* leads: a producer is computed max-dy rows ahead of each
+             consumer that reads it *)
+          let rec assign_leads (c : member) =
+            scan_refs
+              (fun p _ _ ->
+                if p.Ir.sched = Ir.LineBuffer then begin
+                  let pm = find p.Ir.id in
+                  let _, hi = Ir.y_extent_of c.resolved p in
+                  if c.lead + hi > pm.lead then begin
+                    pm.lead <- c.lead + hi;
+                    assign_leads pm
+                  end
+                end)
+              c.resolved
+          in
+          List.iter assign_leads all;
+          (* circular depth: newest row written minus oldest row read *)
+          List.iter
+            (fun pm ->
+              let oldest = ref pm.lead in
+              List.iter
+                (fun (c : member) ->
+                  scan_refs
+                    (fun p _ dy ->
+                      if p.Ir.id = pm.node.Ir.id then
+                        oldest := min !oldest (c.lead + dy))
+                    c.resolved)
+                all;
+              pm.depth <- pm.lead - !oldest + 1)
+            !members;
+          let producers =
+            List.sort (fun a b -> compare b.lead a.lead) !members
+          in
+          Some (Stencil { consumer; producers }))
+    nodes
+
+(* ------------------------------------------------------------------ *)
+(* Code generation *)
+
+type src_key = Kin of int | Knode of int
+
+type source =
+  | SFull of Tast.sym  (** raw base pointer of a padded full buffer *)
+  | SCirc of Tast.sym * int  (** raw circular-buffer base, depth in rows *)
+
+type genv = {
+  gctx : Context.t;
+  w : int;
+  h : int;
+  pad : int;
+  stride : int;
+  vec : int;
+  sources : (src_key, source) Hashtbl.t;
+  zr : Tast.sym;  (** zero-row buffer base *)
+}
+
+let f32p = Types.ptr Types.float_
+
+let key_of_rowkey = function
+  | Ir.Rin (i, dy) -> (Kin i, dy)
+  | Ir.Rnode (id, dy) -> (Knode id, dy)
+
+(* Row pointer (x origin) for [source] at absolute row [yrow]. *)
+let row_ptr_stmts g (src : source) (yrow : q) (rp : Tast.sym) : st list =
+  match src with
+  | SFull base ->
+      [
+        defvar rp ~ty:f32p
+          ~init:
+            (var base
+            +! (((yrow +! int_ g.pad) *! int_ g.stride) +! int_ g.pad));
+      ]
+  | SCirc (base, depth) ->
+      (* rows outside [0,h) read as zero via the shared zero row *)
+      let kd = ((g.pad / depth) + 2) * depth in
+      [
+        defvar rp ~ty:f32p
+          ~init:(var g.zr +! int_ ((g.pad * g.stride) + g.pad));
+        sif
+          ((yrow >=! int_ 0) &&! (yrow <! int_ g.h))
+          [
+            assign1 (var rp)
+              (var base
+              +! ((((yrow +! int_ kd) %! int_ depth) *! int_ g.stride)
+                 +! int_ g.pad));
+          ]
+          [];
+      ]
+
+(* The write row pointer for a circular buffer (always in range). *)
+let circ_dst g base depth (yrow : q) (rp : Tast.sym) : st =
+  let kd = ((g.pad / depth) + 2) * depth in
+  defvar rp ~ty:f32p
+    ~init:
+      (var base
+      +! ((((yrow +! int_ kd) %! int_ depth) *! int_ g.stride) +! int_ g.pad))
+
+let full_dst g base (yrow : q) (rp : Tast.sym) : st =
+  defvar rp ~ty:f32p
+    ~init:
+      (var base +! (((yrow +! int_ g.pad) *! int_ g.stride) +! int_ g.pad))
+
+(* Scalar or vector code for the expression at column [xq]. *)
+let rec expr_code g rowptrs ~vecmode (xq : q) (e : Ir.t) : q =
+  match e with
+  | Ir.Const c ->
+      if vecmode then cast (Types.vector Types.float_ g.vec) (f32 c)
+      else f32 c
+  | Ir.In (i, dx, dy) -> atom_code g rowptrs ~vecmode xq (Kin i, dy) dx
+  | Ir.Ref (n, dx, dy) ->
+      atom_code g rowptrs ~vecmode xq (Knode n.Ir.id, dy) dx
+  | Ir.Bin (op, a, b) ->
+      binop op
+        (expr_code g rowptrs ~vecmode xq a)
+        (expr_code g rowptrs ~vecmode xq b)
+
+and atom_code g rowptrs ~vecmode (xq : q) key dx =
+  let rp =
+    try List.assoc key rowptrs
+    with Not_found -> invalid_arg "atom_code: missing row pointer"
+  in
+  if vecmode then
+    deref
+      (cast
+         (Types.ptr (Types.vector Types.float_ g.vec))
+         (var rp +! (xq +! int_ dx)))
+  else index (var rp) (xq +! int_ dx)
+
+(* One output row: hoisted row pointers, then the (possibly vectorized)
+   x loop. [dst_stmt]/[dst] provide the destination row pointer. *)
+let gen_row g (body : Ir.t) ~(yrow : q) ~(dst_stmts : st list)
+    ~(dst : Tast.sym) : st list =
+  let keys = Ir.row_accesses body in
+  let rowptrs =
+    List.map (fun k -> (key_of_rowkey k |> fst, snd (key_of_rowkey k), sym ~name:"rp" ())) keys
+  in
+  let ptr_stmts =
+    List.concat_map
+      (fun (sk, dy, rp) ->
+        let src =
+          match Hashtbl.find_opt g.sources sk with
+          | Some s -> s
+          | None -> invalid_arg "gen_row: unknown source"
+        in
+        row_ptr_stmts g src (yrow +! int_ dy) rp)
+      rowptrs
+  in
+  let rowptrs_assoc = List.map (fun (sk, dy, rp) -> ((sk, dy), rp)) rowptrs in
+  let x = sym ~name:"x" () in
+  let vecmode = g.vec > 1 in
+  let body_q = expr_code g rowptrs_assoc ~vecmode (var x) body in
+  let store =
+    if vecmode then
+      assign1
+        (deref
+           (cast (Types.ptr (Types.vector Types.float_ g.vec)) (var dst +! var x)))
+        body_q
+    else assign1 (index (var dst) (var x)) body_q
+  in
+  dst_stmts
+  @ ptr_stmts
+  @ [ sfor x (int_ 0) (int_ g.w) ~step:(int_ g.vec) [ store ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole pipeline *)
+
+type param_role =
+  | PIn of int
+  | POut
+  | PInter of int  (** node id *)
+  | PCirc of int
+  | PZero
+
+type compiled = {
+  cfunc : Func.t;
+  cctx : Context.t;
+  w : int;
+  h : int;
+  pad : int;
+  vec : int;
+  ninputs : int;
+  roles : param_role list;
+  intermediates : (int * Buffer.t) list;
+  circs : (int * Buffer.t) list;
+  zerorow : Buffer.t;
+}
+
+let compile ctx ?(vectorize = 1) ~w ~h ~ninputs (root : Ir.t) : compiled =
+  if w mod vectorize <> 0 then
+    invalid_arg "Orion: width must be a multiple of the vector width";
+  let root_node =
+    match root with
+    | Ir.Ref (n, 0, 0) when n.Ir.sched = Ir.Materialize -> n
+    | e -> (
+        match Ir.materialize ~name:"output" e with
+        | Ir.Ref (n, _, _) -> n
+        | _ -> assert false)
+  in
+  let all_nodes = Ir.topo_nodes (Ir.Ref (root_node, 0, 0)) in
+  let pad =
+    List.fold_left
+      (fun acc (n : Ir.node) ->
+        match n.Ir.body with
+        | Ir.Expr e -> max acc (Ir.max_offset (Ir.resolve_inline e))
+        | Ir.Extern _ -> acc)
+      1 all_nodes
+  in
+  let stride = w + (2 * pad) in
+  let groups = build_groups all_nodes in
+  (* allocate buffers and parameters *)
+  let sources = Hashtbl.create 16 in
+  let params = ref [] and roles = ref [] in
+  let add_param name role =
+    let s = sym ~name () in
+    params := (s, f32p) :: !params;
+    roles := role :: !roles;
+    s
+  in
+  let input_syms =
+    List.init ninputs (fun i ->
+        let s = add_param (Printf.sprintf "in%d" i) (PIn i) in
+        Hashtbl.replace sources (Kin i) (SFull s);
+        s)
+  in
+  ignore input_syms;
+  let out_sym = add_param "out" POut in
+  Hashtbl.replace sources (Knode root_node.Ir.id) (SFull out_sym);
+  let intermediates = ref [] and circs = ref [] in
+  List.iter
+    (fun (g : group) ->
+      match g with
+      | External { node; _ } | Stencil { consumer = { node; _ }; _ }
+        when node.Ir.id = root_node.Ir.id ->
+          ()
+      | External { node; _ } | Stencil { consumer = { node; _ }; _ } ->
+          let s = add_param node.Ir.name (PInter node.Ir.id) in
+          Hashtbl.replace sources (Knode node.Ir.id) (SFull s);
+          intermediates :=
+            (node.Ir.id, Buffer.alloc ctx ~w ~h ~pad) :: !intermediates)
+    groups;
+  List.iter
+    (fun (g : group) ->
+      match g with
+      | External _ -> ()
+      | Stencil { producers; _ } ->
+          List.iter
+            (fun pm ->
+              let s =
+                add_param (pm.node.Ir.name ^ "_lb") (PCirc pm.node.Ir.id)
+              in
+              Hashtbl.replace sources (Knode pm.node.Ir.id)
+                (SCirc (s, pm.depth));
+              circs :=
+                (pm.node.Ir.id, Buffer.alloc ctx ~w ~h:pm.depth ~pad) :: !circs)
+            producers)
+    groups;
+  let zerorow = Buffer.alloc ctx ~w ~h:1 ~pad in
+  let zr = add_param "zerorow" PZero in
+  let g =
+    { gctx = ctx; w; h; pad; stride; vec = max 1 vectorize; sources; zr }
+  in
+  (* generate each group's loops *)
+  let base_of id =
+    match Hashtbl.find_opt sources (Knode id) with
+    | Some (SFull s) -> s
+    | Some (SCirc (s, _)) -> s
+    | None -> invalid_arg "unknown node buffer"
+  in
+  let origin s = var s +! int_ ((pad * stride) + pad) in
+  let group_stmts (grp : group) : st list =
+    match grp with
+    | External { node; fn; inputs } ->
+        let src_origin = function
+          | Ir.Snode n -> origin (base_of n.Ir.id)
+          | Ir.Sinput i -> (
+              match Hashtbl.find_opt sources (Kin i) with
+              | Some (SFull s) -> origin s
+              | _ -> invalid_arg "unknown input buffer")
+        in
+        [
+          sexpr
+            (callf fn
+               ((origin (base_of node.Ir.id) :: List.map src_origin inputs)
+               @ [ i64 (Int64.of_int w); i64 (Int64.of_int h);
+                   i64 (Int64.of_int stride) ]));
+        ]
+    | Stencil { consumer; producers } ->
+        let y = sym ~name:"y" () in
+        let consumer_row =
+          let dst = sym ~name:"dstrow" () in
+          gen_row g consumer.resolved ~yrow:(var y)
+            ~dst_stmts:[ full_dst g (base_of consumer.node.Ir.id) (var y) dst ]
+            ~dst
+        in
+        if producers = [] then [ sfor y (int_ 0) (int_ g.h) consumer_row ]
+        else begin
+          let maxlead =
+            List.fold_left (fun acc p -> max acc p.lead) 0 producers
+          in
+          let body =
+            List.concat_map
+              (fun pm ->
+                let yp = sym ~name:"yp" () in
+                let dst = sym ~name:"lbrow" () in
+                let depth = pm.depth in
+                [
+                  defvar yp ~ty:Types.int_ ~init:(var y +! int_ pm.lead);
+                  sif
+                    ((var yp >=! int_ 0) &&! (var yp <! int_ g.h))
+                    (gen_row g pm.resolved ~yrow:(var yp)
+                       ~dst_stmts:
+                         [ circ_dst g (base_of pm.node.Ir.id) depth (var yp) dst ]
+                       ~dst)
+                    [];
+                ])
+              producers
+            @ [ sif (var y >=! int_ 0) consumer_row [] ]
+          in
+          [ sfor y (int_ (-maxlead)) (int_ g.h) body ]
+        end
+  in
+  let body = List.concat_map group_stmts groups in
+  let fname = Printf.sprintf "orion_%dx%d_v%d" w h g.vec in
+  let cfunc = func ctx ~name:fname ~params:(List.rev !params) ~ret:Types.Tunit body in
+  {
+    cfunc;
+    cctx = ctx;
+    w;
+    h;
+    pad;
+    vec = g.vec;
+    ninputs;
+    roles = List.rev !roles;
+    intermediates = !intermediates;
+    circs = !circs;
+    zerorow;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+let run (c : compiled) ~(inputs : Buffer.t list) ~(output : Buffer.t) =
+  if List.length inputs <> c.ninputs then
+    invalid_arg "Orion.run: wrong number of inputs";
+  List.iter
+    (fun (b : Buffer.t) ->
+      if b.Buffer.w <> c.w || b.Buffer.h <> c.h || b.Buffer.pad <> c.pad then
+        invalid_arg "Orion.run: buffer shape mismatch")
+    (output :: inputs);
+  Jit.ensure_compiled c.cfunc;
+  let addr_of role =
+    let a =
+      match role with
+      | PIn i -> (List.nth inputs i).Buffer.addr
+      | POut -> output.Buffer.addr
+      | PInter id -> (List.assoc id c.intermediates).Buffer.addr
+      | PCirc id -> (List.assoc id c.circs).Buffer.addr
+      | PZero -> c.zerorow.Buffer.addr
+    in
+    Tvm.Vm.VI (Int64.of_int a)
+  in
+  let args = Array.of_list (List.map addr_of c.roles) in
+  ignore (Tvm.Vm.call c.cctx.Context.vm c.cfunc.Func.vmid args)
+
+(** Buffers with the right shape for a compiled pipeline. *)
+let alloc_io (c : compiled) = Buffer.alloc c.cctx ~w:c.w ~h:c.h ~pad:c.pad

@@ -1,0 +1,183 @@
+(** Orion's intermediate representation (Section 6.2): image-wide
+    operators with constant offsets. Expressions are trees over shifted
+    references to *staged nodes*; each node carries a schedule —
+    materialize, inline, or line-buffer — which can be changed without
+    touching the algorithm, the DSL's core claim. *)
+
+type schedule = Materialize | Inline | LineBuffer
+
+type t =
+  | Const of float
+  | In of int * int * int  (** input image index, dx, dy *)
+  | Ref of node * int * int  (** staged node, dx, dy *)
+  | Bin of string * t * t  (** + - * / min max *)
+
+and node = {
+  id : int;
+  body : body;
+  mutable sched : schedule;
+  name : string;
+}
+
+and body =
+  | Expr of t
+  | Extern of Terra.Func.t * esrc list
+      (** an opaque whole-image pass written directly in Terra (the
+          paper's escape hatch for the fluid solver's semi-Lagrangian
+          advection step) *)
+
+and esrc = Snode of node | Sinput of int
+
+let next_id = ref 0
+
+let stage ?(name = "stage") sched (e : t) : t =
+  incr next_id;
+  Ref ({ id = !next_id; body = Expr e; sched; name }, 0, 0)
+
+let materialize ?name e = stage ?name Materialize e
+let inline ?name e = stage ?name Inline e
+let linebuffer ?name e = stage ?name LineBuffer e
+
+(** An extern Terra pass over materialized inputs. The function must have
+    type (dst, src1, ..., srcN, w, h, stride : int64) -> {} over padded
+    float buffers. *)
+let extern_pass ?(name = "extern") f (inputs : t list) : t =
+  let srcs =
+    List.map
+      (function
+        | Ref (n, 0, 0) ->
+            if n.sched <> Materialize then
+              invalid_arg "extern_pass: staged inputs must be materialized";
+            Snode n
+        | In (i, 0, 0) -> Sinput i
+        | Ref _ | In _ -> invalid_arg "extern_pass: inputs must be unshifted"
+        | _ -> invalid_arg "extern_pass: inputs must be staged nodes or inputs")
+      inputs
+  in
+  incr next_id;
+  Ref ({ id = !next_id; body = Extern (f, srcs); sched = Materialize; name }, 0, 0)
+
+let input i = In (i, 0, 0)
+
+(** Translate an image expression: the paper's [f(dx, dy)]. *)
+let rec shift e dx dy =
+  match e with
+  | Const c -> Const c
+  | In (i, x, y) -> In (i, x + dx, y + dy)
+  | Ref (n, x, y) -> Ref (n, x + dx, y + dy)
+  | Bin (op, a, b) -> Bin (op, shift a dx dy, shift b dx dy)
+
+let const c = Const c
+let add a b = Bin ("+", a, b)
+let sub a b = Bin ("-", a, b)
+let mul a b = Bin ("*", a, b)
+let div a b = Bin ("/", a, b)
+let min_ a b = Bin ("min", a, b)
+let max_ a b = Bin ("max", a, b)
+let clamp lo hi e = min_ (max_ e (Const lo)) (Const hi)
+let scale k e = mul (Const k) e
+
+module Infix = struct
+  let ( +% ) = add
+  let ( -% ) = sub
+  let ( *% ) = mul
+  let ( /% ) = div
+  let ( !% ) c = Const c
+end
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+(** Max absolute offset appearing anywhere (pads every buffer). *)
+let rec max_offset = function
+  | Const _ -> 0
+  | In (_, dx, dy) | Ref (_, dx, dy) -> max (abs dx) (abs dy)
+  | Bin (_, a, b) -> max (max_offset a) (max_offset b)
+
+let rec max_offset_body = function
+  | Expr e -> max_offset_deep e
+  | Extern _ -> 0
+
+and max_offset_deep e =
+  let rec refs acc = function
+    | Const _ -> acc
+    | In _ -> acc
+    | Ref (n, _, _) -> n :: acc
+    | Bin (_, a, b) -> refs (refs acc a) b
+  in
+  List.fold_left
+    (fun acc n -> max acc (max_offset_body n.body))
+    (max_offset e) (refs [] e)
+
+(** All nodes reachable from an expression, dependencies first, each
+    once. *)
+let topo_nodes (root : t) : node list =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit_node n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.replace seen n.id ();
+      (match n.body with
+      | Expr e -> visit_expr e
+      | Extern (_, srcs) ->
+          List.iter
+            (function Snode m -> visit_node m | Sinput _ -> ())
+            srcs);
+      order := n :: !order
+    end
+  and visit_expr = function
+    | Const _ | In _ -> ()
+    | Ref (n, _, _) -> visit_node n
+    | Bin (_, a, b) ->
+        visit_expr a;
+        visit_expr b
+  in
+  visit_expr root;
+  List.rev !order
+
+(** Substitute inline nodes: the returned expression references only
+    materialized / line-buffered nodes and inputs. *)
+let rec resolve_inline (e : t) : t =
+  match e with
+  | Const _ | In _ -> e
+  | Bin (op, a, b) -> Bin (op, resolve_inline a, resolve_inline b)
+  | Ref (n, dx, dy) -> (
+      match (n.sched, n.body) with
+      | Inline, Expr body -> resolve_inline (shift body dx dy)
+      | Inline, Extern _ -> invalid_arg "extern passes cannot be inlined"
+      | _ -> Ref (n, dx, dy))
+
+(** Distinct (node-or-input, dy) row accesses of a resolved expression,
+    used to hoist row pointers. *)
+type row_key = Rin of int * int | Rnode of int * int
+
+let row_accesses (e : t) : row_key list =
+  let acc = Hashtbl.create 8 in
+  let rec go = function
+    | Const _ -> ()
+    | In (i, _, dy) -> Hashtbl.replace acc (Rin (i, dy)) ()
+    | Ref (n, _, dy) -> Hashtbl.replace acc (Rnode (n.id, dy)) ()
+    | Bin (_, a, b) ->
+        go a;
+        go b
+  in
+  go e;
+  Hashtbl.fold (fun k () l -> k :: l) acc []
+  |> List.sort compare
+
+(** The y-extent (min_dy, max_dy) with which [e] reads node [n]. *)
+let y_extent_of (e : t) (target : node) =
+  let lo = ref 0 and hi = ref 0 in
+  let rec go = function
+    | Const _ | In _ -> ()
+    | Ref (n, _, dy) ->
+        if n.id = target.id then begin
+          lo := min !lo dy;
+          hi := max !hi dy
+        end
+    | Bin (_, a, b) ->
+        go a;
+        go b
+  in
+  go e;
+  (!lo, !hi)

@@ -1,0 +1,154 @@
+(** The Lua-facing Orion surface from the paper (Figure 7): image
+    expressions are Lua values built with overloaded operators, and
+    translation is function-call syntax — [x(-1,0) + x(1,0)]. Installed
+    into a combined-language engine as the [orion] table. *)
+
+module V = Mlua.Value
+
+type Mlua.Value.u += Uimg of Ir.t | Ubuf of Buffer.t | Ucompiled of Codegen.compiled
+
+let img_meta : V.table = V.new_table ()
+
+let wrap_img (e : Ir.t) =
+  let ud = V.new_userdata ~tag:"orion.image" (Uimg e) in
+  ud.V.umeta <- Some img_meta;
+  V.Userdata ud
+
+let to_img (v : V.t) : Ir.t =
+  match v with
+  | V.Userdata { u = Uimg e; _ } -> e
+  | V.Num n -> Ir.Const n
+  | v -> V.error_str ("not an orion image: " ^ V.type_name v)
+
+let reg tbl name f = V.raw_set_str tbl name (V.Func (V.new_func ~name f))
+let arg args i = match List.nth_opt args i with Some v -> v | None -> V.Nil
+
+let () =
+  let binop op =
+    V.Func
+      (V.new_func ~name:op (fun args ->
+           [ wrap_img (Ir.Bin (op, to_img (arg args 0), to_img (arg args 1))) ]))
+  in
+  V.raw_set_str img_meta "__add" (binop "+");
+  V.raw_set_str img_meta "__sub" (binop "-");
+  V.raw_set_str img_meta "__mul" (binop "*");
+  V.raw_set_str img_meta "__div" (binop "/");
+  (* translation: the paper's f(dx, dy) *)
+  V.raw_set_str img_meta "__call"
+    (V.Func
+       (V.new_func ~name:"shift" (fun args ->
+            match args with
+            | [ self; V.Num dx; V.Num dy ] ->
+                [
+                  wrap_img
+                    (Ir.shift (to_img self) (int_of_float dx) (int_of_float dy));
+                ]
+            | _ -> V.error_str "image(dx, dy) expects two constant offsets")))
+
+let buf_meta : V.table = V.new_table ()
+
+let wrap_buf b =
+  let ud = V.new_userdata ~tag:"orion.buffer" (Ubuf b) in
+  ud.V.umeta <- Some buf_meta;
+  V.Userdata ud
+
+let to_buf v =
+  match v with
+  | V.Userdata { u = Ubuf b; _ } -> b
+  | _ -> V.error_str "not an orion buffer"
+
+let () =
+  let index = V.new_table () in
+  V.raw_set_str buf_meta "__index" (V.Table index);
+  let m name f = reg index name f in
+  m "get" (fun args ->
+      [
+        V.Num
+          (Buffer.get (to_buf (arg args 0))
+             (V.to_int (arg args 1))
+             (V.to_int (arg args 2)));
+      ]);
+  m "set" (fun args ->
+      Buffer.set (to_buf (arg args 0))
+        (V.to_int (arg args 1))
+        (V.to_int (arg args 2))
+        (V.to_num (arg args 3));
+      []);
+  m "fill" (fun args ->
+      let b = to_buf (arg args 0) in
+      let f = arg args 1 in
+      Buffer.fill b (fun x y ->
+          match
+            Mlua.Interp.call_value f
+              [ V.Num (float_of_int x); V.Num (float_of_int y) ]
+          with
+          | V.Num v :: _ -> v
+          | _ -> 0.0);
+      []);
+  m "checksum" (fun args -> [ V.Num (Buffer.checksum (to_buf (arg args 0))) ]);
+  m "width" (fun args -> [ V.Num (float_of_int (to_buf (arg args 0)).Buffer.w) ]);
+  m "height" (fun args -> [ V.Num (float_of_int (to_buf (arg args 0)).Buffer.h) ])
+
+let compiled_meta : V.table = V.new_table ()
+
+let () =
+  let index = V.new_table () in
+  V.raw_set_str compiled_meta "__index" (V.Table index);
+  (* p:buffer() — a buffer with the shape this pipeline expects *)
+  reg index "buffer" (fun args ->
+      match args with
+      | V.Userdata { u = Ucompiled c; _ } :: _ ->
+          [ wrap_buf (Codegen.alloc_io c) ]
+      | _ -> V.error_str "buffer: not a compiled pipeline");
+  V.raw_set_str compiled_meta "__call"
+    (V.Func
+       (V.new_func ~name:"orion.run" (fun args ->
+            match args with
+            | V.Userdata { u = Ucompiled c; _ } :: rest ->
+                let bufs = List.map to_buf rest in
+                (match List.rev bufs with
+                | output :: rev_inputs ->
+                    Codegen.run c ~inputs:(List.rev rev_inputs) ~output;
+                    []
+                | [] -> V.error_str "compiled pipeline needs buffers")
+            | _ -> V.error_str "bad orion call")))
+
+(** Install the [orion] table into an engine's globals. *)
+let install (ctx : Terra.Context.t) (globals : V.table) =
+  let orion = V.new_table () in
+  V.raw_set_str globals "orion" (V.Table orion);
+  reg orion "input" (fun args ->
+      [ wrap_img (Ir.input (V.to_int (arg args 0))) ]);
+  reg orion "const" (fun args -> [ wrap_img (Ir.Const (V.to_num (arg args 0))) ]);
+  let sched name f =
+    reg orion name (fun args ->
+        [ wrap_img (f ?name:(Some name) (to_img (arg args 0))) ])
+  in
+  sched "materialize" Ir.materialize;
+  sched "inline" Ir.inline;
+  sched "linebuffer" Ir.linebuffer;
+  reg orion "min" (fun args ->
+      [ wrap_img (Ir.min_ (to_img (arg args 0)) (to_img (arg args 1))) ]);
+  reg orion "max" (fun args ->
+      [ wrap_img (Ir.max_ (to_img (arg args 0)) (to_img (arg args 1))) ]);
+  reg orion "buffer" (fun args ->
+      let w = V.to_int (arg args 0) and h = V.to_int (arg args 1) in
+      let pad = match arg args 2 with V.Nil -> 8 | v -> V.to_int v in
+      [ wrap_buf (Buffer.alloc ctx ~w ~h ~pad) ]);
+  reg orion "compile" (fun args ->
+      let e = to_img (arg args 0) in
+      let opts =
+        match arg args 1 with V.Table t -> t | _ -> V.new_table ()
+      in
+      let geti name default =
+        match V.raw_get_str opts name with
+        | V.Num n -> int_of_float n
+        | _ -> default
+      in
+      let w = geti "width" 256 and h = geti "height" 256 in
+      let vectorize = geti "vectorize" 1 in
+      let ninputs = geti "inputs" 1 in
+      let c = Codegen.compile ctx ~vectorize ~w ~h ~ninputs e in
+      let ud = V.new_userdata ~tag:"orion.pipeline" (Ucompiled c) in
+      ud.V.umeta <- Some compiled_meta;
+      [ V.Userdata ud ])

@@ -1,0 +1,1 @@
+lib/tcore/terra_core.ml: Format Hashtbl List Printf

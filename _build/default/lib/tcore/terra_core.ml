@@ -1,0 +1,335 @@
+(** Terra Core: the paper's formal calculus (Section 3), implemented
+    directly from the big-step rules of Figures 1–4.
+
+    Lua Core evaluation ([→L]) runs over a namespace Γ (variables to
+    store addresses), a store S, and a Terra function store F.
+    Specialization ([→S], Figure 2) evaluates escapes and renames bound
+    variables hygienically. Terra evaluation ([→T], Figure 3) runs with
+    *no access* to Γ or S — the separate-evaluation property. Typing of
+    function references follows Figure 4, checking the whole connected
+    component before a function runs. *)
+
+type var = string
+
+(** Terra types: base type B and function types T → T. *)
+type ty = TB | TArrow of ty * ty
+
+let rec ty_to_string = function
+  | TB -> "B"
+  | TArrow (a, b) -> Printf.sprintf "(%s -> %s)" (ty_to_string a) (ty_to_string b)
+
+(** Lua Core expressions e (Section 3's first grammar). Type annotations
+    are ordinary Lua expressions that must evaluate to types. *)
+type exp =
+  | EBase of int  (** b *)
+  | EType of ty  (** T̂ *)
+  | EVar of var  (** x *)
+  | ELet of var * exp * exp  (** let x = e in e *)
+  | EAssign of var * exp  (** x := e *)
+  | EApp of exp * exp  (** e(e) *)
+  | EFun of var * exp  (** fun(x){e} *)
+  | ETDecl  (** tdecl *)
+  | ETDefn of exp * var * exp * exp * texp  (** ter e1(x : e2) : e3 { ė } *)
+  | EQuote of texp  (** 'ė *)
+  | ESeq of exp * exp  (** e; e — sugar for let _ = e in e *)
+
+(** Terra expressions ė (unspecialized). *)
+and texp =
+  | TBase of int
+  | TVar of var
+  | TApp of texp * texp
+  | TLet of var * exp * texp * texp  (** tlet x : e = ė in ė *)
+  | TEsc of exp  (** [e] *)
+
+(** Specialized Terra expressions ē: no escapes; variables are renamed;
+    function addresses l may appear. *)
+type sexp =
+  | SBase of int
+  | SVar of var
+  | SApp of sexp * sexp
+  | SLet of var * ty * sexp * sexp
+  | SFun of int  (** function address l *)
+
+(** Lua values v. *)
+type value =
+  | VBase of int
+  | VType of ty
+  | VFun of int  (** address of a Terra function *)
+  | VClos of env * var * exp  (** (Γ, x, e) *)
+  | VCode of sexp  (** a specialized Terra term as a value *)
+
+and env = (var * int) list  (** Γ : variables → store addresses *)
+
+(** Terra function store F: addresses → definitions or ⊥. *)
+type fdef = { fparam : var; fdom : ty; fcod : ty; fbody : sexp }
+
+type state = {
+  store : (int, value) Hashtbl.t;  (** S *)
+  funcs : (int, fdef option) Hashtbl.t;  (** F *)
+  mutable next_addr : int;
+  mutable next_faddr : int;
+  mutable next_sym : int;
+}
+
+type tvalue = TVBase of int | TVFun of int
+
+exception Stuck of string
+exception Type_error of string
+exception Link_error of string
+
+let stuck fmt = Format.kasprintf (fun s -> raise (Stuck s)) fmt
+
+let new_state () =
+  {
+    store = Hashtbl.create 32;
+    funcs = Hashtbl.create 8;
+    next_addr = 0;
+    next_faddr = 0;
+    next_sym = 0;
+  }
+
+let fresh_addr st =
+  st.next_addr <- st.next_addr + 1;
+  st.next_addr
+
+let fresh_faddr st =
+  st.next_faddr <- st.next_faddr + 1;
+  st.next_faddr
+
+(* Hygiene: fresh renamings x̂ (rules LTDEFN and SLET). *)
+let fresh_sym st x =
+  st.next_sym <- st.next_sym + 1;
+  Printf.sprintf "%s^%d" x st.next_sym
+
+let bind st (env : env) x v : env =
+  let a = fresh_addr st in
+  Hashtbl.replace st.store a v;
+  (x, a) :: env
+
+let lookup st env x =
+  match List.assoc_opt x env with
+  | Some a -> (
+      match Hashtbl.find_opt st.store a with
+      | Some v -> v
+      | None -> stuck "dangling store address for %s" x)
+  | None -> stuck "unbound variable %s" x
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation →L (Figure 1) and specialization →S (Figure 2), mutually
+   recursive because escapes evaluate Lua and Terra definitions
+   specialize Terra. *)
+
+let rec eval st (env : env) (e : exp) : value =
+  match e with
+  | EBase b -> VBase b  (* LBAS *)
+  | EType t -> VType t
+  | EVar x -> lookup st env x  (* LVAR *)
+  | ELet (x, e1, e2) ->
+      (* LLET: evaluate e1, bind a fresh address, evaluate e2; the store
+         changes persist but the namespace extension is local *)
+      let v1 = eval st env e1 in
+      eval st (bind st env x v1) e2
+  | EAssign (x, e1) -> (
+      (* LASN *)
+      let v = eval st env e1 in
+      match List.assoc_opt x env with
+      | Some a ->
+          Hashtbl.replace st.store a v;
+          v
+      | None -> stuck "assignment to unbound variable %s" x)
+  | ESeq (e1, e2) ->
+      ignore (eval st env e1);
+      eval st env e2
+  | EFun (x, body) -> VClos (env, x, body)  (* LFUN *)
+  | EApp (f, arg) -> (
+      match eval st env f with
+      | VClos (cenv, x, body) ->
+          (* LAPP *)
+          let v1 = eval st env arg in
+          eval st (bind st cenv x v1) body
+      | VFun l ->
+          (* LTAPP: typecheck the function (and its component), then run
+             it in the separate Terra environment *)
+          let v1 = eval st env arg in
+          let b1 =
+            match v1 with
+            | VBase b -> b
+            | _ -> stuck "terra functions take base values"
+          in
+          let dom, _cod = typecheck_fun st l in
+          if dom <> TB then raise (Type_error "argument type mismatch");
+          let def = get_def st l in
+          (match teval st [ (def.fparam, TVBase b1) ] def.fbody with
+          | TVBase b2 -> VBase b2
+          | TVFun l' -> VFun l')
+      | _ -> stuck "application of a non-function")
+  | ETDecl ->
+      (* LTDECL: a new, undefined function address *)
+      let l = fresh_faddr st in
+      Hashtbl.replace st.funcs l None;
+      VFun l
+  | ETDefn (e1, x, e2, e3, body) -> (
+      (* LTDEFN *)
+      match eval st env e1 with
+      | VFun l -> (
+          match Hashtbl.find_opt st.funcs l with
+          | Some (Some _) -> stuck "terra function %d is already defined" l
+          | _ ->
+              let t1 =
+                match eval st env e2 with
+                | VType t -> t
+                | _ -> stuck "parameter annotation is not a type"
+              in
+              let t2 =
+                match eval st env e3 with
+                | VType t -> t
+                | _ -> stuck "return annotation is not a type"
+              in
+              (* hygiene: rename the formal, bind x → x̂ in the shared
+                 environment, specialize the body eagerly *)
+              let x' = fresh_sym st x in
+              let env' = bind st env x (VCode (SVar x')) in
+              let sbody = specialize st env' body in
+              Hashtbl.replace st.funcs l
+                (Some { fparam = x'; fdom = t1; fcod = t2; fbody = sbody });
+              VFun l)
+      | _ -> stuck "ter: not a terra function declaration")
+  | EQuote t -> VCode (specialize st env t)  (* LTQUOTE *)
+
+and specialize st env (t : texp) : sexp =
+  match t with
+  | TBase b -> SBase b  (* SBAS *)
+  | TVar x -> (
+      (* SVAR: variables behave as if escaped *)
+      match lookup st env x with
+      | VCode e -> e
+      | VBase b -> SBase b
+      | VFun l -> SFun l
+      | _ -> stuck "variable %s does not specialize to a terra term" x)
+  | TApp (f, a) -> SApp (specialize st env f, specialize st env a)
+  | TLet (x, tyexp, e1, e2) ->
+      (* SLET: evaluate the annotation, rename hygienically, bind into
+         the shared environment for the body *)
+      let t1 =
+        match eval st env tyexp with
+        | VType t -> t
+        | _ -> stuck "tlet annotation is not a type"
+      in
+      let s1 = specialize st env e1 in
+      let x' = fresh_sym st x in
+      let env' = bind st env x (VCode (SVar x')) in
+      SLet (x', t1, s1, specialize st env' e2)
+  | TEsc e -> (
+      (* SESC: evaluate the Lua expression, splice the result *)
+      match eval st env e with
+      | VCode s -> s
+      | VBase b -> SBase b
+      | VFun l -> SFun l
+      | _ -> stuck "escape does not evaluate to a terra term")
+
+(* ------------------------------------------------------------------ *)
+(* Terra evaluation →T (Figure 3): independent of Γ and S. *)
+
+and teval st (tenv : (var * tvalue) list) (s : sexp) : tvalue =
+  match s with
+  | SBase b -> TVBase b  (* TBAS *)
+  | SVar x -> (
+      match List.assoc_opt x tenv with
+      | Some v -> v
+      | None -> stuck "terra evaluation: unbound %s" x)
+  | SFun l -> TVFun l  (* TFUN *)
+  | SLet (x, _, e1, e2) ->
+      (* TLET *)
+      let v1 = teval st tenv e1 in
+      teval st ((x, v1) :: tenv) e2
+  | SApp (f, a) -> (
+      (* TAPP *)
+      match teval st tenv f with
+      | TVFun l ->
+          let def = get_def st l in
+          let v = teval st tenv a in
+          teval st [ (def.fparam, v) ] def.fbody
+      | TVBase _ -> stuck "terra application of a base value")
+
+and get_def st l =
+  match Hashtbl.find_opt st.funcs l with
+  | Some (Some d) -> d
+  | _ -> raise (Link_error (Printf.sprintf "function %d is not defined" l))
+
+(* ------------------------------------------------------------------ *)
+(* Typing (Figure 4): function references are checked with an assumption
+   environment Φ so mutually recursive components check once. *)
+
+and typecheck_fun st l : ty * ty =
+  let def = get_def st l in
+  let rec check_body (assum : (int * ty) list) l =
+    let def = get_def st l in
+    let assum = (l, TArrow (def.fdom, def.fcod)) :: assum in
+    let rec tyof (tenv : (var * ty) list) = function
+      | SBase _ -> TB
+      | SVar x -> (
+          match List.assoc_opt x tenv with
+          | Some t -> t
+          | None -> raise (Type_error ("unbound terra variable " ^ x)))
+      | SFun l' -> (
+          (* TYFUN1 / TYFUN2 *)
+          match List.assoc_opt l' assum with
+          | Some t -> t
+          | None ->
+              let def' = get_def st l' in
+              check_body assum l';
+              TArrow (def'.fdom, def'.fcod))
+      | SLet (x, t, e1, e2) ->
+          let t1 = tyof tenv e1 in
+          if t1 <> t then
+            raise
+              (Type_error
+                 (Printf.sprintf "tlet %s: declared %s, got %s" x
+                    (ty_to_string t) (ty_to_string t1)));
+          tyof ((x, t) :: tenv) e2
+      | SApp (f, a) -> (
+          match tyof tenv f with
+          | TArrow (dom, cod) ->
+              let ta = tyof tenv a in
+              if ta <> dom then raise (Type_error "argument type mismatch");
+              cod
+          | TB -> raise (Type_error "application of a base value"))
+    in
+    let tb = tyof [ (def.fparam, def.fdom) ] def.fbody in
+    if tb <> def.fcod then
+      raise
+        (Type_error
+           (Printf.sprintf "body has type %s, declared %s" (ty_to_string tb)
+              (ty_to_string def.fcod)))
+  in
+  check_body [] l;
+  (def.fdom, def.fcod)
+
+(* ------------------------------------------------------------------ *)
+(* Conveniences *)
+
+(** Run a whole program in a fresh state. *)
+let run (e : exp) : value =
+  let st = new_state () in
+  eval st [] e
+
+let rec pp_sexp ppf = function
+  | SBase b -> Format.fprintf ppf "%d" b
+  | SVar x -> Format.fprintf ppf "%s" x
+  | SFun l -> Format.fprintf ppf "l%d" l
+  | SApp (f, a) -> Format.fprintf ppf "%a(%a)" pp_sexp f pp_sexp a
+  | SLet (x, t, e1, e2) ->
+      Format.fprintf ppf "(tlet %s : %s = %a in %a)" x (ty_to_string t)
+        pp_sexp e1 pp_sexp e2
+
+let pp_value ppf = function
+  | VBase b -> Format.fprintf ppf "%d" b
+  | VType t -> Format.fprintf ppf "%s" (ty_to_string t)
+  | VFun l -> Format.fprintf ppf "<terra l%d>" l
+  | VClos (_, x, _) -> Format.fprintf ppf "<fun %s>" x
+  | VCode s -> Format.fprintf ppf "'%a" pp_sexp s
+
+(** Sugar used in the paper's examples: [ter tdecl(x : t1) : t2 { ė }]. *)
+let ter_anon x t1 t2 body = ETDefn (ETDecl, x, t1, t2, body)
+
+let tint = EType TB

@@ -1,0 +1,1 @@
+lib/terra/compile.ml: Array Context Format Func Hashtbl Int64 List Option Tast Tmachine Tvm Types

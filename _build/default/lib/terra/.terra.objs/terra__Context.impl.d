@@ -1,0 +1,1 @@
+lib/terra/context.ml: Hashtbl String Tmachine Tvm

@@ -1,0 +1,1 @@
+lib/terra/cstd.ml: Func List Mlua Types

@@ -1,0 +1,1 @@
+lib/terra/engine.ml: Buffer Context Frontend Fun Func Jit Mlua Terralib Tmachine Tvm

@@ -1,0 +1,1 @@
+lib/terra/ffi.ml: Array Context Format Func Int32 Int64 List Mlua Printf Tvm Typecheck Types

@@ -1,0 +1,1 @@
+lib/terra/frontend.ml: Func Int64 List Mlua Printf Specialize String Tast Types

@@ -1,0 +1,1 @@
+lib/terra/func.ml: Context List Mlua Printf Tast Tvm Types

@@ -1,0 +1,1 @@
+lib/terra/jit.ml: Array Compile Context Ffi Format Func Hashtbl Int64 List Mlua Printf Specialize Tvm Typecheck Types

@@ -1,0 +1,1 @@
+lib/terra/objfile.ml: Array Buffer Char Context Fun Func Hashtbl Int64 Jit List Marshal String Tmachine Tvm

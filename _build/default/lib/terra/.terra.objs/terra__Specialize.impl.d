@@ -1,0 +1,1 @@
+lib/terra/specialize.ml: Float Format Int64 List Mlua Option Tast Types

@@ -1,0 +1,1 @@
+lib/terra/stage.ml: Array Func Int64 Jit List Mlua Printf Specialize Tast Types

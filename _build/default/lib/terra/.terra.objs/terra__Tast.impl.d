@@ -1,0 +1,1 @@
+lib/terra/tast.ml: Format List Mlua Types

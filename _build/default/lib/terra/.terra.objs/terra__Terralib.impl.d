@@ -1,0 +1,1 @@
+lib/terra/terralib.ml: Cstd Ffi Func Hashtbl List Mlua Objfile Tast Types

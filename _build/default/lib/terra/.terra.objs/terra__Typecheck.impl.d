@@ -1,0 +1,1 @@
+lib/terra/typecheck.ml: Context Format Fun Func Hashtbl Int32 Int64 List Mlua Option Printf Tast Types

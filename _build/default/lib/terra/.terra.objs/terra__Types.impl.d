@@ -1,0 +1,1 @@
+lib/terra/types.ml: Format Fun Hashtbl List Mlua Printf String Tvm

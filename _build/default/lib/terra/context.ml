@@ -1,0 +1,40 @@
+(** A Terra compilation/execution context: one VM (with its machine
+    model), a function store, and interned constant data. The paper has
+    one such runtime per process; we allow several so benchmarks can use
+    differently configured machines side by side. *)
+
+module Machine = Tmachine.Machine
+
+type t = {
+  vm : Tvm.Vm.t;
+  machine : Machine.t;
+  strings : (string, int) Hashtbl.t;
+  mutable funcptr_relocs : (int * int) list;
+      (** (static address, VM function id) for every function pointer
+          written into static memory (vtables); saveobj relocates these *)
+}
+
+let create ?mem_bytes ?(machine = Machine.ivybridge ()) () =
+  let vm = Tvm.Vm.create ?mem_bytes machine in
+  Tvm.Builtins.install vm;
+  { vm; machine; strings = Hashtbl.create 16; funcptr_relocs = [] }
+
+(** Record that [addr] holds the address of VM function [vmid]. *)
+let note_funcptr t addr vmid =
+  t.funcptr_relocs <- (addr, vmid) :: t.funcptr_relocs
+
+(** Intern a NUL-terminated string constant in static memory. *)
+let intern_string t s =
+  match Hashtbl.find_opt t.strings s with
+  | Some addr -> addr
+  | None ->
+      let addr =
+        Tvm.Mem.alloc_static t.vm.Tvm.Vm.mem ~align:1 (String.length s + 1)
+      in
+      Tvm.Mem.set_cstring t.vm.Tvm.Vm.mem addr s;
+      Hashtbl.replace t.strings s addr;
+      addr
+
+(** Static storage for a global variable or vtable. *)
+let alloc_static t ~align n =
+  Tvm.Mem.alloc_static t.vm.Tvm.Vm.mem ~align n

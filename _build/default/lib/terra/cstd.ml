@@ -1,0 +1,82 @@
+(** The [terralib.includec] substitute (DESIGN.md substitution table).
+
+    The paper uses Clang to import C declarations; in this sealed
+    reproduction a fixed registry of modeled C functions stands in. Each
+    "header" yields a Lua table mapping names to extern Terra functions
+    whose implementations are the VM builtins of {!Tvm.Builtins}. *)
+
+module V = Mlua.Value
+open Types
+
+let decl ctx (name, params, ret) = Func.extern ctx ~name ~cname:name ~params ~ret
+
+let stdlib_decls =
+  [
+    ("malloc", [ int64 ], ptr uint8);
+    ("calloc", [ int64; int64 ], ptr uint8);
+    ("free", [ ptr uint8 ], Tunit);
+    ("realloc", [ ptr uint8; int64 ], ptr uint8);
+    ("abs", [ int64 ], int64);
+    ("rand", [], int_);
+    ("srand", [ int64 ], Tunit);
+    ("exit", [ int_ ], Tunit);
+  ]
+
+let string_decls =
+  [
+    ("memcpy", [ ptr uint8; ptr uint8; int64 ], ptr uint8);
+    ("memset", [ ptr uint8; int_; int64 ], ptr uint8);
+  ]
+
+let math_decls =
+  [
+    ("sqrt", [ double ], double);
+    ("fabs", [ double ], double);
+    ("floor", [ double ], double);
+    ("ceil", [ double ], double);
+    ("sin", [ double ], double);
+    ("cos", [ double ], double);
+    ("tan", [ double ], double);
+    ("exp", [ double ], double);
+    ("log", [ double ], double);
+    ("pow", [ double; double ], double);
+    ("fmod", [ double; double ], double);
+    ("sqrtf", [ float_ ], float_);
+    ("fabsf", [ float_ ], float_);
+  ]
+
+let stdio_decls =
+  [
+    ("puts", [ rawstring ], int_);
+    ("print_i64", [ int64 ], Tunit);
+    ("print_f64", [ double ], Tunit);
+  ]
+
+let header_table ctx decls =
+  let t = V.new_table () in
+  List.iter
+    (fun ((name, _, _) as d) -> V.raw_set_str t name (Func.wrap (decl ctx d)))
+    decls;
+  t
+
+let headers =
+  [
+    ("stdlib.h", stdlib_decls);
+    ("string.h", string_decls);
+    ("math.h", math_decls);
+    ("stdio.h", stdio_decls);
+  ]
+
+(** [includec ctx "stdlib.h"] — returns a Lua table of extern functions,
+    as the paper's [terralib.includec("stdlib.h")]. Unknown headers yield
+    an empty table (matching includec on headers with no new symbols). *)
+let includec ctx header =
+  match List.assoc_opt header headers with
+  | Some decls -> header_table ctx decls
+  | None -> V.new_table ()
+
+(** Every modeled declaration in one table, convenient for tests. *)
+let all ctx =
+  header_table ctx
+    (stdlib_decls @ string_decls @ math_decls @ stdio_decls
+    @ [ ("clock_cycles", [], int64) ])

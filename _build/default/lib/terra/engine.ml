@@ -1,0 +1,48 @@
+(** The combined Lua–Terra engine: a Lua state with the Terra frontend
+    hooks and the terralib API installed. [run] evaluates a combined
+    program exactly as the paper's modified LuaJIT loader does. *)
+
+module V = Mlua.Value
+
+type t = { ctx : Context.t; scope : V.scope }
+
+let create ?machine ?mem_bytes () =
+  let ctx = Context.create ?machine ?mem_bytes () in
+  let scope = Mlua.Driver.make_scope () in
+  (match V.scope_globals scope with
+  | Some g -> Terralib.install ctx g
+  | None -> assert false);
+  { ctx; scope }
+
+let run t src =
+  let ext_expr, ext_stat = Frontend.hooks t.ctx in
+  Mlua.Driver.run_in ~ext_expr ~ext_stat t.scope src
+
+(** Run and capture printed output (tests). *)
+let run_capture t src =
+  let buf = Buffer.create 256 in
+  let saved_lua = !Mlua.Lualib.output_sink in
+  let saved_vm = !Tvm.Builtins.print_sink in
+  Mlua.Lualib.output_sink := Buffer.add_string buf;
+  Tvm.Builtins.print_sink := Buffer.add_string buf;
+  Fun.protect
+    ~finally:(fun () ->
+      Mlua.Lualib.output_sink := saved_lua;
+      Tvm.Builtins.print_sink := saved_vm)
+    (fun () ->
+      let rets = run t src in
+      (Buffer.contents buf, rets))
+
+(** Look up a global by name. *)
+let get_global t name = V.scope_lookup t.scope name
+
+(** Fetch a global that must be a Terra function. *)
+let get_func t name =
+  match Func.unwrap_opt (get_global t name) with
+  | Some f -> f
+  | None -> failwith (name ^ " is not a terra function")
+
+let call_func t name args = Jit.call (get_func t name) args
+
+let report t = Tmachine.Machine.report t.ctx.Context.machine
+let machine t = t.ctx.Context.machine

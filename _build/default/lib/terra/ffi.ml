@@ -1,0 +1,223 @@
+(** The foreign-function interface between Lua and Terra (the paper's
+    LuaJIT-FFI substitute): converts values at call boundaries and during
+    specialization, wraps Lua functions so compiled Terra code can call
+    back into Lua, and exposes VM memory to Lua as cdata objects. *)
+
+module V = Mlua.Value
+module Vm = Tvm.Vm
+module Mem = Tvm.Mem
+
+exception Ffi_error of string
+
+let ffi_error fmt = Format.kasprintf (fun s -> raise (Ffi_error s)) fmt
+
+type cdata = { caddr : int; cty : Types.t; cctx : Context.t }
+
+type Mlua.Value.u += Ucdata of cdata
+
+let cdata_meta : V.table = V.new_table ()
+
+let wrap_cdata cctx cty caddr =
+  let ud = V.new_userdata ~tag:"cdata" (Ucdata { caddr; cty; cctx }) in
+  ud.V.umeta <- Some cdata_meta;
+  V.Userdata ud
+
+(* ------------------------------------------------------------------ *)
+(* Scalar reads/writes *)
+
+let read_scalar ctx (ty : Types.t) addr : V.t =
+  let mem = ctx.Context.vm.Vm.mem in
+  match ty with
+  | Types.Tint (Types.W8, true) -> V.Num (float_of_int (Mem.get_i8 mem addr))
+  | Types.Tint (Types.W8, false) -> V.Num (float_of_int (Mem.get_u8 mem addr))
+  | Types.Tint (Types.W16, true) -> V.Num (float_of_int (Mem.get_i16 mem addr))
+  | Types.Tint (Types.W16, false) -> V.Num (float_of_int (Mem.get_u16 mem addr))
+  | Types.Tint (Types.W32, _) ->
+      V.Num (Int32.to_float (Mem.get_i32 mem addr))
+  | Types.Tint (Types.W64, _) -> V.Num (Int64.to_float (Mem.get_i64 mem addr))
+  | Types.Tbool -> V.Bool (Mem.get_u8 mem addr <> 0)
+  | Types.Tfloat -> V.Num (Mem.get_f32 mem addr)
+  | Types.Tdouble -> V.Num (Mem.get_f64 mem addr)
+  | Types.Tptr t ->
+      wrap_cdata ctx (Types.Tptr t) (Int64.to_int (Mem.get_i64 mem addr))
+  | t -> ffi_error "cannot read %s from memory" (Types.to_string t)
+
+let rec write_scalar ctx (ty : Types.t) addr (v : V.t) =
+  let mem = ctx.Context.vm.Vm.mem in
+  match ty with
+  | Types.Tint (Types.W8, _) -> Mem.set_u8 mem addr (V.to_int v land 0xff)
+  | Types.Tint (Types.W16, _) -> Mem.set_u16 mem addr (V.to_int v land 0xffff)
+  | Types.Tint (Types.W32, _) ->
+      Mem.set_i32 mem addr (Int32.of_float (V.to_num v))
+  | Types.Tint (Types.W64, _) ->
+      Mem.set_i64 mem addr (Int64.of_float (V.to_num v))
+  | Types.Tbool -> Mem.set_u8 mem addr (if V.truthy v then 1 else 0)
+  | Types.Tfloat -> Mem.set_f32 mem addr (V.to_num v)
+  | Types.Tdouble -> Mem.set_f64 mem addr (V.to_num v)
+  | Types.Tptr _ -> (
+      match v with
+      | V.Userdata { u = Ucdata c; _ } ->
+          Mem.set_i64 mem addr (Int64.of_int c.caddr)
+      | V.Num n -> Mem.set_i64 mem addr (Int64.of_float n)
+      | V.Nil -> Mem.set_i64 mem addr 0L
+      | v -> ffi_error "cannot write %s as pointer" (V.type_name v))
+  | Types.Tfunc _ -> (
+      (* function pointers (vtable entries) *)
+      match v with
+      | V.Userdata { u = Func.Ufunc f; _ } ->
+          Mem.set_i64 mem addr (Int64.of_int (Tvm.Ir.func_addr f.Func.vmid));
+          Context.note_funcptr ctx addr f.Func.vmid
+      | V.Num n -> Mem.set_i64 mem addr (Int64.of_float n)
+      | v -> ffi_error "cannot write %s as function pointer" (V.type_name v))
+  | Types.Tstruct s -> (
+      match v with
+      | V.Table t ->
+          (* a Lua table converts to a struct when it has the fields *)
+          let layout = Types.struct_layout s in
+          List.iter
+            (fun (fname, fty, off) ->
+              match V.raw_get_str t fname with
+              | V.Nil -> ()
+              | fv -> write_scalar ctx fty (addr + off) fv)
+            layout.Types.fields
+      | V.Userdata { u = Ucdata c; _ } when Types.equal c.cty ty ->
+          Mem.blit mem ~src:c.caddr ~dst:addr ~len:(Types.sizeof ty)
+      | v -> ffi_error "cannot convert %s to struct %s" (V.type_name v) s.Types.sname)
+  | t -> ffi_error "cannot write %s to memory" (Types.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Lua value -> VM argument of a given Terra type *)
+
+let to_vm ctx (ty : Types.t) (v : V.t) : Vm.value =
+  match (ty, v) with
+  | Types.Tint _, V.Num n -> Vm.VI (Int64.of_float n)
+  | Types.Tint _, V.Bool b -> Vm.VI (if b then 1L else 0L)
+  | Types.Tbool, v -> Vm.VI (if V.truthy v then 1L else 0L)
+  | (Types.Tfloat | Types.Tdouble), V.Num n -> Vm.VF n
+  | Types.Tptr (Types.Tint (Types.W8, _)), V.Str s ->
+      Vm.VI (Int64.of_int (Context.intern_string ctx s))
+  | Types.Tptr _, V.Userdata { u = Ucdata c; _ } ->
+      Vm.VI (Int64.of_int c.caddr)
+  | Types.Tptr _, V.Nil -> Vm.VI 0L
+  | Types.Tptr _, V.Num n -> Vm.VI (Int64.of_float n)
+  | (Types.Tstruct _ | Types.Tarray _), V.Userdata { u = Ucdata c; _ } ->
+      Vm.VI (Int64.of_int c.caddr)
+  | Types.Tstruct _, V.Table _ ->
+      (* copy the table into fresh VM memory and pass its address *)
+      let size = max 1 (Types.sizeof ty) in
+      let addr = Tvm.Alloc.malloc ctx.Context.vm.Vm.alloc size in
+      write_scalar ctx ty addr v;
+      Vm.VI (Int64.of_int addr)
+  | Types.Tfunc _, V.Userdata { u = Func.Ufunc f; _ } ->
+      Vm.VI (Int64.of_int (Tvm.Ir.func_addr f.Func.vmid))
+  | ty, v ->
+      ffi_error "cannot convert lua %s to terra %s" (V.type_name v)
+        (Types.to_string ty)
+
+let of_vm ctx (ty : Types.t) (v : Vm.value) : V.t =
+  match (ty, v) with
+  | Types.Tunit, _ -> V.Nil
+  | Types.Tint (Types.W64, true), Vm.VI i -> V.Num (Int64.to_float i)
+  | Types.Tint (Types.W64, false), Vm.VI i ->
+      V.Num (Int64.to_float i)  (* best effort; 53-bit precision *)
+  | Types.Tint _, Vm.VI i -> V.Num (Int64.to_float i)
+  | Types.Tbool, Vm.VI i -> V.Bool (i <> 0L)
+  | (Types.Tfloat | Types.Tdouble), Vm.VF f -> V.Num f
+  | Types.Tptr _, Vm.VI a -> wrap_cdata ctx ty (Int64.to_int a)
+  | Types.Tfunc _, Vm.VI a -> V.Num (Int64.to_float a)
+  | ty, _ -> ffi_error "cannot convert terra %s result to lua" (Types.to_string ty)
+
+(* ------------------------------------------------------------------ *)
+(* cdata metatable: pointer/struct field access and indexing from Lua *)
+
+let cdata_index (c : cdata) (key : V.t) : V.t =
+  match (c.cty, key) with
+  | Types.Tptr (Types.Tstruct s), V.Str field
+  | Types.Tstruct s, V.Str field -> (
+      (* for pointer cdata, [caddr] is the pointer value: the struct's
+         address *)
+      let base = c.caddr in
+      match Types.field_of s field with
+      | Some (_, fty, off) ->
+          if Types.is_struct fty || Types.is_array fty then
+            wrap_cdata c.cctx (Types.ptr fty) (base + off)
+          else read_scalar c.cctx fty (base + off)
+      | None -> V.Nil)
+  | Types.Tptr elem, V.Num i ->
+      let addr = c.caddr + (int_of_float i * Types.sizeof elem) in
+      if Types.is_struct elem || Types.is_array elem then
+        wrap_cdata c.cctx (Types.ptr elem) addr
+      else read_scalar c.cctx elem addr
+  | _ -> V.Nil
+
+let cdata_newindex (c : cdata) (key : V.t) (v : V.t) =
+  match (c.cty, key) with
+  | Types.Tptr (Types.Tstruct s), V.Str field | Types.Tstruct s, V.Str field
+    -> (
+      match Types.field_of s field with
+      | Some (_, fty, off) -> write_scalar c.cctx fty (c.caddr + off) v
+      | None -> ffi_error "struct %s has no field %s" s.Types.sname field)
+  | Types.Tptr elem, V.Num i ->
+      write_scalar c.cctx elem (c.caddr + (int_of_float i * Types.sizeof elem)) v
+  | _ -> ffi_error "cannot assign through this cdata"
+
+let () =
+  V.raw_set_str cdata_meta "__index"
+    (V.Func
+       (V.new_func ~name:"cdata_index" (fun args ->
+            match args with
+            | [ V.Userdata { u = Ucdata c; _ }; key ] -> [ cdata_index c key ]
+            | _ -> [ V.Nil ])));
+  V.raw_set_str cdata_meta "__newindex"
+    (V.Func
+       (V.new_func ~name:"cdata_newindex" (fun args ->
+            match args with
+            | [ V.Userdata { u = Ucdata c; _ }; key; v ] ->
+                cdata_newindex c key v;
+                []
+            | _ -> [])));
+  V.raw_set_str cdata_meta "__tostring"
+    (V.Func
+       (V.new_func ~name:"cdata_tostring" (fun args ->
+            match args with
+            | V.Userdata { u = Ucdata c; _ } :: _ ->
+                [
+                  V.Str
+                    (Printf.sprintf "cdata<%s>: 0x%x" (Types.to_string c.cty)
+                       c.caddr);
+                ]
+            | _ -> [ V.Str "cdata" ])))
+
+(* ------------------------------------------------------------------ *)
+(* Global variable access from Lua *)
+
+let () =
+  Func.global_get_impl :=
+    (fun (g : Func.global) ->
+      if Types.is_struct g.Func.gtype || Types.is_array g.Func.gtype then
+        wrap_cdata g.Func.gctx (Types.ptr g.Func.gtype) g.Func.gaddr
+      else read_scalar g.Func.gctx g.Func.gtype g.Func.gaddr);
+  Func.global_set_impl :=
+    fun (g : Func.global) v -> write_scalar g.Func.gctx g.Func.gtype g.Func.gaddr v
+
+(* ------------------------------------------------------------------ *)
+(* Wrapping Lua functions as VM imports so Terra can call into Lua *)
+
+let lua_import_counter = ref 0
+
+let lua_wrapper ctx (fn : V.t) (arg_tys : Types.t list) (ret_ty : Types.t) :
+    string =
+  incr lua_import_counter;
+  let name = Printf.sprintf "luafn#%d" !lua_import_counter in
+  Vm.register_builtin ctx.Context.vm name (fun _vm args ->
+      let lua_args =
+        List.mapi (fun i ty -> of_vm ctx ty args.(i)) arg_tys
+      in
+      let rets = Mlua.Interp.call_value fn lua_args in
+      match (ret_ty, rets) with
+      | Types.Tunit, _ -> Vm.VUnit
+      | ty, r :: _ -> to_vm ctx ty r
+      | _, [] -> Vm.VUnit);
+  name
+
+let () = Typecheck.lua_wrapper := lua_wrapper

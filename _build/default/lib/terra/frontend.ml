@@ -1,0 +1,644 @@
+(** The combined Lua–Terra surface syntax (the paper's preprocessor,
+    Section 5): [terra] definitions, [struct] declarations, [quote]
+    blocks, backtick expression quotations, and [\[e\]] escapes.
+
+    Terra constructs parse into {!Mlua.Ast} extension nodes holding
+    closures over the lexical scope; evaluating one specializes the Terra
+    code in that scope — exactly the paper's "call to specialize the Terra
+    function in the local environment". *)
+
+module V = Mlua.Value
+module L = Mlua.Lexer
+module P = Mlua.Parser
+module I = Mlua.Interp
+open Tast
+
+let perror p msg = raise (P.Parse_error (msg, P.line p))
+
+(* ------------------------------------------------------------------ *)
+(* Type expressions: & prefixes, {..}->.. function types, otherwise a
+   Lua suffixed expression evaluated at specialization time. *)
+
+let rec parse_type p : lua_thunk =
+  if P.accept_sym p "&" then begin
+    let inner = parse_type p in
+    fun scope -> Types.wrap (Types.ptr (Specialize.eval_type scope inner))
+  end
+  else if P.accept_sym p "{" then begin
+    let args = ref [] in
+    if not (P.accept_sym p "}") then begin
+      let rec go () =
+        args := parse_type p :: !args;
+        if P.accept_sym p "," then go () else P.expect_sym p "}"
+      in
+      go ()
+    end;
+    let args = List.rev !args in
+    if P.accept_sym p "->" then begin
+      let ret = parse_type p in
+      fun scope ->
+        Types.wrap
+          (Types.Tfunc
+             ( List.map (fun t -> Specialize.eval_type scope t) args,
+               Specialize.eval_type scope ret ))
+    end
+    else if args = [] then fun _ -> Types.wrap Types.Tunit
+    else perror p "tuple types are not supported (expected '->')"
+  end
+  else begin
+    (* A restricted Lua expression: Name(.Name)* with optional call
+       arguments, or a parenthesized Lua expression. Array suffixes [N]
+       require a literal count so that a following [stmts] splice is not
+       swallowed (the full Lua grammar stays available via parentheses). *)
+    let base =
+      if P.accept_sym p "(" then begin
+        let e = P.parse_expr p in
+        P.expect_sym p ")";
+        e
+      end
+      else
+        let rec path e =
+          if P.accept_sym p "." then
+            path (Mlua.Ast.Eindex (e, Mlua.Ast.Estr (P.expect_name p)))
+          else if P.peek p = L.Tsym "(" then begin
+            P.advance p;
+            let args =
+              if P.accept_sym p ")" then []
+              else begin
+                let rec go acc =
+                  let a = P.parse_expr p in
+                  if P.accept_sym p "," then go (a :: acc)
+                  else begin
+                    P.expect_sym p ")";
+                    List.rev (a :: acc)
+                  end
+                in
+                go []
+              end
+            in
+            path (Mlua.Ast.Ecall (e, args))
+          end
+          else e
+        in
+        path (Mlua.Ast.Evar (P.expect_name p))
+    in
+    let rec array_suffix e =
+      match (P.peek p, P.peek2 p) with
+      | L.Tsym "[", L.Tnum (n, _) ->
+          P.advance p;
+          P.advance p;
+          P.expect_sym p "]";
+          array_suffix (Mlua.Ast.Eindex (e, Mlua.Ast.Enum n))
+      | _ -> e
+    in
+    let e = array_suffix base in
+    fun scope ->
+      let v = I.eval scope e in
+      match Types.unwrap_opt v with
+      | Some _ -> v
+      | None ->
+          raise
+            (Specialize.Spec_error
+               (Printf.sprintf "type expression evaluated to %s, not a type"
+                  (V.type_name v)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Terra expressions *)
+
+let escape_thunk e : lua_thunk = fun scope -> I.eval scope e
+
+(* The body of a [..] escape: usually a Lua expression, but the paper also
+   writes type escapes like [&PixelType](..) — a leading '&' switches to
+   the type grammar. *)
+let parse_escape_body parse_type p : lua_thunk =
+  match P.peek p with
+  | L.Tsym "&" -> parse_type p
+  | _ -> escape_thunk (P.parse_expr p)
+
+let terra_binop_of_token = function
+  | L.Tkw "or" -> Some ("or", 1, 2)
+  | L.Tkw "and" -> Some ("and", 2, 3)
+  | L.Tsym "<" -> Some ("<", 3, 4)
+  | L.Tsym ">" -> Some (">", 3, 4)
+  | L.Tsym "<=" -> Some ("<=", 3, 4)
+  | L.Tsym ">=" -> Some (">=", 3, 4)
+  | L.Tsym "==" -> Some ("==", 3, 4)
+  | L.Tsym "~=" -> Some ("~=", 3, 4)
+  | L.Tsym "+" -> Some ("+", 6, 7)
+  | L.Tsym "-" -> Some ("-", 6, 7)
+  | L.Tsym "*" -> Some ("*", 7, 8)
+  | L.Tsym "/" -> Some ("/", 7, 8)
+  | L.Tsym "%" -> Some ("%", 7, 8)
+  | _ -> None
+
+let unary_prec = 8
+
+let rec parse_texpr p : uexpr = parse_tbin p 0
+
+and parse_tbin p limit =
+  let left =
+    match P.peek p with
+    | L.Tkw "not" ->
+        P.advance p;
+        Uop ("not", [ parse_tbin p unary_prec ])
+    | L.Tsym "-" ->
+        P.advance p;
+        Uop ("-", [ parse_tbin p unary_prec ])
+    | L.Tsym "@" ->
+        P.advance p;
+        Uop ("@", [ parse_tbin p unary_prec ])
+    | L.Tsym "&" ->
+        P.advance p;
+        Uop ("&", [ parse_tbin p unary_prec ])
+    | _ -> parse_tsuffixed p
+  in
+  let rec loop left =
+    match terra_binop_of_token (P.peek p) with
+    | Some (op, lprec, rprec) when lprec > limit ->
+        P.advance p;
+        let right = parse_tbin p (rprec - 1) in
+        loop (Uop (op, [ left; right ]))
+    | _ -> left
+  in
+  loop left
+
+and parse_tprimary p : uexpr =
+  match P.peek p with
+  | L.Tnum (v, L.NInt) ->
+      P.advance p;
+      Ulit (Lint (Int64.of_float v))
+  | L.Tnum (v, L.NFloat) ->
+      P.advance p;
+      Ulit (Lfloat (v, false))
+  | L.Tnum (v, L.NFloat32) ->
+      P.advance p;
+      Ulit (Lfloat (v, true))
+  | L.Tstr s ->
+      P.advance p;
+      Ulit (Lstring s)
+  | L.Tkw "true" ->
+      P.advance p;
+      Ulit (Lbool true)
+  | L.Tkw "false" ->
+      P.advance p;
+      Ulit (Lbool false)
+  | L.Tkw "nil" ->
+      P.advance p;
+      Ulit Lnullptr
+  | L.Tname n ->
+      P.advance p;
+      Uvar n
+  | L.Tsym "(" ->
+      P.advance p;
+      let e = parse_texpr p in
+      P.expect_sym p ")";
+      e
+  | L.Tsym "[" ->
+      P.advance p;
+      let thunk = parse_escape_body parse_type p in
+      P.expect_sym p "]";
+      Uescape ("escape", thunk)
+  | t -> P.errorf p "unexpected %a in terra expression" L.pp_token t
+
+and parse_tsuffixed p : uexpr =
+  let base = parse_tprimary p in
+  parse_tsuffixes p base
+
+and parse_tsuffixes p base =
+  match P.peek p with
+  | L.Tsym "." ->
+      P.advance p;
+      let n = P.expect_name p in
+      parse_tsuffixes p (Uselect (base, n))
+  | L.Tsym "[" ->
+      P.advance p;
+      let i = parse_texpr p in
+      P.expect_sym p "]";
+      parse_tsuffixes p (Uindex (base, i))
+  | L.Tsym "(" ->
+      P.advance p;
+      let args = parse_targs p in
+      parse_tsuffixes p (Ucall (base, args))
+  | L.Tsym ":" ->
+      P.advance p;
+      let m = P.expect_name p in
+      P.expect_sym p "(";
+      let args = parse_targs p in
+      parse_tsuffixes p (Umethod (base, m, args))
+  | L.Tsym "{" ->
+      P.advance p;
+      let args = ref [] in
+      if not (P.accept_sym p "}") then begin
+        let rec go () =
+          args := parse_texpr p :: !args;
+          if P.accept_sym p "," then go () else P.expect_sym p "}"
+        in
+        go ()
+      end;
+      parse_tsuffixes p (Uconstruct (base, List.rev !args))
+  | _ -> base
+
+and parse_targs p =
+  if P.accept_sym p ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_texpr p in
+      if P.accept_sym p "," then go (e :: acc)
+      else begin
+        P.expect_sym p ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Terra statements *)
+
+let parse_varname p : uvarname =
+  match P.peek p with
+  | L.Tname n ->
+      P.advance p;
+      Uname n
+  | L.Tsym "[" ->
+      P.advance p;
+      let e = P.parse_expr p in
+      P.expect_sym p "]";
+      Uname_splice ("escape", escape_thunk e)
+  | t -> P.errorf p "expected a variable name, found %a" L.pp_token t
+
+let rec parse_tblock p : ublock =
+  let stats = ref [] in
+  let rec go () =
+    match P.peek p with
+    | L.Teof | L.Tkw ("end" | "else" | "elseif" | "until") -> ()
+    | L.Tsym ";" ->
+        P.advance p;
+        go ()
+    | _ ->
+        let s = parse_tstat p in
+        stats := s :: !stats;
+        (match s with Ureturn _ -> () | _ -> go ())
+  in
+  go ();
+  List.rev !stats
+
+and parse_tstat p : ustat =
+  match P.peek p with
+  | L.Tkw "var" ->
+      P.advance p;
+      let rec names acc =
+        let n = parse_varname p in
+        let ty = if P.accept_sym p ":" then Some (parse_type p) else None in
+        let acc = (n, ty) :: acc in
+        if P.accept_sym p "," then names acc else List.rev acc
+      in
+      let vars = names [] in
+      let inits =
+        if P.accept_sym p "=" then begin
+          let rec go acc =
+            let e = parse_texpr p in
+            if P.accept_sym p "," then go (e :: acc) else List.rev (e :: acc)
+          in
+          go []
+        end
+        else []
+      in
+      Udefvar (vars, inits)
+  | L.Tkw "if" ->
+      P.advance p;
+      let rec arms () =
+        let c = parse_texpr p in
+        P.expect_kw p "then";
+        let b = parse_tblock p in
+        match P.peek p with
+        | L.Tkw "elseif" ->
+            P.advance p;
+            let rest, els = arms () in
+            ((c, b) :: rest, els)
+        | L.Tkw "else" ->
+            P.advance p;
+            let els = parse_tblock p in
+            P.expect_kw p "end";
+            ([ (c, b) ], els)
+        | _ ->
+            P.expect_kw p "end";
+            ([ (c, b) ], [])
+      in
+      let arms, els = arms () in
+      Uif (arms, els)
+  | L.Tkw "while" ->
+      P.advance p;
+      let c = parse_texpr p in
+      P.expect_kw p "do";
+      let b = parse_tblock p in
+      P.expect_kw p "end";
+      Uwhile (c, b)
+  | L.Tkw "repeat" ->
+      P.advance p;
+      let b = parse_tblock p in
+      P.expect_kw p "until";
+      Urepeat (b, parse_texpr p)
+  | L.Tkw "for" ->
+      P.advance p;
+      let n = parse_varname p in
+      P.expect_sym p "=";
+      let lo = parse_texpr p in
+      P.expect_sym p ",";
+      let hi = parse_texpr p in
+      let step = if P.accept_sym p "," then Some (parse_texpr p) else None in
+      P.expect_kw p "do";
+      let b = parse_tblock p in
+      P.expect_kw p "end";
+      Ufor (n, lo, hi, step, b)
+  | L.Tkw "do" ->
+      P.advance p;
+      let b = parse_tblock p in
+      P.expect_kw p "end";
+      Ublock b
+  | L.Tkw "return" ->
+      P.advance p;
+      let e =
+        match P.peek p with
+        | L.Teof | L.Tkw ("end" | "else" | "elseif" | "until") | L.Tsym ";" ->
+            None
+        | _ -> Some (parse_texpr p)
+      in
+      ignore (P.accept_sym p ";");
+      Ureturn e
+  | L.Tkw "break" ->
+      P.advance p;
+      Ubreak
+  | L.Tsym "[" -> (
+      (* statement splice, or an assignment/call whose first expression
+         begins with an escape *)
+      P.advance p;
+      let thunk = parse_escape_body parse_type p in
+      P.expect_sym p "]";
+      let esc = Uescape ("escape", thunk) in
+      let suffixed = parse_tsuffixes p esc in
+      match (suffixed, P.peek p) with
+      | _, (L.Tsym "=" | L.Tsym ",") -> parse_assignment p suffixed
+      | (Ucall _ | Umethod _), _ -> Uexprstat suffixed
+      | Uescape (_, thunk), _ -> Usplice ("escape", thunk)
+      | _ -> perror p "this escape does not form a statement")
+  | _ -> (
+      let e = parse_tlhs p in
+      match P.peek p with
+      | L.Tsym "=" | L.Tsym "," -> parse_assignment p e
+      | _ -> (
+          match e with
+          | Ucall _ | Umethod _ -> Uexprstat e
+          | _ -> perror p "terra expression is not a statement"))
+
+(* assignment targets may be deref expressions: @p = v *)
+and parse_tlhs p =
+  if P.accept_sym p "@" then Uop ("@", [ parse_tlhs p ])
+  else parse_tsuffixed p
+
+and parse_assignment p first =
+  let lhss = ref [ first ] in
+  let rec more () =
+    if P.accept_sym p "," then begin
+      lhss := parse_tlhs p :: !lhss;
+      more ()
+    end
+    else P.expect_sym p "="
+  in
+  more ();
+  let rec rhs acc =
+    let e = parse_texpr p in
+    if P.accept_sym p "," then rhs (e :: acc) else List.rev (e :: acc)
+  in
+  Uassign (List.rev !lhss, rhs [])
+
+(* ------------------------------------------------------------------ *)
+(* Function headers and definitions *)
+
+let parse_params p =
+  P.expect_sym p "(";
+  if P.accept_sym p ")" then []
+  else begin
+    let rec go acc =
+      let n = parse_varname p in
+      P.expect_sym p ":";
+      let ty = parse_type p in
+      let acc = (n, Some ty) :: acc in
+      if P.accept_sym p "," then go acc
+      else begin
+        P.expect_sym p ")";
+        List.rev acc
+      end
+    in
+    go []
+  end
+
+let parse_func_tail p =
+  let params = parse_params p in
+  let ret = if P.accept_sym p ":" then Some (parse_type p) else None in
+  let body = parse_tblock p in
+  P.expect_kw p "end";
+  (params, ret, body)
+
+(* Specialize and fill in a function object (eager specialization). *)
+let define_function ctx (f : Func.t) scope ~params ~ret ~body =
+  let sparams, sret, sbody = Specialize.func scope ~params ~rettype:ret ~body in
+  Func.define f ~params:sparams ~ret:sret ~body:sbody;
+  ignore ctx
+
+(* Resolve the variable a named terra/struct definition binds to: an
+   existing local/global of that name, or a fresh global. *)
+let bind_name scope name v =
+  match V.scope_find scope name with
+  | Some box -> box := v
+  | None -> (
+      match V.scope_globals scope with
+      | Some g -> V.raw_set_str g name v
+      | None -> V.error_str "no globals table")
+
+let lookup_name scope name = V.scope_lookup scope name
+
+(* ------------------------------------------------------------------ *)
+(* Statement hook: terra definitions and struct declarations *)
+
+type target =
+  | Tgt_name of string
+  | Tgt_method of string * string  (** Type:method *)
+  | Tgt_path of string * string list  (** t.a.b *)
+
+let parse_def_target p =
+  let first = P.expect_name p in
+  if P.accept_sym p ":" then Tgt_method (first, P.expect_name p)
+  else begin
+    let rec path acc =
+      if P.accept_sym p "." then path (P.expect_name p :: acc)
+      else List.rev acc
+    in
+    match path [] with [] -> Tgt_name first | fields -> Tgt_path (first, fields)
+  end
+
+let stat_hook ctx p tok : Mlua.Ast.stat_desc option =
+  let terra_def () =
+      P.advance p;
+      let target = parse_def_target p in
+      if P.accept_sym p "::" then begin
+        (* forward declaration with an explicit type (the calculus' tdecl):
+           terra f :: {int} -> bool *)
+        let tythunk = parse_type p in
+        match target with
+        | Tgt_name name ->
+            Some
+              (Mlua.Ast.Sprim
+                 ( "terra-decl " ^ name,
+                   fun scope ->
+                     let f = Func.declare ctx name in
+                     (match Specialize.eval_type scope tythunk with
+                     | Types.Tfunc _ as t -> f.Func.ftype <- Some t
+                     | t ->
+                         V.error_str
+                           (Printf.sprintf
+                              "declaration of %s: expected a function type, \
+                               got %s"
+                              name (Types.to_string t)));
+                     bind_name scope name (Func.wrap f) ))
+        | _ -> perror p "forward declarations must use a plain name"
+      end
+      else begin
+      let params, ret, body = parse_func_tail p in
+      match target with
+      | Tgt_name name ->
+          Some
+            (Mlua.Ast.Sprim
+               ( "terra " ^ name,
+                 fun scope ->
+                   let f =
+                     match Func.unwrap_opt (lookup_name scope name) with
+                     | Some f when not (Func.is_defined f) -> f
+                     | Some _ ->
+                         V.error_str
+                           (Printf.sprintf
+                              "terra function '%s' is already defined \
+                               (definitions are immutable; typechecking \
+                               stays monotonic)"
+                              name)
+                     | None ->
+                         let f = Func.declare ctx name in
+                         bind_name scope name (Func.wrap f);
+                         f
+                   in
+                   define_function ctx f scope ~params ~ret ~body ))
+      | Tgt_method (tyname, mname) ->
+          Some
+            (Mlua.Ast.Sprim
+               ( Printf.sprintf "terra %s:%s" tyname mname,
+                 fun scope ->
+                   let tyv = lookup_name scope tyname in
+                   match Types.unwrap_opt tyv with
+                   | Some (Types.Tstruct s as st) ->
+                       let f =
+                         Func.declare ctx (tyname ^ ":" ^ mname)
+                       in
+                       let self_ty _ = Types.wrap (Types.ptr st) in
+                       let params = (Uname "self", Some self_ty) :: params in
+                       define_function ctx f scope ~params ~ret ~body;
+                       V.raw_set_str s.Types.methods mname (Func.wrap f)
+                   | _ ->
+                       V.error_str
+                         (Printf.sprintf
+                            "method definition on '%s', which is not a \
+                             struct type"
+                            tyname) ))
+      | Tgt_path (first, fields) ->
+          Some
+            (Mlua.Ast.Sprim
+               ( "terra " ^ first ^ "." ^ String.concat "." fields,
+                 fun scope ->
+                   let f =
+                     Func.declare ctx (String.concat "." (first :: fields))
+                   in
+                   define_function ctx f scope ~params ~ret ~body;
+                   (* walk the table path and store the function *)
+                   let rec walk v = function
+                     | [] -> assert false
+                     | [ last ] -> I.newindex v (V.Str last) (Func.wrap f)
+                     | fld :: rest -> walk (I.index v (V.Str fld)) rest
+                   in
+                   walk (lookup_name scope first) fields ))
+      end
+  in
+  match tok with
+  | L.Tkw "terra" -> terra_def ()
+  | L.Tkw "struct" ->
+      P.advance p;
+      let name = P.expect_name p in
+      P.expect_sym p "{";
+      let entries = ref [] in
+      let rec go () =
+        if P.accept_sym p "}" then ()
+        else begin
+          let fname = P.expect_name p in
+          P.expect_sym p ":";
+          let ty = parse_type p in
+          entries := (fname, ty) :: !entries;
+          if P.accept_sym p ";" || P.accept_sym p "," then go ()
+          else P.expect_sym p "}"
+        end
+      in
+      go ();
+      let entries = List.rev !entries in
+      Some
+        (Mlua.Ast.Sprim
+           ( "struct " ^ name,
+             fun scope ->
+               let s = Types.new_struct name in
+               (* bind first so entry types may refer to &Name *)
+               bind_name scope name (Types.wrap (Types.Tstruct s));
+               List.iter
+                 (fun (fname, ty) ->
+                   Types.add_entry s fname (Specialize.eval_type scope ty))
+                 entries ))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression hook: anonymous terra functions, quote blocks, backtick *)
+
+let expr_hook ctx p tok : Mlua.Ast.expr option =
+  match tok with
+  | L.Tsym "&" ->
+      (* a pointer-type expression in Lua position: &int, &&Image *)
+      let thunk = parse_type p in
+      Some (Mlua.Ast.Eprim ("&type", fun scope -> thunk scope))
+  | L.Tkw "terra" when P.peek2 p = L.Tsym "(" ->
+      P.advance p;
+      let params, ret, body = parse_func_tail p in
+      Some
+        (Mlua.Ast.Eprim
+           ( "terra-expression",
+             fun scope ->
+               let f = Func.declare ctx "anonymous" in
+               define_function ctx f scope ~params ~ret ~body;
+               Func.wrap f ))
+  | L.Tkw "quote" ->
+      P.advance p;
+      let body = parse_tblock p in
+      P.expect_kw p "end";
+      Some
+        (Mlua.Ast.Eprim
+           ( "quote",
+             fun scope -> wrap_quote (Qstmts (Specialize.block scope body)) ))
+  | L.Tsym "`" ->
+      P.advance p;
+      let e = parse_texpr p in
+      Some
+        (Mlua.Ast.Eprim
+           ( "`",
+             fun scope ->
+               let s = V.new_scope ~parent:scope () in
+               wrap_quote (Qexpr (Specialize.expr s e)) ))
+  | _ -> None
+
+(** Parser hooks for a given context, to pass to {!Mlua.Parser.create} or
+    {!Mlua.Driver.run_in}. *)
+let hooks ctx =
+  ((fun p tok -> expr_hook ctx p tok), fun p tok -> stat_hook ctx p tok)

@@ -1,0 +1,234 @@
+(** Terra function objects and their lifecycle (Section 4.1):
+
+    declaration (a fresh address, rule LTDECL) → definition with *eager
+    specialization* (LTDEFN) → *lazy* typechecking and compilation at
+    first call or first reference from a called function.
+
+    Also defines the userdata payloads making Terra entities first-class
+    Lua values: functions, global variables, and compiler intrinsics. *)
+
+module V = Mlua.Value
+
+exception Link_error of string
+
+type def = {
+  dparams : (Tast.sym * Types.t) list;
+  dret : Types.t option;  (** None: inferred from return statements *)
+  dbody : Tast.sblock;
+}
+
+type t = {
+  fid : int;
+  mutable name : string;
+  ctx : Context.t;
+  vmid : int;  (** VM function id, assigned at declaration *)
+  mutable def : def option;
+  mutable ftype : Types.t option;
+  mutable typed : typed option;
+  mutable compiled : bool;
+  mutable extern_name : string option;  (** modeled C import *)
+  mutable always_inline : bool;
+      (** single-expression functions marked inline are substituted into
+          callers at typecheck time, as LLVM does for the class system's
+          dispatch stubs *)
+  mutable no_spill : bool;
+      (** model hand-written assembly with perfect register allocation:
+          skip the vector spill-modeling pass (used for the ATLAS-model
+          comparator) *)
+}
+
+and typed = {
+  tparams : (Tast.sym * Types.t) list;
+  tret : Types.t;
+  tbody : Tast.tblock;
+  trefs : t list;  (** referenced Terra functions, for linking (Fig. 4) *)
+}
+
+type global = { gaddr : int; gtype : Types.t; gctx : Context.t }
+
+type Mlua.Value.u +=
+  | Ufunc of t
+  | Uglobal of global
+  | Uintrin of string
+
+let next_fid = ref 0
+
+let declare ctx name =
+  incr next_fid;
+  let vmid = Tvm.Vm.declare_func ctx.Context.vm name in
+  {
+    fid = !next_fid;
+    name;
+    ctx;
+    vmid;
+    def = None;
+    ftype = None;
+    typed = None;
+    compiled = false;
+    extern_name = None;
+    always_inline = false;
+    no_spill = false;
+  }
+
+let is_defined f = f.def <> None
+
+(** Fill in a declaration (LTDEFN). Redefinition is an error: the
+    monotonicity of typechecking (Section 4.1) depends on it. *)
+let define f ~params ~ret ~body =
+  if is_defined f then
+    failwith (Printf.sprintf "terra function '%s' is already defined" f.name);
+  (* a forward declaration (tdecl) may have fixed the type already *)
+  let ret =
+    match (ret, f.ftype) with
+    | Some r, Some (Types.Tfunc (dparams, dret)) ->
+        if
+          not
+            (Types.equal dret r
+            && List.length dparams = List.length params
+            && List.for_all2 Types.equal dparams (List.map snd params))
+        then
+          failwith
+            (Printf.sprintf
+               "terra function '%s': definition does not match its declared \
+                type %s"
+               f.name
+               (Types.to_string (Types.Tfunc (dparams, dret))));
+        Some r
+    | None, Some (Types.Tfunc (dparams, dret)) ->
+        if List.length dparams <> List.length params then
+          failwith
+            (Printf.sprintf
+               "terra function '%s': definition does not match its declared \
+                arity" f.name);
+        Some dret
+    | ret, _ -> ret
+  in
+  f.def <- Some { dparams = params; dret = ret; dbody = body };
+  match ret with
+  | Some r -> f.ftype <- Some (Types.Tfunc (List.map snd params, r))
+  | None -> ()
+
+(** An extern function (a modeled C import from includec). *)
+let extern ctx ~name ~cname ~params ~ret =
+  let f = declare ctx name in
+  f.extern_name <- Some cname;
+  f.ftype <- Some (Types.Tfunc (params, ret));
+  f
+
+(* Calling and pretty-printing need the JIT, which lives above this
+   module; it installs itself here. *)
+let call_impl : (t -> V.t list -> V.t list) ref =
+  ref (fun _ _ -> failwith "Terra JIT not initialized")
+
+let func_meta : V.table = V.new_table ()
+
+let wrap f =
+  let ud = V.new_userdata ~tag:"terrafunction" (Ufunc f) in
+  ud.V.umeta <- Some func_meta;
+  V.Userdata ud
+
+let unwrap_opt v =
+  match v with V.Userdata { u = Ufunc f; _ } -> Some f | _ -> None
+
+let type_of f =
+  match f.ftype with
+  | Some t -> t
+  | None -> (
+      match f.typed with
+      | Some ty -> Types.Tfunc (List.map snd ty.tparams, ty.tret)
+      | None ->
+          raise
+            (Link_error
+               (Printf.sprintf
+                  "type of function '%s' is not yet known (missing return \
+                   annotation on a function that has not been typechecked)"
+                  f.name)))
+
+let () =
+  V.raw_set_str func_meta "__call"
+    (V.Func
+       (V.new_func ~name:"terra_call" (fun args ->
+            match args with
+            | V.Userdata { u = Ufunc f; _ } :: rest -> !call_impl f rest
+            | _ -> V.error_str "bad terra function call")));
+  V.raw_set_str func_meta "__tostring"
+    (V.Func
+       (V.new_func ~name:"terra_tostring" (fun args ->
+            match args with
+            | V.Userdata { u = Ufunc f; _ } :: _ ->
+                [
+                  V.Str
+                    (Printf.sprintf "terra function %s%s" f.name
+                       (match f.ftype with
+                       | Some t -> " : " ^ Types.to_string t
+                       | None -> ""));
+                ]
+            | _ -> [ V.Str "terra function" ])));
+  V.raw_set_str func_meta "__index"
+    (V.Func
+       (V.new_func ~name:"terra_index" (fun args ->
+            match args with
+            | V.Userdata { u = Ufunc f; _ } :: V.Str key :: _ -> (
+                match key with
+                | "name" -> [ V.Str f.name ]
+                | "gettype" ->
+                    [
+                      V.Func
+                        (V.new_func ~name:"gettype" (fun _ ->
+                             [ Types.wrap (type_of f) ]));
+                    ]
+                | "isdefined" ->
+                    [
+                      V.Func
+                        (V.new_func ~name:"isdefined" (fun _ ->
+                             [ V.Bool (is_defined f) ]));
+                    ]
+                | _ -> [ V.Nil ])
+            | _ -> [ V.Nil ])))
+
+(* Global variables *)
+
+let global_meta : V.table = V.new_table ()
+
+let new_global ctx ?init ty =
+  let size = max 1 (Types.sizeof ty) in
+  let addr = Context.alloc_static ctx ~align:(Types.alignof ty) size in
+  (match init with
+  | None -> ()
+  | Some f -> f addr);
+  { gaddr = addr; gtype = ty; gctx = ctx }
+
+let wrap_global g =
+  let ud = V.new_userdata ~tag:"terraglobal" (Uglobal g) in
+  ud.V.umeta <- Some global_meta;
+  V.Userdata ud
+
+(* get/set from Lua installed by the FFI module *)
+let global_get_impl : (global -> V.t) ref = ref (fun _ -> V.Nil)
+let global_set_impl : (global -> V.t -> unit) ref = ref (fun _ _ -> ())
+
+let () =
+  V.raw_set_str global_meta "__index"
+    (V.Func
+       (V.new_func ~name:"global_index" (fun args ->
+            match args with
+            | V.Userdata { u = Uglobal g; _ } :: V.Str key :: _ -> (
+                match key with
+                | "type" -> [ Types.wrap g.gtype ]
+                | "get" ->
+                    [
+                      V.Func
+                        (V.new_func ~name:"get" (fun _ ->
+                             [ !global_get_impl g ]));
+                    ]
+                | "set" ->
+                    [
+                      V.Func
+                        (V.new_func ~name:"set" (fun sargs ->
+                             (match sargs with
+                             | _ :: v :: _ -> !global_set_impl g v
+                             | _ -> ());
+                             []));
+                    ]
+                | _ -> [ V.Nil ])
+            | _ -> [ V.Nil ])))

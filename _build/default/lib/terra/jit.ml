@@ -1,0 +1,97 @@
+(** The JIT driver: lazy typechecking and compilation of whole connected
+    components (the paper's Figure 4 linking discipline), plus calling
+    Terra functions from Lua/OCaml through the FFI. *)
+
+module V = Mlua.Value
+
+exception Terra_error of string
+
+(** Typecheck and compile [f] together with every Terra function its body
+    references, transitively. Raises {!Func.Link_error} if any referenced
+    function is declared but not defined. *)
+let ensure_compiled (f : Func.t) =
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit (g : Func.t) =
+    if not (Hashtbl.mem visited g.Func.fid) then begin
+      Hashtbl.replace visited g.Func.fid ();
+      if g.Func.extern_name = None then begin
+        let typed = Typecheck.typecheck g in
+        if not g.Func.compiled then begin
+          let result =
+            Compile.compile_func ~no_spill:g.Func.no_spill g.Func.ctx
+              ~name:g.Func.name typed
+          in
+          Tvm.Vm.set_func g.Func.ctx.Context.vm g.Func.vmid result.Compile.func;
+          g.Func.compiled <- true
+        end;
+        List.iter visit typed.Func.trefs
+      end
+    end
+  in
+  visit f
+
+let func_param_types (f : Func.t) =
+  match Func.type_of f with
+  | Types.Tfunc (params, ret) -> (params, ret)
+  | t ->
+      raise
+        (Terra_error
+           (Printf.sprintf "'%s' has non-function type %s" f.Func.name
+              (Types.to_string t)))
+
+(** Call a Terra function with Lua arguments (JIT-compiling on first call,
+    as in the paper: "Terra code is compiled when a Terra function is
+    typechecked the first time it is run"). *)
+let call (f : Func.t) (args : V.t list) : V.t list =
+  ensure_compiled f;
+  let params, ret = func_param_types f in
+  if List.length params <> List.length args then
+    raise
+      (Terra_error
+         (Printf.sprintf "'%s' expects %d arguments, got %d" f.Func.name
+            (List.length params) (List.length args)));
+  let ctx = f.Func.ctx in
+  let argv = List.map2 (fun ty v -> Ffi.to_vm ctx ty v) params args in
+  match ret with
+  | Types.Tstruct _ | Types.Tarray _ ->
+      (* aggregate result: hidden destination pointer, returned as cdata *)
+      let dst =
+        Tvm.Alloc.malloc ctx.Context.vm.Tvm.Vm.alloc
+          (max 1 (Types.sizeof ret))
+      in
+      let argv = Array.of_list (Tvm.Vm.VI (Int64.of_int dst) :: argv) in
+      ignore (Tvm.Vm.call ctx.Context.vm f.Func.vmid argv);
+      [ Ffi.wrap_cdata ctx ret dst ]
+  | Types.Tunit ->
+      ignore (Tvm.Vm.call ctx.Context.vm f.Func.vmid (Array.of_list argv));
+      []
+  | ret ->
+      let result = Tvm.Vm.call ctx.Context.vm f.Func.vmid (Array.of_list argv) in
+      [ Ffi.of_vm ctx ret result ]
+
+(* Compilation failures surface as Lua errors so pcall can observe them,
+   as in the paper's implementation where typechecking happens during the
+   evaluation of the Lua program. *)
+let call_wrapped f args =
+  try call f args with
+  | Typecheck.Tc_error msg
+  | Func.Link_error msg
+  | Specialize.Spec_error msg
+  | Types.Type_error msg
+  | Compile.Compile_error msg ->
+      raise (Mlua.Value.Lua_error (Mlua.Value.Str msg))
+  | Terra_error msg -> raise (Mlua.Value.Lua_error (Mlua.Value.Str msg))
+
+let () = Func.call_impl := call_wrapped
+
+(** Compile (if needed) and return the raw VM id, for callers that invoke
+    through {!Tvm.Vm.call} directly with VM values (benchmarks). *)
+let vm_handle (f : Func.t) =
+  ensure_compiled f;
+  f.Func.vmid
+
+(** Disassemble the compiled code of a function, for tests and debugging. *)
+let disas (f : Func.t) =
+  ensure_compiled f;
+  Format.asprintf "%a" Tvm.Ir.pp_func
+    (Tvm.Vm.func f.Func.ctx.Context.vm f.Func.vmid)

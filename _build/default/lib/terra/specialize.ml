@@ -1,0 +1,187 @@
+(** Eager, hygienic specialization (the paper's [→S] judgment, Figure 2).
+
+    Specialization evaluates every escape and type annotation in the
+    *shared* Lua lexical environment, renames Terra-bound variables to
+    fresh symbols (hygiene), and embeds resolved Lua values into the
+    specialized term. It runs as soon as a [terra] definition or a
+    quotation is evaluated — mutations to Lua variables afterwards cannot
+    change the meaning of specialized code (Section 4.1). *)
+
+module V = Mlua.Value
+open Tast
+
+exception Spec_error of string
+
+let spec_error fmt = Format.kasprintf (fun s -> raise (Spec_error s)) fmt
+
+let eval_type scope (thunk : lua_thunk) : Types.t =
+  let v = thunk scope in
+  match Types.unwrap_opt v with
+  | Some t -> t
+  | None ->
+      spec_error "type annotation evaluated to %s, not a terra type"
+        (V.type_name v)
+
+(** Classify a Lua value appearing in Terra code (escape result or
+    variable resolution) into a specialized term. *)
+let term_of_value name (v : V.t) : sexpr =
+  match v with
+  | V.Userdata { u = Usym s; _ } -> Svar s
+  | V.Userdata { u = Uquote (Qexpr e); _ } -> e
+  | V.Userdata { u = Uquote (Qstmts [ Sexprstat e ]); _ } -> e
+  | V.Userdata { u = Uquote (Qstmts _); _ } ->
+      spec_error
+        "escape [%s]: a statement quotation cannot be spliced into an \
+         expression"
+        name
+  | V.Num n ->
+      if Float.is_integer n && Float.abs n < 9.2e18 then
+        Slit (Lint (Int64.of_float n))
+      else Slit (Lfloat (n, false))
+  | V.Bool b -> Slit (Lbool b)
+  | V.Str s -> Slit (Lstring s)
+  | V.Nil -> spec_error "'%s' resolved to nil during specialization" name
+  | V.Table _ | V.Func _ | V.Userdata _ -> Sluaval v
+
+(* Fresh-rename a Terra-bound variable and bind the symbol into the shared
+   environment so Lua escapes in scope see it (rules LTDEFN / SLET). *)
+let bind_fresh scope ?typ name =
+  let s = fresh_sym ?typ name in
+  V.scope_define scope name (wrap_sym s);
+  s
+
+let resolve_varname scope (n : uvarname) ~typ =
+  match n with
+  | Uname name ->
+      let t = Option.map (eval_type scope) typ in
+      bind_fresh scope ?typ:t name
+  | Uname_splice (what, thunk) -> (
+      match thunk scope with
+      | V.Userdata { u = Usym s; _ } -> (
+          (* A spliced symbol is used as-is: the paper's selective
+             violation of hygiene via symbol(). An annotation on the
+             declaration overrides the symbol's own type. *)
+          match typ with
+          | Some th -> { s with symtype = Some (eval_type scope th) }
+          | None -> s)
+      | v ->
+          spec_error "[%s] in variable position must be a symbol, got %s"
+            what (V.type_name v))
+
+let rec expr (scope : V.scope) (e : uexpr) : sexpr =
+  match e with
+  | Ulit l -> Slit l
+  | Uvar name -> (
+      match V.scope_find scope name with
+      | Some box -> term_of_value name !box
+      | None -> (
+          match V.scope_globals scope with
+          | Some g -> (
+              match V.raw_get_str g name with
+              | V.Nil -> spec_error "undefined variable '%s' in terra code" name
+              | v -> term_of_value name v)
+          | None -> spec_error "undefined variable '%s' in terra code" name))
+  | Uescape (what, thunk) -> term_of_value what (thunk scope)
+  | Uop (op, args) -> Sop (op, List.map (expr scope) args)
+  | Ucall (f, args) -> Scall (expr scope f, List.map (expr scope) args)
+  | Umethod (o, m, args) ->
+      Smethod (expr scope o, m, List.map (expr scope) args)
+  | Uselect (base, field) -> (
+      let b = expr scope base in
+      match b with
+      | Sluaval v -> (
+          (* Nested Lua table lookups (std.malloc) behave as if escaped. *)
+          match Mlua.Interp.index v (V.Str field) with
+          | V.Nil ->
+              spec_error "'%s' not found during specialization" field
+          | r -> term_of_value field r)
+      | b -> Sselect (b, field))
+  | Uindex (b, i) -> Sindex (expr scope b, expr scope i)
+  | Uconstruct (prefix, args) -> (
+      match expr scope prefix with
+      | Sluaval v -> (
+          match Types.unwrap_opt v with
+          | Some t -> Sconstruct (t, List.map (expr scope) args)
+          | None ->
+              spec_error "constructor prefix is not a terra type (%s)"
+                (V.type_name v))
+      | _ -> spec_error "constructor prefix must resolve to a terra type")
+
+let rec stat (scope : V.scope) (s : ustat) (acc : sstat list) : sstat list =
+  match s with
+  | Udefvar (vars, inits) ->
+      (* Initializers see the environment before the new bindings. *)
+      let sinits = List.map (expr scope) inits in
+      let svars =
+        List.map
+          (fun (n, typ) ->
+            let s = resolve_varname scope n ~typ in
+            (s, s.symtype))
+          vars
+      in
+      Sdefvar (svars, sinits) :: acc
+  | Uassign (lhs, rhs) ->
+      Sassign (List.map (expr scope) lhs, List.map (expr scope) rhs) :: acc
+  | Uif (arms, els) ->
+      Sif
+        ( List.map (fun (c, b) -> (expr scope c, block scope b)) arms,
+          block scope els )
+      :: acc
+  | Uwhile (c, b) -> Swhile (expr scope c, block scope b) :: acc
+  | Urepeat (b, c) ->
+      (* the until-condition sees the body's scope *)
+      let s' = V.new_scope ~parent:scope () in
+      let sb = stats_in s' b in
+      Srepeat (sb, expr s' c) :: acc
+  | Ufor (n, lo, hi, step, b) ->
+      let slo = expr scope lo and shi = expr scope hi in
+      let sstep = Option.map (expr scope) step in
+      let s' = V.new_scope ~parent:scope () in
+      let sym = resolve_varname s' n ~typ:None in
+      Sfor (sym, slo, shi, sstep, stats_in s' b) :: acc
+  | Ublock b -> Sblock (block scope b) :: acc
+  | Ureturn e -> Sreturn (Option.map (expr scope) e) :: acc
+  | Ubreak -> Sbreak :: acc
+  | Uexprstat e -> Sexprstat (expr scope e) :: acc
+  | Usplice (what, thunk) -> splice_value what (thunk scope) acc
+
+and splice_value what (v : V.t) acc =
+  match v with
+  | V.Userdata { u = Uquote (Qstmts b); _ } -> List.rev_append b acc
+  | V.Userdata { u = Uquote (Qexpr e); _ } -> Sexprstat e :: acc
+  | V.Table t ->
+      (* a Lua list of quotations, spliced in order (Figure 5's loadc) *)
+      let n = V.length t in
+      let acc = ref acc in
+      for i = 1 to n do
+        acc := splice_value what (V.raw_get t (V.Num (float_of_int i))) !acc
+      done;
+      !acc
+  | V.Nil -> spec_error "statement escape [%s] evaluated to nil" what
+  | v -> Sexprstat (term_of_value what v) :: acc
+
+and stats_in scope b =
+  List.rev (List.fold_left (fun acc s -> stat scope s acc) [] b)
+
+and block scope b =
+  let s' = V.new_scope ~parent:scope () in
+  stats_in s' b
+
+(** Specialize a function definition: evaluate parameter/return types,
+    bind hygienic parameter symbols into a child of the shared scope,
+    then specialize the body (rule LTDEFN). *)
+let func scope ~(params : (uvarname * lua_thunk option) list)
+    ~(rettype : lua_thunk option) ~(body : ublock) =
+  let fscope = V.new_scope ~parent:scope () in
+  let sparams =
+    List.map
+      (fun (n, typ) ->
+        let s = resolve_varname fscope n ~typ in
+        match s.symtype with
+        | Some t -> (s, t)
+        | None -> spec_error "parameter '%s' needs a type annotation" s.symname)
+      params
+  in
+  let ret = Option.map (eval_type scope) rettype in
+  let sbody = stats_in fscope body in
+  (sparams, ret, sbody)

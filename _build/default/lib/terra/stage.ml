@@ -1,0 +1,122 @@
+(** OCaml-facing staging combinators.
+
+    The paper stages Terra from Lua; this module gives OCaml code the same
+    power (quotations, symbols, splicing, terra-function definition), used
+    by the auto-tuner and the Orion DSL back end. Quotations built here
+    are ordinary specialized terms, exactly what Lua-side [quote]
+    produces, so both worlds compose. *)
+
+module V = Mlua.Value
+open Tast
+
+type q = sexpr
+type st = sstat
+
+(* Literals *)
+let int_ n : q = Slit (Lint (Int64.of_int n))
+let i64 n : q = Slit (Lint n)
+let flt f : q = Slit (Lfloat (f, false))
+let f32 f : q = Slit (Lfloat (f, true))
+let bool_ b : q = Slit (Lbool b)
+let str s : q = Slit (Lstring s)
+let null : q = Slit Lnullptr
+
+(* Symbols (the paper's [symbol()], LISP's gensym) *)
+let sym ?(name = "s") ?ty () = fresh_sym ?typ:ty name
+let var (s : sym) : q = Svar s
+let syms ?(name = "s") n = List.init n (fun i -> sym ~name:(Printf.sprintf "%s%d" name i) ())
+
+(** A matrix of symbols, as Figure 5's [symmat]. *)
+let symmat ?(name = "m") rows cols =
+  Array.init rows (fun i ->
+      Array.init cols (fun j -> sym ~name:(Printf.sprintf "%s_%d_%d" name i j) ()))
+
+(* Expressions *)
+let binop op a b : q = Sop (op, [ a; b ])
+let unop op a : q = Sop (op, [ a ])
+let deref a : q = Sop ("@", [ a ])
+let addr a : q = Sop ("&", [ a ])
+let neg a : q = Sop ("-", [ a ])
+let not_ a : q = Sop ("not", [ a ])
+let call f args : q = Scall (f, args)
+let callf (f : Func.t) args : q = Scall (Sluaval (Func.wrap f), args)
+let method_ o m args : q = Smethod (o, m, args)
+let select e f : q = Sselect (e, f)
+let index b i : q = Sindex (b, i)
+let cast ty e : q = Scall (Sluaval (Types.wrap ty), [ e ])
+let construct ty args : q = Sconstruct (ty, args)
+let of_lua v : q = Specialize.term_of_value "ocaml-escape" v
+
+let intrinsic name args : q =
+  Scall (Sluaval (V.Userdata (V.new_userdata ~tag:"intrinsic" (Func.Uintrin name))), args)
+
+(** The paper's prefetch(addr, rw, locality, kind) — trailing arguments are
+    accepted and ignored, as in Figure 5. *)
+let prefetch ?(extra = []) addrq : q = intrinsic "prefetch" (addrq :: extra)
+let min_ a b : q = Sop ("min", [ a; b ])
+let max_ a b : q = Sop ("max", [ a; b ])
+
+module Infix = struct
+  let ( +! ) = binop "+"
+  let ( -! ) = binop "-"
+  let ( *! ) = binop "*"
+  let ( /! ) = binop "/"
+  let ( %! ) = binop "%"
+  let ( <! ) = binop "<"
+  let ( <=! ) = binop "<="
+  let ( >! ) = binop ">"
+  let ( >=! ) = binop ">="
+  let ( ==! ) = binop "=="
+  let ( <>! ) = binop "~="
+  let ( &&! ) = binop "and"
+  let ( ||! ) = binop "or"
+  let ( .%[] ) b i = index b i
+  let ( .%() ) e f = select e f
+end
+
+(* Statements *)
+let defvar ?ty ?init s : st =
+  Sdefvar ([ (s, ty) ], match init with Some i -> [ i ] | None -> [])
+
+let defvars vars inits : st = Sdefvar (vars, inits)
+let assign lhs rhs : st = Sassign (lhs, rhs)
+let assign1 l r : st = Sassign ([ l ], [ r ])
+let sif c then_ else_ : st = Sif ([ (c, then_) ], else_)
+let sifs arms else_ : st = Sif (arms, else_)
+let swhile c body : st = Swhile (c, body)
+let srepeat body c : st = Srepeat (body, c)
+let sfor ?step s lo hi body : st = Sfor (s, lo, hi, step, body)
+let sblock b : st = Sblock b
+let sreturn e : st = Sreturn e
+let sbreak : st = Sbreak
+let sexpr e : st = Sexprstat e
+
+(* Quotation values (to hand to Lua code or splice generically) *)
+let quote_expr (e : q) : V.t = wrap_quote (Qexpr e)
+let quote_stmts (b : st list) : V.t = wrap_quote (Qstmts b)
+
+(** Splice a list of statement quotations, Figure 5 style. *)
+let splice_all (qs : st list list) : st list = List.concat qs
+
+(* Terra functions *)
+let declare = Func.declare
+
+let define_func f ~params ?ret body =
+  Func.define f ~params ~ret ~body;
+  f
+
+(** Declare-and-define in one step. *)
+let func ctx ~name ~params ?ret body =
+  let f = Func.declare ctx name in
+  define_func f ~params ?ret body
+
+(** Define a method on a struct. *)
+let define_method ctx (s : Types.struct_info) ~name ~params ?ret body =
+  let f = func ctx ~name:(s.Types.sname ^ ":" ^ name) ~params ?ret body in
+  V.raw_set_str s.Types.methods name (Func.wrap f);
+  f
+
+let call_lua (f : Func.t) args = Jit.call f args
+
+(** Run a nullary Terra function and return nothing. *)
+let run0 (f : Func.t) = ignore (Jit.call f [])

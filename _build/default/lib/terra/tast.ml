@@ -1,0 +1,233 @@
+(** Terra abstract syntax at its three stages:
+
+    - untyped terms ([uexpr]/[ustat]): straight from the parser or the
+      OCaml staging combinators; type annotations and escapes are Lua
+      thunks evaluated during specialization.
+    - specialized terms ([sexpr]/[sstat]): escapes evaluated, variables
+      hygienically renamed to symbols, Lua values embedded — the paper's
+      "specialized Terra expressions ē".
+    - typed terms ([texpr]/[tstat]): produced by the lazy typechecker. *)
+
+module V = Mlua.Value
+
+type lua_thunk = V.scope -> V.t
+
+(** Symbols: unique Terra variable identities. [symbol()] (the paper's
+    gensym for selectively violating hygiene) creates them directly. *)
+type sym = { symid : int; symname : string; symtype : Types.t option }
+
+let next_symid = ref 0
+
+let fresh_sym ?typ name =
+  incr next_symid;
+  { symid = !next_symid; symname = name; symtype = typ }
+
+type literal =
+  | Lint of int64
+  | Lfloat of float * bool  (** value, is-f32 *)
+  | Lbool of bool
+  | Lstring of string
+  | Lnullptr
+
+(* ------------------------------------------------------------------ *)
+(* Untyped terms *)
+
+type uvarname = Uname of string | Uname_splice of string * lua_thunk
+
+type uexpr =
+  | Ulit of literal
+  | Uvar of string
+  | Uescape of string * lua_thunk  (** [e] *)
+  | Uop of string * uexpr list
+  | Ucall of uexpr * uexpr list
+  | Umethod of uexpr * string * uexpr list
+  | Uselect of uexpr * string
+  | Uindex of uexpr * uexpr
+  | Uconstruct of uexpr * uexpr list
+      (** T { e1, ... } — the prefix must specialize to a terra type *)
+
+type ustat =
+  | Udefvar of (uvarname * lua_thunk option) list * uexpr list
+  | Uassign of uexpr list * uexpr list
+  | Uif of (uexpr * ublock) list * ublock
+  | Uwhile of uexpr * ublock
+  | Urepeat of ublock * uexpr
+  | Ufor of uvarname * uexpr * uexpr * uexpr option * ublock
+  | Ublock of ublock
+  | Ureturn of uexpr option
+  | Ubreak
+  | Uexprstat of uexpr
+  | Usplice of string * lua_thunk  (** [stmts] in statement position *)
+
+and ublock = ustat list
+
+(* ------------------------------------------------------------------ *)
+(* Typed terms (defined first: [Sprechecked] embeds one in a quote when a
+   user __cast metamethod receives an already-typechecked expression) *)
+
+type texpr = { ty : Types.t; desc : tdesc }
+
+and tdesc =
+  | Tlit of literal
+  | Tvar of sym
+  | Tglobaladdr of int  (** address of a global variable's storage *)
+  | Tfuncval of int  (** VM function id as a function-pointer value *)
+  | Tbin of string * texpr * texpr
+  | Tun of string * texpr
+  | Tcall of int * texpr list  (** direct call of VM function id *)
+  | Tcallptr of texpr * texpr list
+  | Tccall of string * texpr list  (** call of a modeled C/builtin import *)
+  | Tderef of texpr
+  | Taddr of texpr
+  | Tfield of texpr * string * int * bool
+      (** base, field, byte offset; bool: base is a pointer *)
+  | Tindex of texpr * texpr
+  | Tcast of Types.t * texpr  (** target type is [ty]; source texpr *)
+  | Tconstruct of texpr list  (** struct/vector literal of type [ty] *)
+  | Tvecsplat of texpr
+
+and tstat =
+  | TSdef of (sym * Types.t) list * texpr list
+  | TSassign of texpr list * texpr list
+  | TSif of (texpr * tblock) list * tblock
+  | TSwhile of texpr * tblock
+  | TSrepeat of tblock * texpr
+  | TSfor of sym * Types.t * texpr * texpr * texpr option * tblock
+  | TSblock of tblock
+  | TSreturn of texpr option
+  | TSbreak
+  | TSexpr of texpr
+
+and tblock = tstat list
+
+(* ------------------------------------------------------------------ *)
+(* Specialized terms *)
+
+type sexpr =
+  | Slit of literal
+  | Svar of sym
+  | Sluaval of V.t  (** an embedded Lua value, classified at typecheck *)
+  | Sop of string * sexpr list
+  | Scall of sexpr * sexpr list
+  | Smethod of sexpr * string * sexpr list
+  | Sselect of sexpr * string
+  | Sindex of sexpr * sexpr
+  | Sconstruct of Types.t * sexpr list
+  | Sprechecked of texpr
+      (** an already-typechecked expression handed to a __cast metamethod
+          inside a quotation *)
+
+and sstat =
+  | Sdefvar of (sym * Types.t option) list * sexpr list
+  | Sassign of sexpr list * sexpr list
+  | Sif of (sexpr * sblock) list * sblock
+  | Swhile of sexpr * sblock
+  | Srepeat of sblock * sexpr
+  | Sfor of sym * sexpr * sexpr * sexpr option * sblock
+  | Sblock of sblock
+  | Sreturn of sexpr option
+  | Sbreak
+  | Sexprstat of sexpr
+
+and sblock = sstat list
+
+(** Quotations: specialized code as a Lua value. *)
+type quote = Qexpr of sexpr | Qstmts of sblock
+
+type Mlua.Value.u += Usym of sym | Uquote of quote
+
+let wrap_sym s =
+  let ud = V.new_userdata ~tag:"symbol" (Usym s) in
+  V.Userdata ud
+
+let wrap_quote q =
+  let ud = V.new_userdata ~tag:"quote" (Uquote q) in
+  V.Userdata ud
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing of specialized terms, for tests and error messages *)
+
+let pp_literal ppf = function
+  | Lint i -> Format.fprintf ppf "%Ld" i
+  | Lfloat (f, true) -> Format.fprintf ppf "%gf" f
+  | Lfloat (f, false) -> Format.fprintf ppf "%g" f
+  | Lbool b -> Format.fprintf ppf "%b" b
+  | Lstring s -> Format.fprintf ppf "%S" s
+  | Lnullptr -> Format.fprintf ppf "nil"
+
+let pp_sym ppf s = Format.fprintf ppf "%s_%d" s.symname s.symid
+
+let rec pp_sexpr ppf = function
+  | Slit l -> pp_literal ppf l
+  | Svar s -> pp_sym ppf s
+  | Sluaval v -> Format.fprintf ppf "<lua:%s>" (V.type_name v)
+  | Sop (op, [ a ]) -> Format.fprintf ppf "(%s %a)" op pp_sexpr a
+  | Sop (op, [ a; b ]) ->
+      Format.fprintf ppf "(%a %s %a)" pp_sexpr a op pp_sexpr b
+  | Sop (op, args) ->
+      Format.fprintf ppf "(%s %a)" op
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_sexpr)
+        args
+  | Scall (f, args) ->
+      Format.fprintf ppf "%a(%a)" pp_sexpr f pp_args args
+  | Smethod (o, m, args) ->
+      Format.fprintf ppf "%a:%s(%a)" pp_sexpr o m pp_args args
+  | Sselect (e, f) -> Format.fprintf ppf "%a.%s" pp_sexpr e f
+  | Sindex (e, i) -> Format.fprintf ppf "%a[%a]" pp_sexpr e pp_sexpr i
+  | Sconstruct (t, args) ->
+      Format.fprintf ppf "%s{%a}" (Types.to_string t) pp_args args
+  | Sprechecked te -> Format.fprintf ppf "<typed:%s>" (Types.to_string te.ty)
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    pp_sexpr ppf args
+
+let rec pp_sstat ppf = function
+  | Sdefvar (vars, inits) ->
+      Format.fprintf ppf "var %a%s%a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (s, ty) ->
+             match ty with
+             | Some t -> Format.fprintf ppf "%a : %s" pp_sym s (Types.to_string t)
+             | None -> pp_sym ppf s))
+        vars
+        (if inits = [] then "" else " = ")
+        pp_args inits
+  | Sassign (lhs, rhs) ->
+      Format.fprintf ppf "%a = %a" pp_args lhs pp_args rhs
+  | Sif (arms, els) ->
+      List.iteri
+        (fun i (c, b) ->
+          Format.fprintf ppf "%s %a then %a "
+            (if i = 0 then "if" else "elseif")
+            pp_sexpr c pp_sblock b)
+        arms;
+      if els <> [] then Format.fprintf ppf "else %a " pp_sblock els;
+      Format.fprintf ppf "end"
+  | Swhile (c, b) ->
+      Format.fprintf ppf "while %a do %a end" pp_sexpr c pp_sblock b
+  | Srepeat (b, c) ->
+      Format.fprintf ppf "repeat %a until %a" pp_sblock b pp_sexpr c
+  | Sfor (s, lo, hi, step, b) ->
+      Format.fprintf ppf "for %a = %a,%a%t do %a end" pp_sym s pp_sexpr lo
+        pp_sexpr hi
+        (fun ppf ->
+          match step with
+          | Some st -> Format.fprintf ppf ",%a" pp_sexpr st
+          | None -> ())
+        pp_sblock b
+  | Sblock b -> Format.fprintf ppf "do %a end" pp_sblock b
+  | Sreturn None -> Format.fprintf ppf "return"
+  | Sreturn (Some e) -> Format.fprintf ppf "return %a" pp_sexpr e
+  | Sbreak -> Format.fprintf ppf "break"
+  | Sexprstat e -> pp_sexpr ppf e
+
+and pp_sblock ppf b =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+    pp_sstat ppf b
+
+let sexpr_to_string e = Format.asprintf "%a" pp_sexpr e
+let sblock_to_string b = Format.asprintf "%a" pp_sblock b

@@ -1,0 +1,153 @@
+(** The Lua-facing Terra API: primitive types, [vector], [symbol],
+    [global], [prefetch], and the [terralib] table (includec, sizeof,
+    newlist, cast, typeof, saveobj hook). Installed into an engine's
+    globals. *)
+
+module V = Mlua.Value
+
+let reg tbl name f = V.raw_set_str tbl name (V.Func (V.new_func ~name f))
+let arg args i = match List.nth_opt args i with Some v -> v | None -> V.Nil
+
+let install ctx (globals : V.table) =
+  let set n v = V.raw_set_str globals n v in
+  (* primitive types *)
+  set "int" (Types.wrap Types.int_);
+  set "int8" (Types.wrap Types.int8);
+  set "int16" (Types.wrap Types.int16);
+  set "int32" (Types.wrap Types.int32);
+  set "int64" (Types.wrap Types.int64);
+  set "uint" (Types.wrap Types.uint);
+  set "uint8" (Types.wrap Types.uint8);
+  set "uint16" (Types.wrap Types.uint16);
+  set "uint32" (Types.wrap Types.uint32);
+  set "uint64" (Types.wrap Types.uint64);
+  set "float" (Types.wrap Types.float_);
+  set "double" (Types.wrap Types.double);
+  set "bool" (Types.wrap Types.bool_);
+  set "rawstring" (Types.wrap Types.rawstring);
+  set "unit" (Types.wrap Types.Tunit);
+  (* type constructors *)
+  reg globals "vector" (fun args ->
+      match (Types.unwrap_opt (arg args 0), arg args 1) with
+      | Some t, V.Num n -> [ Types.wrap (Types.vector t (int_of_float n)) ]
+      | _ -> V.error_str "vector(type, lanes) expects a type and a count");
+  reg globals "symbol" (fun args ->
+      (* symbol([type], [name]) — the paper's gensym *)
+      let ty, name =
+        match args with
+        | [ V.Str n ] -> (None, n)
+        | [ t ] -> (Types.unwrap_opt t, "sym")
+        | [ t; V.Str n ] -> (Types.unwrap_opt t, n)
+        | [ V.Str n; t ] -> (Types.unwrap_opt t, n)
+        | _ -> (None, "sym")
+      in
+      [ Tast.wrap_sym (Tast.fresh_sym ?typ:ty name) ]);
+  reg globals "global" (fun args ->
+      match Types.unwrap_opt (arg args 0) with
+      | Some ty ->
+          let g = Func.new_global ctx ty in
+          (match arg args 1 with
+          | V.Nil -> ()
+          | init -> Ffi.write_scalar ctx ty g.Func.gaddr init);
+          [ Func.wrap_global g ]
+      | None -> V.error_str "global(type [, init]) expects a type");
+  set "prefetch" (V.Userdata (V.new_userdata ~tag:"intrinsic" (Func.Uintrin "prefetch")));
+  reg globals "sizeof" (fun args ->
+      match Types.unwrap_opt (arg args 0) with
+      | Some t -> [ V.Num (float_of_int (Types.sizeof t)) ]
+      | None -> V.error_str "sizeof expects a terra type");
+
+  (* the terralib table *)
+  let tl = V.new_table () in
+  set "terralib" (V.Table tl);
+  reg tl "includec" (fun args ->
+      match arg args 0 with
+      | V.Str header -> [ V.Table (Cstd.includec ctx header) ]
+      | _ -> V.error_str "includec expects a header name");
+  reg tl "sizeof" (fun args ->
+      match Types.unwrap_opt (arg args 0) with
+      | Some t -> [ V.Num (float_of_int (Types.sizeof t)) ]
+      | None -> V.error_str "sizeof expects a terra type");
+  reg tl "offsetof" (fun args ->
+      match (Types.unwrap_opt (arg args 0), arg args 1) with
+      | Some (Types.Tstruct s), V.Str field -> (
+          match Types.field_of s field with
+          | Some (_, _, off) -> [ V.Num (float_of_int off) ]
+          | None -> V.error_str "offsetof: no such field")
+      | _ -> V.error_str "offsetof(structtype, fieldname)");
+  reg tl "types_newstruct" (fun args ->
+      let name = match arg args 0 with V.Str s -> s | _ -> "anon" in
+      [ Types.wrap (Types.Tstruct (Types.new_struct name)) ]);
+  (* newlist: a Lua list whose methods are the table library, so
+     l:insert(x) works as in the paper's Figure 5 *)
+  let table_lib =
+    match V.raw_get_str globals "table" with
+    | V.Table t -> t
+    | _ -> V.new_table ()
+  in
+  let list_meta = V.new_table () in
+  V.raw_set_str list_meta "__index" (V.Table table_lib);
+  reg tl "newlist" (fun _ ->
+      let t = V.new_table () in
+      t.V.meta <- Some list_meta;
+      [ V.Table t ]);
+  reg tl "cast" (fun args ->
+      (* terralib.cast(fntype, luafn): wrap a Lua function as a callable
+         Terra function of that type *)
+      match (Types.unwrap_opt (arg args 0), arg args 1) with
+      | Some (Types.Tfunc (ptys, rty)), (V.Func _ as fn) ->
+          let import = Ffi.lua_wrapper ctx fn ptys rty in
+          let f =
+            Func.extern ctx
+              ~name:("luacast:" ^ import)
+              ~cname:import ~params:ptys ~ret:rty
+          in
+          [ Func.wrap f ]
+      | _ -> V.error_str "terralib.cast(fntype, luafunction)");
+  reg tl "typeof" (fun args ->
+      match arg args 0 with
+      | V.Userdata { u = Func.Ufunc f; _ } -> [ Types.wrap (Func.type_of f) ]
+      | V.Userdata { u = Ffi.Ucdata c; _ } -> [ Types.wrap c.Ffi.cty ]
+      | v -> V.error_str ("typeof: unsupported value " ^ V.type_name v));
+  reg tl "saveobj" (fun args ->
+      match (arg args 0, arg args 1) with
+      | V.Str path, V.Table exports ->
+          let fns =
+            Hashtbl.fold
+              (fun k v acc ->
+                match (k, Func.unwrap_opt v) with
+                | V.Kstr name, Some f -> (name, f) :: acc
+                | _ -> acc)
+              exports.V.hash []
+          in
+          Objfile.save path fns;
+          []
+      | _ -> V.error_str "saveobj(path, {name = terrafn, ...})");
+  (* install the {T} -> R arrow operator *)
+  Mlua.Interp.arrow_impl :=
+    (fun a b ->
+      let types_of_table v =
+        match v with
+        | V.Table t ->
+            let n = V.length t in
+            List.init n (fun i ->
+                match
+                  Types.unwrap_opt (V.raw_get t (V.Num (float_of_int (i + 1))))
+                with
+                | Some ty -> ty
+                | None -> V.error_str "'->' expects a list of terra types")
+        | v -> (
+            match Types.unwrap_opt v with
+            | Some t -> [ t ]
+            | None -> V.error_str "'->' expects terra types")
+      in
+      let params = types_of_table a in
+      let ret =
+        match Types.unwrap_opt b with
+        | Some t -> t
+        | None -> (
+            match b with
+            | V.Table t when V.length t = 0 -> Types.Tunit
+            | _ -> V.error_str "'->' expects a terra return type")
+      in
+      Types.wrap (Types.Tfunc (params, ret)))

@@ -1,0 +1,656 @@
+(** Lazy typechecking of specialized Terra functions (Section 4.1 and the
+    typing rules of Figure 4): a function is typechecked right before it
+    is first run, or when a function that calls it is. Produces typed
+    terms and records every referenced Terra function so the JIT can
+    typecheck/compile the whole connected component. *)
+
+module V = Mlua.Value
+open Tast
+
+exception Tc_error of string
+
+let tc_error fmt = Format.kasprintf (fun s -> raise (Tc_error s)) fmt
+
+type env = {
+  ctx : Context.t;
+  vars : (int, Types.t) Hashtbl.t;
+  aliases : (int, texpr) Hashtbl.t;
+      (** parameter substitutions from inlined single-expression callees *)
+  mutable refs : Func.t list;
+  declared_ret : Types.t option;
+  mutable inferred_ret : Types.t option;
+  fname : string;
+}
+
+let add_ref env (f : Func.t) =
+  if not (List.exists (fun g -> g.Func.fid = f.Func.fid) env.refs) then
+    env.refs <- f :: env.refs
+
+(* Hook installed by the FFI module: wraps a Lua function as a VM import
+   callable from Terra with the given argument types. *)
+let lua_wrapper :
+    (Context.t -> V.t -> Types.t list -> Types.t -> string) ref =
+  ref (fun _ _ _ _ -> tc_error "Lua-function FFI not initialized")
+
+let is_lvalue (e : texpr) =
+  match e.desc with
+  | Tvar _ | Tderef _ | Tglobaladdr _ -> true
+  | Tfield (_, _, _, _) | Tindex (_, _) -> true
+  | _ -> false
+
+let mk ty desc = { ty; desc }
+
+let struct_of ty =
+  match ty with
+  | Types.Tstruct s -> Some (s, false)
+  | Types.Tptr (Types.Tstruct s) -> Some (s, true)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Conversions *)
+
+let int_rank = function
+  | Types.Tint (w, _) -> Types.int_width_bytes w
+  | _ -> 0
+
+let is_literal e = match e.desc with Tlit _ -> true | _ -> false
+
+let literal_fits lit target =
+  match (lit, target) with
+  | Tlit (Lint _), t when Types.is_arithmetic t -> true
+  | Tlit (Lint 0L), Types.Tptr _ -> true
+  | Tlit (Lfloat _), (Types.Tfloat | Types.Tdouble) -> true
+  | Tlit Lnullptr, Types.Tptr _ -> true
+  | _ -> false
+
+let implicit_ok (e : texpr) target =
+  let src = e.ty in
+  match (src, target) with
+  | _ when Types.equal src target -> true
+  | _ when literal_fits e.desc target -> true
+  | Types.Tint _, Types.Tint _ -> int_rank target >= int_rank src
+  | Types.Tint _, (Types.Tfloat | Types.Tdouble) -> true
+  | Types.Tfloat, Types.Tdouble -> true
+  | Types.Tptr _, Types.Tptr (Types.Tint (Types.W8, _)) -> true
+  | _ -> false
+
+let explicit_ok src target =
+  let open Types in
+  match (src, target) with
+  | (Tint _ | Tfloat | Tdouble | Tbool), (Tint _ | Tfloat | Tdouble | Tbool)
+    ->
+      true
+  | Tptr _, Tptr _ -> true
+  | Tptr _, Tint (W64, _) | Tint (W64, _), Tptr _ -> true
+  | Tint _, Tptr _ | Tptr _, Tint _ -> true
+  | Tfunc _, Tptr _ | Tptr _, Tfunc _ -> true
+  | _ -> false
+
+(* User conversions via the __cast metamethod (Section 4.1). The
+   metamethod receives (fromtype, totype, quote-of-expression) and returns
+   a quotation implementing the conversion. *)
+let rec user_cast env (e : texpr) target =
+  let try_side ty =
+    match ty with
+    | Types.Tstruct s | Types.Tptr (Types.Tstruct s) -> (
+        match Types.get_metamethod s "__cast" with
+        | V.Nil -> None
+        | f -> (
+            let q = wrap_quote (Qexpr (Sprechecked e)) in
+            match
+              Mlua.Interp.call_value f
+                [ Types.wrap e.ty; Types.wrap target; q ]
+            with
+            | exception V.Lua_error _ -> None
+            | V.Userdata { u = Uquote (Qexpr se); _ } :: _ ->
+                let te = infer env se in
+                if Types.equal te.ty target then Some te
+                else if implicit_ok te target then
+                  Some (mk target (Tcast (target, te)))
+                else None
+            | _ -> None))
+    | _ -> None
+  in
+  match try_side e.ty with
+  | Some te -> Some te
+  | None -> try_side target
+
+and convert ?(explicit = false) env (e : texpr) target : texpr =
+  if Types.equal e.ty target then e
+  else if
+    (match (e.ty, target) with
+    | Types.Tarray (el, _), Types.Tptr el' -> Types.equal el el'
+    | _ -> false)
+    && is_lvalue e
+  then mk target (Tcast (target, e))
+  else if implicit_ok e target then mk target (Tcast (target, e))
+  else if Types.is_vector target && Types.is_arithmetic e.ty then
+    (* scalar to vector: splat *)
+    let elem = match target with Types.Tvector (el, _) -> el | _ -> assert false in
+    mk target (Tvecsplat (convert env e elem))
+  else if explicit && explicit_ok e.ty target then
+    mk target (Tcast (target, e))
+  else
+    match user_cast env e target with
+    | Some te -> te
+    | None ->
+        tc_error "%s: cannot convert %s to %s" env.fname
+          (Types.to_string e.ty) (Types.to_string target)
+
+(* Binary arithmetic promotion. *)
+and promote env a b =
+  let open Types in
+  let target =
+    match (a.ty, b.ty) with
+    | Tvector _, _ -> a.ty
+    | _, Tvector _ -> b.ty
+    | Tdouble, _ | _, Tdouble -> Tdouble
+    | Tfloat, _ | _, Tfloat -> Tfloat
+    | Tint (w1, s1), Tint (w2, s2) ->
+        let wb w = int_width_bytes w in
+        if wb w1 = wb w2 then Tint (w1, s1 && s2)
+        else if wb w1 > wb w2 then Tint (w1, s1)
+        else Tint (w2, s2)
+    | t, _ when is_arithmetic t -> t
+    | _, t when is_arithmetic t -> t
+    | t, _ -> t
+  in
+  (convert env a target, convert env b target, target)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+and infer env (e : sexpr) : texpr =
+  match e with
+  | Slit (Lint i) ->
+      let ty =
+        if Int64.compare (Int64.abs i) (Int64.of_int32 Int32.max_int) <= 0
+        then Types.int32
+        else Types.int64
+      in
+      mk ty (Tlit (Lint i))
+  | Slit (Lfloat (f, is32)) ->
+      mk (if is32 then Types.float_ else Types.double) (Tlit (Lfloat (f, is32)))
+  | Slit (Lbool b) -> mk Types.bool_ (Tlit (Lbool b))
+  | Slit (Lstring s) -> mk Types.rawstring (Tlit (Lstring s))
+  | Slit Lnullptr -> mk (Types.ptr Types.uint8) (Tlit Lnullptr)
+  | Svar s -> (
+      match Hashtbl.find_opt env.aliases s.symid with
+      | Some te -> te
+      | None -> (
+          match Hashtbl.find_opt env.vars s.symid with
+          | Some ty -> mk ty (Tvar s)
+          | None ->
+              tc_error "%s: variable '%s' is used outside the scope it was \
+                        defined in" env.fname s.symname))
+  | Sluaval v -> infer_luaval env v
+  | Sop (op, args) -> infer_op env op args
+  | Scall (f, args) -> infer_call env f args
+  | Smethod (obj, m, args) -> infer_method env obj m args
+  | Sselect (base, field) -> infer_select env base field
+  | Sindex (base, idx) -> infer_index env base idx
+  | Sconstruct (ty, args) -> infer_construct env ty args
+  | Sprechecked te -> te
+
+and infer_luaval env (v : V.t) : texpr =
+  match v with
+  | V.Userdata { u = Func.Ufunc f; _ } ->
+      add_ref env f;
+      let ty = func_type env f in
+      mk ty (Tfuncval f.Func.vmid)
+  | V.Userdata { u = Func.Uglobal g; _ } ->
+      mk g.Func.gtype
+        (Tderef (mk (Types.ptr g.Func.gtype) (Tglobaladdr g.Func.gaddr)))
+  | V.Userdata { u = Types.Utype t; _ } ->
+      tc_error "%s: terra type %s used as a value" env.fname
+        (Types.to_string t)
+  | v ->
+      tc_error "%s: lua value of type %s cannot appear in terra code"
+        env.fname (V.type_name v)
+
+and func_type env (f : Func.t) =
+  match f.Func.ftype with
+  | Some t -> t
+  | None -> (
+      match f.Func.typed with
+      | Some ty -> Types.Tfunc (List.map snd ty.Func.tparams, ty.Func.tret)
+      | None ->
+          if f.Func.def = None then
+            raise
+              (Func.Link_error
+                 (Printf.sprintf
+                    "%s: called function '%s' is declared but not defined"
+                    env.fname f.Func.name))
+          else
+            tc_error
+              "%s: function '%s' needs a return type annotation (it is \
+               used before its type is known)"
+              env.fname f.Func.name)
+
+and check_bool env what (e : texpr) =
+  if Types.equal e.ty Types.bool_ then e
+  else tc_error "%s: %s must be bool, got %s" env.fname what
+      (Types.to_string e.ty)
+
+and infer_op env op args =
+  let targs = List.map (infer env) args in
+  match (op, targs) with
+  | "@", [ a ] -> (
+      match a.ty with
+      | Types.Tptr t -> mk t (Tderef a)
+      | t -> tc_error "%s: cannot dereference %s" env.fname (Types.to_string t))
+  | "&", [ a ] ->
+      if is_lvalue a then mk (Types.ptr a.ty) (Taddr a)
+      else tc_error "%s: cannot take the address of a non-lvalue" env.fname
+  | "-", [ a ] ->
+      if Types.is_arithmetic a.ty || Types.is_vector a.ty then
+        mk a.ty (Tun ("-", a))
+      else tc_error "%s: cannot negate %s" env.fname (Types.to_string a.ty)
+  | "not", [ a ] ->
+      let a = check_bool env "operand of 'not'" a in
+      mk Types.bool_ (Tun ("not", a))
+  | "-", [ a; b ] when Types.is_pointer a.ty && Types.is_pointer b.ty ->
+      mk Types.int64 (Tbin ("-pp", a, b))
+  | ("+" | "-"), [ a; b ] when Types.is_pointer a.ty ->
+      let b = convert env b Types.int64 in
+      mk a.ty (Tbin (op ^ "p", a, b))
+  | ("+" | "-" | "*" | "/" | "%"), [ a; b ] ->
+      let a, b, ty = promote env a b in
+      if
+        not
+          (Types.is_arithmetic ty
+          || match ty with Types.Tvector _ -> true | _ -> false)
+      then
+        tc_error "%s: operator %s needs arithmetic operands, got %s"
+          env.fname op (Types.to_string ty);
+      mk ty (Tbin (op, a, b))
+  | ("==" | "~=" | "<" | "<=" | ">" | ">="), [ a; b ] ->
+      if Types.is_pointer a.ty || Types.is_pointer b.ty then begin
+        let b = convert env b a.ty in
+        mk Types.bool_ (Tbin (op, a, b))
+      end
+      else
+        let a, b, _ = promote env a b in
+        mk Types.bool_ (Tbin (op, a, b))
+  | ("and" | "or"), [ a; b ] ->
+      (* On booleans Terra's and/or are strict selects, not control flow. *)
+      let a = check_bool env ("operand of '" ^ op ^ "'") a in
+      let b = check_bool env ("operand of '" ^ op ^ "'") b in
+      mk Types.bool_ (Tbin (op, a, b))
+  | ("min" | "max"), [ a; b ] ->
+      let a, b, ty = promote env a b in
+      mk ty (Tbin (op, a, b))
+  | "<<", [ a; b ] | ">>", [ a; b ] ->
+      let b = convert env b a.ty in
+      mk a.ty (Tbin (op, a, b))
+  | _ ->
+      tc_error "%s: unsupported operator %s/%d" env.fname op
+        (List.length targs)
+
+and infer_call env callee args =
+  match callee with
+  | Sluaval (V.Userdata { u = Func.Ufunc f; _ }) -> call_func env f args
+  | Sluaval (V.Userdata { u = Types.Utype t; _ }) -> call_type env t args
+  | Sluaval (V.Userdata { u = Func.Uintrin name; _ }) ->
+      call_intrinsic env name args
+  | Sluaval (V.Func _ as luafn) ->
+      let targs = List.map (infer env) args in
+      let name =
+        !lua_wrapper env.ctx luafn (List.map (fun a -> a.ty) targs) Types.Tunit
+      in
+      mk Types.Tunit (Tccall (name, targs))
+  | callee -> (
+      let tc = infer env callee in
+      match tc.ty with
+      | Types.Tfunc (ptys, rty) ->
+          let targs = check_args env "function pointer" ptys args in
+          mk rty (Tcallptr (tc, targs))
+      | t ->
+          tc_error "%s: called value has type %s, which is not callable"
+            env.fname (Types.to_string t))
+
+and check_args env what ptys args =
+  if List.length ptys <> List.length args then
+    tc_error "%s: %s expects %d arguments, got %d" env.fname what
+      (List.length ptys) (List.length args);
+  List.map2 (fun pty a -> convert env (infer env a) pty) ptys args
+
+and call_func env (f : Func.t) args =
+  match func_type env f with
+  | Types.Tfunc (ptys, rty) -> (
+      let targs = check_args env ("'" ^ f.Func.name ^ "'") ptys args in
+      match f.Func.extern_name with
+      | Some cname -> mk rty (Tccall (cname, targs))
+      | None -> (
+          match try_inline env f targs rty with
+          | Some te -> te
+          | None ->
+              add_ref env f;
+              mk rty (Tcall (f.Func.vmid, targs))))
+  | t ->
+      tc_error "%s: '%s' has non-function type %s" env.fname f.Func.name
+        (Types.to_string t)
+
+(* Substitute a single-expression always-inline callee into the caller,
+   the way LLVM inlines the class system's dispatch stubs. Only safe when
+   the argument expressions can be duplicated. *)
+and try_inline env (f : Func.t) (targs : texpr list) rty =
+  let rec duplicable (e : texpr) =
+    match e.desc with
+    | Tlit _ | Tvar _ | Tglobaladdr _ | Tfuncval _ -> true
+    | Taddr a | Tcast (_, a) | Tderef a -> duplicable a
+    | Tfield (b, _, _, _) -> duplicable b
+    | _ -> false
+  in
+  if not f.Func.always_inline then None
+  else
+    match f.Func.def with
+    | Some { Func.dparams; dbody = [ Sreturn (Some body) ]; _ }
+      when List.for_all duplicable targs ->
+        List.iter2
+          (fun (sym, _) te -> Hashtbl.replace env.aliases sym.symid te)
+          dparams targs;
+        let te =
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter
+                (fun (sym, _) -> Hashtbl.remove env.aliases sym.symid)
+                dparams)
+            (fun () -> infer env body)
+        in
+        Some (convert env te rty)
+    | _ -> None
+
+and call_type env t args =
+  match (t, args) with
+  | Types.Tvector (elem, _), [ a ] ->
+      let ta = infer env a in
+      if Types.is_vector ta.ty then convert ~explicit:true env ta t
+      else mk t (Tvecsplat (convert ~explicit:true env ta elem))
+  | Types.Tvector (elem, n), args when List.length args = n ->
+      let targs = List.map (fun a -> convert env (infer env a) elem) args in
+      mk t (Tconstruct targs)
+  | _, [ a ] -> convert ~explicit:true env (infer env a) t
+  | _ ->
+      tc_error "%s: cast to %s takes exactly one argument" env.fname
+        (Types.to_string t)
+
+and call_intrinsic env name args =
+  match name with
+  | "prefetch" -> (
+      match args with
+      | addr :: _rest ->
+          let ta = infer env addr in
+          if not (Types.is_pointer ta.ty) then
+            tc_error "%s: prefetch needs a pointer argument" env.fname;
+          mk Types.Tunit (Tccall ("__prefetch", [ ta ]))
+      | [] -> tc_error "%s: prefetch needs an address" env.fname)
+  | name -> tc_error "%s: unknown intrinsic %s" env.fname name
+
+and infer_method env obj m args =
+  let tobj = infer env obj in
+  match struct_of tobj.ty with
+  | None ->
+      tc_error "%s: method call '%s' on non-struct type %s" env.fname m
+        (Types.to_string tobj.ty)
+  | Some (s, via_ptr) -> (
+      (* examining a type finalizes its layout first (the paper's
+         __finalizelayout timing) — the method table may be populated by
+         the metamethod, as the class system's dispatch stubs are *)
+      ignore (Types.struct_layout s);
+      match Types.get_method s m with
+      | V.Nil ->
+          tc_error "%s: type %s has no method '%s'" env.fname s.Types.sname m
+      | V.Userdata { u = Func.Ufunc f; _ } -> (
+          match func_type env f with
+          | Types.Tfunc (self_ty :: ptys, _rty) ->
+              let self_arg =
+                match (self_ty, via_ptr) with
+                | Types.Tptr (Types.Tstruct s') , false when s'.Types.sid = s.Types.sid ->
+                    if not (is_lvalue tobj) then
+                      tc_error
+                        "%s: method '%s' needs an addressable receiver"
+                        env.fname m;
+                    mk (Types.ptr tobj.ty) (Taddr tobj)
+                | Types.Tptr (Types.Tstruct s'), true when s'.Types.sid = s.Types.sid ->
+                    tobj
+                | Types.Tstruct s', false when s'.Types.sid = s.Types.sid -> tobj
+                | Types.Tstruct s', true when s'.Types.sid = s.Types.sid ->
+                    mk (Types.Tstruct s') (Tderef tobj)
+                | _ -> convert env tobj self_ty
+              in
+              let targs = check_args env ("method '" ^ m ^ "'") ptys args in
+              let rty =
+                match func_type env f with
+                | Types.Tfunc (_, r) -> r
+                | _ -> assert false
+              in
+              (match f.Func.extern_name with
+              | Some cname -> mk rty (Tccall (cname, self_arg :: targs))
+              | None -> (
+                  match try_inline env f (self_arg :: targs) rty with
+                  | Some te -> te
+                  | None ->
+                      add_ref env f;
+                      mk rty (Tcall (f.Func.vmid, self_arg :: targs))))
+          | _ ->
+              tc_error "%s: method '%s' of %s takes no parameters" env.fname
+                m s.Types.sname)
+      | _ ->
+          tc_error "%s: method '%s' of %s is not a terra function" env.fname
+            m s.Types.sname)
+
+and infer_select env base field =
+  let tb = infer env base in
+  match tb.ty with
+  | Types.Tstruct s -> (
+      match Types.field_of s field with
+      | Some (_, fty, off) -> mk fty (Tfield (tb, field, off, false))
+      | None ->
+          tc_error "%s: struct %s has no field '%s'" env.fname s.Types.sname
+            field)
+  | Types.Tptr (Types.Tstruct s) -> (
+      match Types.field_of s field with
+      | Some (_, fty, off) -> mk fty (Tfield (tb, field, off, true))
+      | None ->
+          tc_error "%s: struct %s has no field '%s'" env.fname s.Types.sname
+            field)
+  | t ->
+      tc_error "%s: cannot select field '%s' from type %s" env.fname field
+        (Types.to_string t)
+
+and infer_index env base idx =
+  let tb = infer env base in
+  let ti = convert env (infer env idx) Types.int64 in
+  match tb.ty with
+  | Types.Tptr t -> mk t (Tindex (tb, ti))
+  | Types.Tarray (t, _) ->
+      if is_lvalue tb then mk t (Tindex (tb, ti))
+      else tc_error "%s: cannot index a non-lvalue array" env.fname
+  | t -> tc_error "%s: cannot index type %s" env.fname (Types.to_string t)
+
+and infer_construct env ty args =
+  match ty with
+  | Types.Tstruct s ->
+      let layout = Types.struct_layout s in
+      if args = [] then mk ty (Tconstruct [])
+      else begin
+        if List.length args <> List.length layout.Types.fields then
+          tc_error
+            "%s: struct %s has %d fields but %d initializers were given"
+            env.fname s.Types.sname
+            (List.length layout.Types.fields)
+            (List.length args);
+        let targs =
+          List.map2
+            (fun (_, fty, _) a -> convert env (infer env a) fty)
+            layout.Types.fields args
+        in
+        mk ty (Tconstruct targs)
+      end
+  | Types.Tvector (elem, n) ->
+      if args = [] then mk ty (Tconstruct [])
+      else if List.length args = n then
+        mk ty
+          (Tconstruct (List.map (fun a -> convert env (infer env a) elem) args))
+      else tc_error "%s: vector constructor arity mismatch" env.fname
+  | t ->
+      tc_error "%s: cannot construct values of type %s" env.fname
+        (Types.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec check_stat env (s : sstat) : tstat =
+  match s with
+  | Sdefvar (vars, inits) ->
+      let tinits = List.map (infer env) inits in
+      let n_vars = List.length vars and n_inits = List.length tinits in
+      if n_inits <> 0 && n_inits <> n_vars then
+        tc_error "%s: var declares %d names but has %d initializers"
+          env.fname n_vars n_inits;
+      let typed_vars =
+        List.mapi
+          (fun i (sym, ann) ->
+            let ann = match ann with Some t -> Some t | None -> sym.symtype in
+            let ty =
+              match (ann, List.nth_opt tinits i) with
+              | Some t, _ -> t
+              | None, Some init -> init.ty
+              | None, None ->
+                  tc_error
+                    "%s: variable '%s' needs a type annotation or an \
+                     initializer"
+                    env.fname sym.symname
+            in
+            Hashtbl.replace env.vars sym.symid ty;
+            (sym, ty))
+          vars
+      in
+      let tinits =
+        List.mapi
+          (fun i init ->
+            let _, ty = List.nth typed_vars i in
+            convert env init ty)
+          tinits
+      in
+      TSdef (typed_vars, tinits)
+  | Sassign (lhs, rhs) ->
+      let tl = List.map (infer env) lhs in
+      List.iter
+        (fun l ->
+          if not (is_lvalue l) then
+            tc_error "%s: left side of assignment is not an lvalue" env.fname)
+        tl;
+      if List.length lhs <> List.length rhs then
+        tc_error "%s: assignment arity mismatch" env.fname;
+      let tr = List.map2 (fun l r -> convert env (infer env r) l.ty) tl rhs in
+      TSassign (tl, tr)
+  | Sif (arms, els) ->
+      TSif
+        ( List.map
+            (fun (c, b) ->
+              ( check_bool env "if condition" (infer env c),
+                check_block env b ))
+            arms,
+          check_block env els )
+  | Swhile (c, b) ->
+      TSwhile
+        (check_bool env "while condition" (infer env c), check_block env b)
+  | Srepeat (b, c) ->
+      let tb = check_block env b in
+      TSrepeat (tb, check_bool env "repeat condition" (infer env c))
+  | Sfor (sym, lo, hi, step, b) ->
+      let tlo = infer env lo and thi = infer env hi in
+      let tstep = Option.map (infer env) step in
+      let ity =
+        match sym.symtype with
+        | Some t -> t
+        | None ->
+            let wide e = (not (is_literal e)) && Types.is_int e.ty in
+            if wide tlo then tlo.ty
+            else if wide thi then thi.ty
+            else if Types.is_int tlo.ty && Types.is_int thi.ty then
+              if int_rank tlo.ty > 4 || int_rank thi.ty > 4 then Types.int64
+              else Types.int_
+            else tc_error "%s: for-loop bounds must be integers" env.fname
+      in
+      Hashtbl.replace env.vars sym.symid ity;
+      let tlo = convert env tlo ity and thi = convert env thi ity in
+      let tstep = Option.map (fun e -> convert env e ity) tstep in
+      TSfor (sym, ity, tlo, thi, tstep, check_block env b)
+  | Sblock b -> TSblock (check_block env b)
+  | Sreturn None ->
+      (match env.declared_ret with
+      | Some t when not (Types.is_unit t) ->
+          tc_error "%s: return without a value in a function returning %s"
+            env.fname (Types.to_string t)
+      | _ -> ());
+      if env.inferred_ret = None then env.inferred_ret <- Some Types.Tunit;
+      TSreturn None
+  | Sreturn (Some e) -> (
+      let te = infer env e in
+      match env.declared_ret with
+      | Some t ->
+          if Types.is_unit t then
+            tc_error "%s: returning a value from a unit function" env.fname;
+          TSreturn (Some (convert env te t))
+      | None -> (
+          match env.inferred_ret with
+          | None ->
+              env.inferred_ret <- Some te.ty;
+              TSreturn (Some te)
+          | Some t -> TSreturn (Some (convert env te t))))
+  | Sbreak -> TSbreak
+  | Sexprstat e -> TSexpr (infer env e)
+
+and check_block env b = List.map (check_stat env) b
+
+(* ------------------------------------------------------------------ *)
+
+(** Typecheck a defined function; fills [f.typed] and returns it. *)
+let typecheck (f : Func.t) : Func.typed =
+  match f.Func.typed with
+  | Some t -> t
+  | None -> (
+      match f.Func.def with
+      | None ->
+          raise
+            (Func.Link_error
+               (Printf.sprintf "function '%s' is declared but not defined"
+                  f.Func.name))
+      | Some def ->
+          let env =
+            {
+              ctx = f.Func.ctx;
+              vars = Hashtbl.create 16;
+              aliases = Hashtbl.create 4;
+              refs = [];
+              declared_ret = def.Func.dret;
+              inferred_ret = None;
+              fname = f.Func.name;
+            }
+          in
+          List.iter
+            (fun (sym, ty) -> Hashtbl.replace env.vars sym.symid ty)
+            def.Func.dparams;
+          let tbody = check_block env def.Func.dbody in
+          let tret =
+            match (def.Func.dret, env.inferred_ret) with
+            | Some t, _ -> t
+            | None, Some t -> t
+            | None, None -> Types.Tunit
+          in
+          let typed =
+            {
+              Func.tparams = def.Func.dparams;
+              tret;
+              tbody;
+              trefs = env.refs;
+            }
+          in
+          f.Func.typed <- Some typed;
+          if f.Func.ftype = None then
+            f.Func.ftype <-
+              Some (Types.Tfunc (List.map snd def.Func.dparams, tret));
+          typed)

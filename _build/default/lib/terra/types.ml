@@ -1,0 +1,349 @@
+(** Terra's type system: C-like monomorphic types with reflection.
+
+    Types are first-class Lua values (userdata); structs expose [entries],
+    [methods] and [metamethods] Lua tables so libraries like the class
+    system and the AoS/SoA data tables can program layout and behaviour —
+    the paper's Section 4.1 "mechanisms for type reflection". *)
+
+module V = Mlua.Value
+
+type int_width = W8 | W16 | W32 | W64
+
+type t =
+  | Tint of int_width * bool  (** width, signed *)
+  | Tfloat  (** 32-bit *)
+  | Tdouble  (** 64-bit *)
+  | Tbool
+  | Tunit  (** the empty tuple type {} *)
+  | Tptr of t
+  | Tarray of t * int
+  | Tvector of t * int
+  | Tstruct of struct_info
+  | Tfunc of t list * t
+
+and struct_info = {
+  sid : int;
+  sname : string;
+  entries : V.table;  (** array of { field=, type= } tables *)
+  methods : V.table;
+  metamethods : V.table;
+  mutable layout : layout option;
+}
+
+and layout = {
+  size : int;
+  align : int;
+  fields : (string * t * int) list;  (** name, type, byte offset *)
+}
+
+type Mlua.Value.u += Utype of t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let int_width_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+let int8 = Tint (W8, true)
+let uint8 = Tint (W8, false)
+let int16 = Tint (W16, true)
+let uint16 = Tint (W16, false)
+let int32 = Tint (W32, true)
+let uint32 = Tint (W32, false)
+let int64 = Tint (W64, true)
+let uint64 = Tint (W64, false)
+let int_ = int32
+let uint = uint32
+let float_ = Tfloat
+let double = Tdouble
+let bool_ = Tbool
+let rawstring = Tptr int8
+let ptr t = Tptr t
+let array t n = Tarray (t, n)
+
+let vector t n =
+  (match t with
+  | Tfloat | Tdouble | Tint _ -> ()
+  | _ -> type_error "vector element type must be a primitive");
+  Tvector (t, n)
+
+let next_sid = ref 0
+
+let new_struct name =
+  incr next_sid;
+  {
+    sid = !next_sid;
+    sname = name;
+    entries = V.new_table ();
+    methods = V.new_table ();
+    metamethods = V.new_table ();
+    layout = None;
+  }
+
+let rec to_string = function
+  | Tint (W32, true) -> "int"
+  | Tint (W64, true) -> "int64"
+  | Tint (w, s) ->
+      Printf.sprintf "%sint%d" (if s then "" else "u") (8 * int_width_bytes w)
+  | Tfloat -> "float"
+  | Tdouble -> "double"
+  | Tbool -> "bool"
+  | Tunit -> "{}"
+  | Tptr t -> "&" ^ to_string t
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+  | Tvector (t, n) -> Printf.sprintf "vector(%s,%d)" (to_string t) n
+  | Tstruct s -> s.sname
+  | Tfunc (args, r) ->
+      Printf.sprintf "{%s} -> %s"
+        (String.concat "," (List.map to_string args))
+        (to_string r)
+
+(* A globally unique key (struct names may collide; sids cannot). *)
+let rec cache_key = function
+  | Tstruct s -> Printf.sprintf "struct#%d" s.sid
+  | Tptr t -> "&" ^ cache_key t
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (cache_key t) n
+  | Tvector (t, n) -> Printf.sprintf "vec(%s,%d)" (cache_key t) n
+  | Tfunc (args, r) ->
+      Printf.sprintf "{%s}->%s"
+        (String.concat "," (List.map cache_key args))
+        (cache_key r)
+  | t -> to_string t
+
+let rec equal a b =
+  match (a, b) with
+  | Tint (w1, s1), Tint (w2, s2) -> w1 = w2 && s1 = s2
+  | Tfloat, Tfloat | Tdouble, Tdouble | Tbool, Tbool | Tunit, Tunit -> true
+  | Tptr a, Tptr b -> equal a b
+  | Tarray (a, n), Tarray (b, m) -> n = m && equal a b
+  | Tvector (a, n), Tvector (b, m) -> n = m && equal a b
+  | Tstruct a, Tstruct b -> a.sid = b.sid
+  | Tfunc (a1, r1), Tfunc (a2, r2) ->
+      List.length a1 = List.length a2
+      && List.for_all2 equal a1 a2
+      && equal r1 r2
+  | _ -> false
+
+let is_int = function Tint _ -> true | _ -> false
+let is_float = function Tfloat | Tdouble -> true | _ -> false
+let is_arithmetic = function Tint _ | Tfloat | Tdouble -> true | _ -> false
+let is_pointer = function Tptr _ -> true | _ -> false
+let is_struct = function Tstruct _ -> true | _ -> false
+let is_array = function Tarray _ -> true | _ -> false
+let is_vector = function Tvector _ -> true | _ -> false
+let is_unit = function Tunit -> true | _ -> false
+let is_function = function Tfunc _ -> true | _ -> false
+
+let align_up n a = (n + a - 1) / a * a
+
+(* Structs currently being laid out, to detect infinite-size recursion. *)
+let finalizing : (int, unit) Hashtbl.t = Hashtbl.create 8
+
+(* Calling Lua metamethods from layout code without a module cycle. *)
+let call_lua : (V.t -> V.t list -> V.t list) ref =
+  ref (fun f args ->
+      match f with V.Func fn -> fn.V.call args | _ -> [])
+
+let wrap_cache : (string, V.userdata) Hashtbl.t = Hashtbl.create 64
+let type_meta : V.table = V.new_table ()
+let type_index_fn : (t -> string -> V.t) ref = ref (fun _ _ -> V.Nil)
+
+let wrap t =
+  let key = cache_key t in
+  match Hashtbl.find_opt wrap_cache key with
+  | Some ud -> V.Userdata ud
+  | None ->
+      let ud = V.new_userdata ~tag:"terratype" (Utype t) in
+      ud.V.umeta <- Some type_meta;
+      Hashtbl.replace wrap_cache key ud;
+      V.Userdata ud
+
+let unwrap_opt (v : V.t) : t option =
+  match v with V.Userdata { u = Utype t; _ } -> Some t | _ -> None
+
+let unwrap v =
+  match unwrap_opt v with
+  | Some t -> t
+  | None -> type_error "expected a terra type, got %s" (V.type_name v)
+
+let rec sizeof t =
+  match t with
+  | Tint (w, _) -> int_width_bytes w
+  | Tfloat -> 4
+  | Tdouble -> 8
+  | Tbool -> 1
+  | Tunit -> 0
+  | Tptr _ | Tfunc _ -> 8
+  | Tarray (e, n) -> sizeof e * n
+  | Tvector (e, n) -> sizeof e * n
+  | Tstruct s -> (struct_layout s).size
+
+and alignof t =
+  match t with
+  | Tarray (e, _) -> alignof e
+  | Tvector (e, n) -> sizeof e * n
+  | Tstruct s -> (struct_layout s).align
+  | Tunit -> 1
+  | t -> sizeof t
+
+and struct_layout s =
+  match s.layout with
+  | Some l -> l
+  | None ->
+      if Hashtbl.mem finalizing s.sid then
+        type_error "recursive struct %s has infinite size" s.sname;
+      Hashtbl.replace finalizing s.sid ();
+      Fun.protect
+        ~finally:(fun () -> Hashtbl.remove finalizing s.sid)
+        (fun () ->
+          (* The paper: __finalizelayout runs right before the type is
+             first examined — the latest possible time. *)
+          (match V.raw_get_str s.metamethods "__finalizelayout" with
+          | V.Nil -> ()
+          | f -> ignore (!call_lua f [ wrap (Tstruct s) ]));
+          let l = compute_layout s in
+          s.layout <- Some l;
+          l)
+
+and compute_layout s =
+  let n = V.length s.entries in
+  let fields = ref [] in
+  let offset = ref 0 in
+  let align = ref 1 in
+  for i = 1 to n do
+    match V.raw_get s.entries (V.Num (float_of_int i)) with
+    | V.Table e -> (
+        let fname =
+          match V.raw_get_str e "field" with
+          | V.Str f -> f
+          | _ -> type_error "struct %s: entry %d has no field name" s.sname i
+        in
+        match unwrap_opt (V.raw_get_str e "type") with
+        | Some ft ->
+            let a = alignof ft in
+            offset := align_up !offset a;
+            fields := (fname, ft, !offset) :: !fields;
+            offset := !offset + sizeof ft;
+            align := max !align a
+        | None -> type_error "struct %s: entry %s has no type" s.sname fname)
+    | _ -> type_error "struct %s: entries[%d] is not a table" s.sname i
+  done;
+  {
+    size = align_up (max !offset 1) !align;
+    align = !align;
+    fields = List.rev !fields;
+  }
+
+let field_of s name =
+  let l = struct_layout s in
+  List.find_opt (fun (n, _, _) -> n = name) l.fields
+
+let is_finalized s = s.layout <> None
+
+(** Add a field to a struct's entries table (programmatic layout). *)
+let add_entry s name ty =
+  if is_finalized s then
+    type_error "struct %s: cannot add entries after layout is finalized"
+      s.sname;
+  let e = V.new_table () in
+  V.raw_set_str e "field" (V.Str name);
+  V.raw_set_str e "type" (wrap ty);
+  V.raw_set s.entries (V.Num (float_of_int (V.length s.entries + 1))) (V.Table e)
+
+let get_metamethod s name = V.raw_get_str s.metamethods name
+let get_method s name = V.raw_get_str s.methods name
+
+(* ------------------------------------------------------------------ *)
+(* The shared metatable for type userdata *)
+
+let () =
+  let self = function
+    | V.Userdata { u = Utype t; _ } :: _ -> t
+    | _ -> type_error "expected a terra type as self"
+  in
+  V.raw_set_str type_meta "__tostring"
+    (V.Func
+       (V.new_func ~name:"__tostring" (fun args ->
+            [ V.Str (to_string (self args)) ])));
+  V.raw_set_str type_meta "__eq"
+    (V.Func
+       (V.new_func ~name:"__eq" (fun args ->
+            match args with
+            | [ V.Userdata { u = Utype a; _ }; V.Userdata { u = Utype b; _ } ]
+              ->
+                [ V.Bool (equal a b) ]
+            | _ -> [ V.Bool false ])));
+  V.raw_set_str type_meta "__index"
+    (V.Func
+       (V.new_func ~name:"type_index" (fun args ->
+            match args with
+            | [ V.Userdata { u = Utype t; _ }; V.Str key ] ->
+                [ !type_index_fn t key ]
+            | [ V.Userdata { u = Utype t; _ }; V.Num n ] ->
+                (* T[n] builds the array type, as in Terra *)
+                [ wrap (Tarray (t, int_of_float n)) ]
+            | _ -> [ V.Nil ])))
+
+let () =
+  let method0 f =
+    V.Func
+      (V.new_func (fun args ->
+           match args with
+           | V.Userdata { u = Utype t; _ } :: _ -> f t
+           | _ -> type_error "expected a terra type as self"))
+  in
+  let bool0 f = method0 (fun t -> [ V.Bool (f t) ]) in
+  type_index_fn :=
+    fun t key ->
+      match (key, t) with
+      | "name", _ -> V.Str (to_string t)
+      | "entries", Tstruct s -> V.Table s.entries
+      | "methods", Tstruct s -> V.Table s.methods
+      | "metamethods", Tstruct s -> V.Table s.metamethods
+      | "type", Tptr e -> wrap e
+      | "elemtype", (Tarray (e, _) | Tvector (e, _)) -> wrap e
+      | "N", (Tarray (_, n) | Tvector (_, n)) -> V.Num (float_of_int n)
+      | "parameters", Tfunc (args, _) ->
+          let tb = V.new_table () in
+          List.iteri
+            (fun i a -> V.raw_set tb (V.Num (float_of_int (i + 1))) (wrap a))
+            args;
+          V.Table tb
+      | "returntype", Tfunc (_, r) -> wrap r
+      | "ispointer", _ -> bool0 is_pointer
+      | "isstruct", _ -> bool0 is_struct
+      | "isarray", _ -> bool0 is_array
+      | "isvector", _ -> bool0 is_vector
+      | "isarithmetic", _ -> bool0 is_arithmetic
+      | "isintegral", _ -> bool0 is_int
+      | "isfloat", _ -> bool0 is_float
+      | "islogical", _ -> bool0 (fun t -> equal t Tbool)
+      | "isunit", _ -> bool0 is_unit
+      | "isfunction", _ -> bool0 is_function
+      | "sizeof", _ -> method0 (fun t -> [ V.Num (float_of_int (sizeof t)) ])
+      | _ -> V.Nil
+
+(* ------------------------------------------------------------------ *)
+(* IR mapping *)
+
+let mty_of t : Tvm.Ir.mty =
+  match t with
+  | Tint (W8, true) -> Tvm.Ir.I8
+  | Tint (W8, false) -> Tvm.Ir.U8
+  | Tint (W16, true) -> Tvm.Ir.I16
+  | Tint (W16, false) -> Tvm.Ir.U16
+  | Tint (W32, true) -> Tvm.Ir.I32
+  | Tint (W32, false) -> Tvm.Ir.U32
+  | Tint (W64, _) -> Tvm.Ir.I64
+  | Tbool -> Tvm.Ir.U8
+  | Tfloat -> Tvm.Ir.F32
+  | Tdouble -> Tvm.Ir.F64
+  | Tptr _ | Tfunc _ -> Tvm.Ir.I64
+  | Tunit | Tarray _ | Tvector _ | Tstruct _ ->
+      type_error "type %s is not a scalar" (to_string t)
+
+let fk_of t : Tvm.Ir.fk =
+  match t with
+  | Tfloat -> Tvm.Ir.Fk32
+  | Tdouble -> Tvm.Ir.Fk64
+  | _ -> type_error "type %s is not a float kind" (to_string t)

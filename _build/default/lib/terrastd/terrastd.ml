@@ -1,0 +1,16 @@
+(** Everything installed: a combined-language engine with the Orion DSL,
+    the class system, and the DataTable constructor available to Lua
+    programs, as in the paper's full system. *)
+
+let install (e : Terra.Engine.t) =
+  match Mlua.Value.scope_globals e.Terra.Engine.scope with
+  | Some g ->
+      Orion.Lua_api.install e.Terra.Engine.ctx g;
+      Javalike.Lua_api.install e.Terra.Engine.ctx g;
+      Datalayout.Lua_api.install e.Terra.Engine.ctx g
+  | None -> invalid_arg "engine has no globals"
+
+let create ?machine ?mem_bytes () =
+  let e = Terra.Engine.create ?machine ?mem_bytes () in
+  install e;
+  e

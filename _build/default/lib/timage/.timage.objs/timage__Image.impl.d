@@ -1,0 +1,1 @@
+lib/timage/image.ml: Char Float Fun Printf Scanf String Terra Tvm

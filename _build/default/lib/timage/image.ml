@@ -1,0 +1,110 @@
+(** Image substrate: float32 images living in Terra VM memory, with
+    deterministic synthetic generators (the DESIGN.md substitute for the
+    paper's on-disk BMP images) and a minimal PGM codec for the examples'
+    load/save endpoints. *)
+
+module Mem = Tvm.Mem
+module Alloc = Tvm.Alloc
+
+type t = {
+  ctx : Terra.Context.t;
+  addr : int;  (** float32 pixels, row-major *)
+  width : int;
+  height : int;
+}
+
+let mem t = t.ctx.Terra.Context.vm.Tvm.Vm.mem
+
+let alloc ctx ~width ~height =
+  let addr =
+    Alloc.malloc ctx.Terra.Context.vm.Tvm.Vm.alloc (width * height * 4)
+  in
+  { ctx; addr; width; height }
+
+let free t = Alloc.free t.ctx.Terra.Context.vm.Tvm.Vm.alloc t.addr
+
+let get t x y = Mem.get_f32 (mem t) (t.addr + (4 * ((y * t.width) + x)))
+
+let set t x y v =
+  Mem.set_f32 (mem t) (t.addr + (4 * ((y * t.width) + x))) v
+
+(** Fill from a pure function of (x, y) — runs outside the machine model
+    (setup, not measured work). *)
+let fill t f =
+  for y = 0 to t.height - 1 do
+    for x = 0 to t.width - 1 do
+      set t x y (f x y)
+    done
+  done
+
+(** A deterministic test pattern with smooth and high-frequency parts, so
+    stencils have structure to chew on. *)
+let test_pattern ?(seed = 17) ctx ~width ~height =
+  let img = alloc ctx ~width ~height in
+  let s = float_of_int seed in
+  fill img (fun x y ->
+      let fx = float_of_int x and fy = float_of_int y in
+      (0.5 *. sin ((fx +. s) /. 13.0))
+      +. (0.3 *. cos ((fy -. s) /. 7.0))
+      +. (0.2 *. sin ((fx +. fy) /. 3.0))
+      +. 1.0);
+  img
+
+let iter t f =
+  for y = 0 to t.height - 1 do
+    for x = 0 to t.width - 1 do
+      f x y (get t x y)
+    done
+  done
+
+let checksum t =
+  let acc = ref 0.0 in
+  iter t (fun _ _ v -> acc := !acc +. v);
+  !acc
+
+(** Maximum absolute difference over the interior (ignoring [border]
+    pixels on each side), for comparing stencil schedules that treat
+    boundaries differently. *)
+let max_abs_diff ?(border = 0) a b =
+  if a.width <> b.width || a.height <> b.height then invalid_arg "size mismatch";
+  let worst = ref 0.0 in
+  for y = border to a.height - 1 - border do
+    for x = border to a.width - 1 - border do
+      worst := Float.max !worst (Float.abs (get a x y -. get b x y))
+    done
+  done;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Minimal binary PGM (P5) codec, scaled to 0..255 *)
+
+let save_pgm t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "P5\n%d %d\n255\n" t.width t.height;
+      iter t (fun _ _ v ->
+          let b = int_of_float (Float.max 0.0 (Float.min 255.0 (v *. 127.0))) in
+          output_char oc (Char.chr b)))
+
+let load_pgm ctx path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () = input_line ic in
+      if line () <> "P5" then failwith (path ^ ": not a P5 PGM");
+      let rec dims () =
+        let l = line () in
+        if String.length l > 0 && l.[0] = '#' then dims () else l
+      in
+      let w, h = Scanf.sscanf (dims ()) "%d %d" (fun a b -> (a, b)) in
+      ignore (line ());
+      let img = alloc ctx ~width:w ~height:h in
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          set img x y (float_of_int (Char.code (input_char ic)) /. 127.0)
+        done
+      done;
+      img)

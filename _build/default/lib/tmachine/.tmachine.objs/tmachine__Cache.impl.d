@@ -1,0 +1,1 @@
+lib/tmachine/cache.ml: Array Config List

@@ -1,0 +1,1 @@
+lib/tmachine/cache.mli: Config

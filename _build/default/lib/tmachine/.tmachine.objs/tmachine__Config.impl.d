@@ -1,0 +1,1 @@
+lib/tmachine/config.ml: List Printf

@@ -1,0 +1,1 @@
+lib/tmachine/cost.ml: Config List

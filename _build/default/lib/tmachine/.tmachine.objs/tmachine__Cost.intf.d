@@ -1,0 +1,1 @@
+lib/tmachine/cost.mli: Config

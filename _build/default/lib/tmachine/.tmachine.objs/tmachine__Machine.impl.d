@@ -1,0 +1,1 @@
+lib/tmachine/machine.ml: Cache Config Cost Format

@@ -1,0 +1,1 @@
+lib/tmachine/machine.mli: Cache Config Cost Format

@@ -1,0 +1,158 @@
+type level_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_fills : int;
+}
+
+type level = {
+  cfg : Config.cache_level;
+  sets : int array array;  (** [set].(way) = line tag, or -1 when empty *)
+  ages : int array array;  (** LRU ages parallel to [sets] *)
+  stats : level_stats;
+  mutable tick : int;
+}
+
+type t = {
+  config : Config.t;
+  levels : level array;
+  streams : int array;  (** last miss line per stream slot, for prefetch *)
+  mutable stream_next : int;
+  mutable latency_stalls : float;
+  mutable bw_cycles : float;
+  mutable bytes : int;
+  mutable mem_lines : int;
+}
+
+let make_level cfg =
+  let n_sets = max 1 (cfg.Config.size_bytes / (cfg.line_bytes * cfg.assoc)) in
+  {
+    cfg;
+    sets = Array.init n_sets (fun _ -> Array.make cfg.assoc (-1));
+    ages = Array.init n_sets (fun _ -> Array.make cfg.assoc 0);
+    stats = { hits = 0; misses = 0; prefetch_fills = 0 };
+    tick = 0;
+  }
+
+let create config =
+  {
+    config;
+    levels = Array.of_list (List.map make_level config.Config.levels);
+    streams = Array.make 8 min_int;
+    stream_next = 0;
+    latency_stalls = 0.0;
+    bw_cycles = 0.0;
+    bytes = 0;
+    mem_lines = 0;
+  }
+
+let reset t =
+  Array.iter
+    (fun l ->
+      Array.iter (fun s -> Array.fill s 0 (Array.length s) (-1)) l.sets;
+      l.stats.hits <- 0;
+      l.stats.misses <- 0;
+      l.stats.prefetch_fills <- 0;
+      l.tick <- 0)
+    t.levels;
+  Array.fill t.streams 0 (Array.length t.streams) min_int;
+  t.latency_stalls <- 0.0;
+  t.bw_cycles <- 0.0;
+  t.bytes <- 0;
+  t.mem_lines <- 0
+
+(* Probe one level for [line]; on hit refresh LRU age. On miss insert the
+   line, evicting the LRU way. Returns [true] on hit.
+   The set index hashes in higher address bits (index hashing, as in real
+   L2/L3 designs) so power-of-two-strided buffers do not all collide in
+   one set — essential at scaled-down cache sizes. *)
+let probe_level level line =
+  let n_sets = Array.length level.sets in
+  let set_idx = (line lxor (line / n_sets) lxor (line / (n_sets * n_sets))) mod n_sets in
+  let ways = level.sets.(set_idx) in
+  let ages = level.ages.(set_idx) in
+  level.tick <- level.tick + 1;
+  let rec find i = if i >= Array.length ways then None else if ways.(i) = line then Some i else find (i + 1) in
+  match find 0 with
+  | Some w ->
+      ages.(w) <- level.tick;
+      true
+  | None ->
+      let victim = ref 0 in
+      for w = 1 to Array.length ways - 1 do
+        if ages.(w) < ages.(!victim) then victim := w
+      done;
+      ways.(!victim) <- line;
+      ages.(!victim) <- level.tick;
+      false
+
+(* Walk the hierarchy for one line. Returns the latency-stall cost and
+   whether the line came from memory as part of a detected stream. *)
+let touch_line t line ~count_stats =
+  let rec walk i =
+    if i >= Array.length t.levels then begin
+      t.mem_lines <- t.mem_lines + 1;
+      (* Stream detection: a miss one line after a previous miss is
+         serviced by the hardware prefetcher at bandwidth cost. *)
+      let streaming = ref false in
+      Array.iteri
+        (fun s last ->
+          if (not !streaming) && line >= last && line <= last + 2 && last <> min_int
+          then begin
+            streaming := true;
+            t.streams.(s) <- line
+          end)
+        t.streams;
+      if not !streaming then begin
+        t.streams.(t.stream_next) <- line;
+        t.stream_next <- (t.stream_next + 1) mod Array.length t.streams
+      end;
+      if !streaming then
+        t.bw_cycles <-
+          t.bw_cycles
+          +. float_of_int (List.hd t.config.Config.levels).Config.line_bytes
+             /. t.config.mem_bytes_per_cycle
+      else t.latency_stalls <- t.latency_stalls +. t.config.mem_latency_cycles
+    end
+    else begin
+      let level = t.levels.(i) in
+      let hit = probe_level level line in
+      if hit then begin
+        if count_stats then level.stats.hits <- level.stats.hits + 1
+        else level.stats.prefetch_fills <- level.stats.prefetch_fills + 1;
+        if count_stats then t.latency_stalls <- t.latency_stalls +. level.cfg.hit_cycles
+      end
+      else begin
+        if count_stats then level.stats.misses <- level.stats.misses + 1;
+        walk (i + 1)
+      end
+    end
+  in
+  walk 0
+
+let line_bytes t =
+  match t.config.Config.levels with [] -> 64 | l :: _ -> l.line_bytes
+
+let access t ~write:_ addr bytes =
+  t.bytes <- t.bytes + bytes;
+  let lb = line_bytes t in
+  let first = addr / lb and last = (addr + max 1 bytes - 1) / lb in
+  for line = first to last do
+    touch_line t line ~count_stats:true
+  done
+
+let prefetch t addr =
+  let lb = line_bytes t in
+  let saved_lat = t.latency_stalls in
+  touch_line t (addr / lb) ~count_stats:false;
+  (* prefetches do not stall the pipeline: roll back any latency charge,
+     but keep the bandwidth cost of actually moving the line. *)
+  t.latency_stalls <- saved_lat
+
+let level_stats t =
+  Array.to_list t.levels
+  |> List.map (fun l -> (l.cfg.Config.level_name, l.stats))
+
+let latency_stall_cycles t = t.latency_stalls
+let bandwidth_cycles t = t.bw_cycles
+let bytes_accessed t = t.bytes
+let mem_lines_fetched t = t.mem_lines

@@ -1,0 +1,33 @@
+(** Set-associative LRU cache-hierarchy simulator with a hardware
+    stream-prefetch model for sequential misses. *)
+
+type level_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_fills : int;
+}
+
+type t
+
+val create : Config.t -> t
+
+(** [access t ~write addr bytes] simulates a data access, touching every
+    cache line the range overlaps, and accrues stall cycles internally. *)
+val access : t -> write:bool -> int -> int -> unit
+
+(** [prefetch t addr] touches the line containing [addr] without charging
+    any stall cycles (software prefetch). *)
+val prefetch : t -> int -> unit
+
+val level_stats : t -> (string * level_stats) list
+
+(** Stall cycles attributable to access latency (random misses and
+    lower-level hits), before any out-of-order overlap discount. *)
+val latency_stall_cycles : t -> float
+
+(** Cycles spent streaming whole lines from memory (bandwidth-bound part). *)
+val bandwidth_cycles : t -> float
+
+val bytes_accessed : t -> int
+val mem_lines_fetched : t -> int
+val reset : t -> unit

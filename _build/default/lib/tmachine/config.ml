@@ -1,0 +1,127 @@
+(** Machine-model configuration.
+
+    The model substitutes for the paper's Intel Core i7-3720QM (Ivy Bridge):
+    a deterministic roofline-style cost model with a set-associative cache
+    hierarchy, a port-throughput issue model, hardware stream prefetching,
+    and a vector-width transition penalty (the mechanism behind the paper's
+    ATLAS SSE/AVX performance bug in Figure 6b). *)
+
+type cache_level = {
+  level_name : string;
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  hit_cycles : float;  (** extra stall cycles charged when a hit lands here *)
+}
+
+type t = {
+  name : string;
+  ghz : float;
+  issue_width : float;  (** micro-ops retired per cycle *)
+  fp_mul_per_cycle : float;  (** FP/vector multiply issue throughput *)
+  fp_add_per_cycle : float;  (** FP/vector add issue throughput *)
+  fp_div_cycles : float;  (** cycles per (unpipelined) divide *)
+  loads_per_cycle : float;
+  stores_per_cycle : float;
+  int_ops_per_cycle : float;
+  branches_per_cycle : float;
+  vector_bits : int;  (** SIMD register width in bits *)
+  vector_regs : int;  (** architectural vector registers before spilling *)
+  scalar_regs : int;
+  miss_overlap : float;  (** fraction of latency stalls hidden by OOO *)
+  vec_transition_cycles : float;  (** penalty for mixing vector widths *)
+  call_cycles : float;
+  indirect_call_extra : float;
+  levels : cache_level list;  (** ordered nearest first *)
+  mem_latency_cycles : float;  (** random-access miss-to-memory latency *)
+  mem_bytes_per_cycle : float;  (** streaming bandwidth *)
+}
+
+let vector_lanes t ~elem_bytes = max 1 (t.vector_bits / 8 / elem_bytes)
+
+(** Peak FLOP/s assuming one mul + one add retired per cycle on full-width
+    vectors (Ivy Bridge has separate mul and add ports and no FMA). *)
+let peak_flops t ~elem_bytes =
+  let lanes = float_of_int (vector_lanes t ~elem_bytes) in
+  t.ghz *. 1e9 *. lanes *. (t.fp_mul_per_cycle +. t.fp_add_per_cycle)
+
+let ivybridge_like =
+  {
+    name = "i7-3720QM-like";
+    ghz = 3.6;
+    issue_width = 4.0;
+    fp_mul_per_cycle = 1.0;
+    fp_add_per_cycle = 1.0;
+    fp_div_cycles = 14.0;
+    loads_per_cycle = 2.0;
+    stores_per_cycle = 1.0;
+    int_ops_per_cycle = 3.0;
+    branches_per_cycle = 1.0;
+    vector_bits = 256;
+    vector_regs = 16;
+    scalar_regs = 16;
+    miss_overlap = 0.6;
+    vec_transition_cycles = 30.0;
+    call_cycles = 4.0;
+    indirect_call_extra = 2.0;
+    levels =
+      [
+        {
+          level_name = "L1";
+          size_bytes = 32 * 1024;
+          line_bytes = 64;
+          assoc = 8;
+          hit_cycles = 0.0;
+        };
+        {
+          level_name = "L2";
+          size_bytes = 256 * 1024;
+          line_bytes = 64;
+          assoc = 8;
+          hit_cycles = 4.0;  (* OOO-visible portion of the L2 latency *)
+        };
+        {
+          level_name = "L3";
+          size_bytes = 6 * 1024 * 1024;
+          line_bytes = 64;
+          assoc = 12;
+          hit_cycles = 14.0;  (* OOO-visible portion of the L3 latency *)
+        };
+      ];
+    mem_latency_cycles = 180.0;
+    mem_bytes_per_cycle = 5.0;  (* ~18 GB/s single-thread at 3.6 GHz *)
+  }
+
+(** The benchmark machine: caches scaled down by [factor] so that scaled
+    workloads exercise the same footprint/cache ratios as the paper's
+    full-size runs, at interpretable cost (DESIGN.md, substitutions). *)
+let scaled ?(factor = 4) base =
+  {
+    base with
+    name = Printf.sprintf "%s/scaled%d" base.name factor;
+    levels =
+      List.map
+        (fun l -> { l with size_bytes = max (4 * l.line_bytes * l.assoc) (l.size_bytes / factor) })
+        base.levels;
+  }
+
+(** A tiny configuration for unit tests: 2 lines per set, 2 sets, so
+    eviction behaviour is easy to reason about by hand. *)
+let test_tiny =
+  {
+    ivybridge_like with
+    name = "test-tiny";
+    levels =
+      [
+        {
+          level_name = "L1";
+          size_bytes = 256;
+          line_bytes = 64;
+          assoc = 2;
+          hit_cycles = 0.0;
+        };
+      ];
+    mem_latency_cycles = 100.0;
+    mem_bytes_per_cycle = 8.0;
+    miss_overlap = 0.0;
+  }

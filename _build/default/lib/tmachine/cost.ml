@@ -1,0 +1,138 @@
+type op =
+  | Int_alu
+  | Addr
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Vec_add of int
+  | Vec_mul of int
+  | Vec_div of int
+  | Vec_other of int
+  | Load
+  | Store
+  | Branch
+  | Call
+  | Indirect_call
+  | Spill
+  | Other
+
+type t = {
+  config : Config.t;
+  mutable int_alu : float;
+  mutable addr : float;
+  mutable mul : float;  (** FP multiply issue slots, scalar or vector *)
+  mutable add : float;
+  mutable div : float;
+  mutable loads : float;
+  mutable stores : float;
+  mutable branches : float;
+  mutable calls : float;
+  mutable flops : float;
+  mutable other : float;
+  mutable last_vec_bits : int;
+  mutable transitions : int;
+}
+
+let create config =
+  {
+    config;
+    int_alu = 0.;
+    addr = 0.;
+    mul = 0.;
+    add = 0.;
+    div = 0.;
+    loads = 0.;
+    stores = 0.;
+    branches = 0.;
+    calls = 0.;
+    flops = 0.;
+    other = 0.;
+    last_vec_bits = 0;
+    transitions = 0;
+  }
+
+let reset t =
+  t.int_alu <- 0.;
+  t.addr <- 0.;
+  t.mul <- 0.;
+  t.add <- 0.;
+  t.div <- 0.;
+  t.loads <- 0.;
+  t.stores <- 0.;
+  t.branches <- 0.;
+  t.calls <- 0.;
+  t.flops <- 0.;
+  t.other <- 0.;
+  t.last_vec_bits <- 0;
+  t.transitions <- 0
+
+let count t = function
+  | Int_alu -> t.int_alu <- t.int_alu +. 1.
+  | Addr -> t.addr <- t.addr +. 1.
+  | Fp_add ->
+      t.add <- t.add +. 1.;
+      t.flops <- t.flops +. 1.
+  | Fp_mul ->
+      t.mul <- t.mul +. 1.;
+      t.flops <- t.flops +. 1.
+  | Fp_div ->
+      t.div <- t.div +. 1.;
+      t.flops <- t.flops +. 1.
+  | Vec_add lanes ->
+      t.add <- t.add +. 1.;
+      t.flops <- t.flops +. float_of_int lanes
+  | Vec_mul lanes ->
+      t.mul <- t.mul +. 1.;
+      t.flops <- t.flops +. float_of_int lanes
+  | Vec_div lanes ->
+      t.div <- t.div +. 1.;
+      t.flops <- t.flops +. float_of_int lanes
+  | Vec_other _ -> t.other <- t.other +. 1.
+  | Load -> t.loads <- t.loads +. 1.
+  | Store -> t.stores <- t.stores +. 1.
+  | Branch -> t.branches <- t.branches +. 1.
+  | Call -> t.calls <- t.calls +. t.config.Config.call_cycles
+  | Indirect_call ->
+      t.calls <-
+        t.calls +. t.config.Config.call_cycles
+        +. t.config.Config.indirect_call_extra
+  | Spill ->
+      t.loads <- t.loads +. 1.;
+      t.stores <- t.stores +. 1.
+  | Other -> t.other <- t.other +. 1.
+
+let vec_width_event t bits =
+  if bits > 0 then begin
+    if t.last_vec_bits <> 0 && t.last_vec_bits <> bits then
+      t.transitions <- t.transitions + 1;
+    t.last_vec_bits <- bits
+  end
+
+let flops t = t.flops
+let add_flops t n = t.flops <- t.flops +. n
+
+let uops t =
+  t.int_alu +. (t.addr /. 2.) +. t.mul +. t.add +. t.div +. t.loads
+  +. t.stores +. t.branches +. t.other
+
+let transition_penalty_cycles t =
+  float_of_int t.transitions *. t.config.Config.vec_transition_cycles
+
+(* Roofline over the issue ports: the binding port determines cycles. *)
+let compute_cycles t =
+  let c = t.config in
+  let ( /? ) a b = if b <= 0. then 0. else a /. b in
+  let candidates =
+    [
+      uops t /? c.Config.issue_width;
+      t.mul /? c.fp_mul_per_cycle;
+      t.add /? c.fp_add_per_cycle;
+      t.div *. c.fp_div_cycles;
+      t.loads /? c.loads_per_cycle;
+      t.stores /? c.stores_per_cycle;
+      t.int_alu /? c.int_ops_per_cycle;
+      t.branches /? c.branches_per_cycle;
+    ]
+  in
+  List.fold_left max 0. candidates
+  +. t.calls +. transition_penalty_cycles t

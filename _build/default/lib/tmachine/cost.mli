@@ -1,0 +1,36 @@
+(** Issue/port throughput model: counts retired operations by class and
+    converts them to compute cycles via a roofline over the machine's ports. *)
+
+type op =
+  | Int_alu
+  | Addr  (** address arithmetic foldable into x86 addressing modes *)
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Vec_add of int  (** lanes *)
+  | Vec_mul of int
+  | Vec_div of int
+  | Vec_other of int
+  | Load
+  | Store
+  | Branch
+  | Call
+  | Indirect_call
+  | Spill  (** register-pressure spill access (charged as load+store) *)
+  | Other
+
+type t
+
+val create : Config.t -> t
+val count : t -> op -> unit
+
+(** Record a vector operation of the given width in bits; mixing widths
+    accrues the configured transition penalty (the ATLAS SSE/AVX bug). *)
+val vec_width_event : t -> int -> unit
+
+val flops : t -> float
+val add_flops : t -> float -> unit
+val compute_cycles : t -> float
+val uops : t -> float
+val transition_penalty_cycles : t -> float
+val reset : t -> unit

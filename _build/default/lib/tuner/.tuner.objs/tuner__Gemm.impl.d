@@ -1,0 +1,1 @@
+lib/tuner/gemm.ml: Array Context Float Format Func Int64 Jit Printf Stage Terra Tmachine Tvm Types

@@ -1,0 +1,1 @@
+lib/tuner/search.ml: Context Format Gemm List Terra Tmachine Types

@@ -1,0 +1,348 @@
+(** Matrix-multiply kernels (Section 6.1).
+
+    [genkernel] is a faithful port of the paper's Figure 5: a staged,
+    register-blocked, vectorized, prefetching L1-sized kernel,
+    parameterized by blocksize NB, register blocking RM×RN, vector width
+    V, and alpha. Around it: a two-level blocked driver, the naive and
+    blocked-only baselines, and the modeled ATLAS/MKL comparators. *)
+
+open Terra
+open Stage
+open Stage.Infix
+
+type params = { nb : int; rm : int; rn : int; v : int }
+
+let pp_params ppf p =
+  Format.fprintf ppf "NB=%d RM=%d RN=%d V=%d" p.nb p.rm p.rn p.v
+
+(* A literal of the element type. *)
+let lit elem x =
+  match elem with
+  | Types.Tfloat -> f32 x
+  | Types.Tdouble -> flt x
+  | _ -> invalid_arg "gemm element type"
+
+(** The Figure 5 kernel: multiplies an NB×NB block,
+    [C = alpha*C + A*B], A stored row-major with leading dimension lda.
+    [legacy_mix] adds an extra wide vector touch per iteration, modeling
+    the original ATLAS binary's SSE/AVX mixing (Figure 6b's
+    "ATLAS (orig.)" line). [no_spill] models hand-allocated assembly. *)
+let genkernel ctx ~elem ?(alpha = 1.0) ?(legacy_mix = false)
+    ?(no_spill = false) ?(prefetch_b = true) p =
+  let { nb; rm; rn; v } = p in
+  if nb mod rm <> 0 || nb mod (rn * v) <> 0 then
+    invalid_arg "genkernel: NB must be divisible by RM and RN*V";
+  let vector_type = Types.vector elem v in
+  let vector_pointer = Types.ptr vector_type in
+  let ep = Types.ptr elem in
+  let sA = sym ~name:"A" () and sB = sym ~name:"B" () and sC = sym ~name:"C" () in
+  let lda = sym ~name:"lda" () and ldb = sym ~name:"ldb" () and ldc = sym ~name:"ldc" () in
+  let mm = sym ~name:"mm" () and nn = sym ~name:"nn" () and k = sym ~name:"k" () in
+  let a = Array.init rm (fun m -> sym ~name:(Printf.sprintf "a%d" m) ()) in
+  let b = Array.init rn (fun n -> sym ~name:(Printf.sprintf "b%d" n) ()) in
+  let c = symmat ~name:"c" rm rn in
+  let caddr = symmat ~name:"caddr" rm rn in
+  let loadc = ref [] and storec = ref [] in
+  for m = 0 to rm - 1 do
+    for n = 0 to rn - 1 do
+      loadc :=
+        !loadc
+        @ [
+            defvar caddr.(m).(n)
+              ~init:(var sC +! ((int_ m *! var ldc) +! int_ (n * v)));
+            defvar c.(m).(n)
+              ~init:
+                (cast vector_type (lit elem alpha)
+                *! deref (cast vector_pointer (var caddr.(m).(n))));
+          ];
+      storec :=
+        !storec
+        @ [
+            assign1
+              (deref (cast vector_pointer (var caddr.(m).(n))))
+              (var c.(m).(n));
+          ]
+    done
+  done;
+  let calcc = ref [] in
+  for n = 0 to rn - 1 do
+    calcc :=
+      !calcc
+      @ [
+          defvar b.(n)
+            ~init:(deref (cast vector_pointer (var sB +! int_ (n * v))));
+        ]
+  done;
+  for m = 0 to rm - 1 do
+    calcc :=
+      !calcc
+      @ [
+          defvar a.(m)
+            ~init:(cast vector_type (index (var sA) (int_ m *! var lda)));
+        ]
+  done;
+  for m = 0 to rm - 1 do
+    for n = 0 to rn - 1 do
+      calcc :=
+        !calcc
+        @ [ assign1 (var c.(m).(n)) (var c.(m).(n) +! (var a.(m) *! var b.(n))) ]
+    done
+  done;
+  let mix =
+    if legacy_mix then
+      (* one AVX-width touch inside an SSE-width loop: every iteration
+         pays the vector-unit transition penalty, the ATLAS SGEMM bug *)
+      let wide = Types.ptr (Types.vector elem (2 * v)) in
+      let dead = sym ~name:"mixed" () in
+      [ defvar dead ~init:(deref (cast wide (var sB))) ]
+    else []
+  in
+  let prefetch_stmt =
+    if prefetch_b then [ sexpr (prefetch (var sB +! (int_ 4 *! var ldb))) ]
+    else []
+  in
+  let body =
+    [
+      sfor mm (int_ 0) (int_ nb) ~step:(int_ rm)
+        [
+          sfor nn (int_ 0) (int_ nb)
+            ~step:(int_ (rn * v))
+            ([
+               sblock !loadc;
+               sfor k (int_ 0) (int_ nb)
+                 (prefetch_stmt @ mix @ !calcc
+                 @ [
+                     assign [ var sB; var sA ]
+                       [ var sB +! var ldb; var sA +! int_ 1 ];
+                   ]);
+             ]
+            @ !storec
+            @ [
+                assign
+                  [ var sA; var sB; var sC ]
+                  [
+                    var sA -! int_ nb;
+                    var sB -! (var ldb *! int_ nb) +! int_ (rn * v);
+                    var sC +! int_ (rn * v);
+                  ];
+              ]);
+          assign
+            [ var sA; var sB; var sC ]
+            [
+              var sA +! (var lda *! int_ rm);
+              var sB -! int_ nb;
+              var sC +! ((int_ rm *! var ldc) -! int_ nb);
+            ];
+        ];
+    ]
+  in
+  let f =
+    func ctx
+      ~name:
+        (Format.asprintf "l1kernel<%s,%a>" (Types.to_string elem) pp_params p)
+      ~params:
+        [
+          (sA, ep); (sB, ep); (sC, ep); (lda, Types.int64); (ldb, Types.int64);
+          (ldc, Types.int64);
+        ]
+      ~ret:Types.Tunit body
+  in
+  f.Func.no_spill <- no_spill;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Full multiplies: terra gemm(N, A, B, C), all leading dimensions N. *)
+
+(** Two-level blocking driver around an L1 kernel (the paper's full
+    matrix-multiply routine, "not shown"). N must be a multiple of NB. *)
+let blocked_driver ctx ~elem ~kernel ~nb =
+  let ep = Types.ptr elem in
+  let n = sym ~name:"N" () and pa = sym ~name:"A" () and pb = sym ~name:"B" () in
+  let pc = sym ~name:"C" () in
+  let i = sym ~name:"i" () in
+  let mb = sym ~name:"mb" () and nb_ = sym ~name:"nb" () and kb = sym ~name:"kb" () in
+  func ctx ~name:"gemm_blocked" ~params:[ (n, Types.int64); (pa, ep); (pb, ep); (pc, ep) ]
+    ~ret:Types.Tunit
+    [
+      sfor i (int_ 0) (var n *! var n)
+        [ assign1 (index (var pc) (var i)) (lit elem 0.0) ];
+      sfor mb (int_ 0) (var n) ~step:(int_ nb)
+        [
+          sfor nb_ (int_ 0) (var n) ~step:(int_ nb)
+            [
+              sfor kb (int_ 0) (var n) ~step:(int_ nb)
+                [
+                  sexpr
+                    (callf kernel
+                       [
+                         var pa +! ((var mb *! var n) +! var kb);
+                         var pb +! ((var kb *! var n) +! var nb_);
+                         var pc +! ((var mb *! var n) +! var nb_);
+                         var n; var n; var n;
+                       ]);
+                ];
+            ];
+        ];
+    ]
+
+(** The naive triple loop (Figure 6's "Blocked"-free baseline). *)
+let naive ctx ~elem =
+  let ep = Types.ptr elem in
+  let n = sym ~name:"N" () and pa = sym ~name:"A" () and pb = sym ~name:"B" () in
+  let pc = sym ~name:"C" () in
+  let i = sym ~name:"i" () and j = sym ~name:"j" () and k = sym ~name:"k" () in
+  let s = sym ~name:"s" () in
+  func ctx ~name:"gemm_naive" ~params:[ (n, Types.int64); (pa, ep); (pb, ep); (pc, ep) ]
+    ~ret:Types.Tunit
+    [
+      sfor i (int_ 0) (var n)
+        [
+          sfor j (int_ 0) (var n)
+            [
+              defvar s ~ty:elem ~init:(lit elem 0.0);
+              sfor k (int_ 0) (var n)
+                [
+                  assign1 (var s)
+                    (var s
+                    +! (index (var pa) ((var i *! var n) +! var k)
+                       *! index (var pb) ((var k *! var n) +! var j)));
+                ];
+              assign1 (index (var pc) ((var i *! var n) +! var j)) (var s);
+            ];
+        ];
+    ]
+
+(** Cache blocking only — no register blocking, no vectors (the paper's
+    "Blocked" line: "less than 7% of theoretical peak"). *)
+let blocked_scalar ctx ~elem ~nb =
+  let ep = Types.ptr elem in
+  let n = sym ~name:"N" () and pa = sym ~name:"A" () and pb = sym ~name:"B" () in
+  let pc = sym ~name:"C" () in
+  let ib = sym ~name:"ib" () and jb = sym ~name:"jb" () and kb = sym ~name:"kb" () in
+  let i = sym ~name:"i" () and j = sym ~name:"j" () and k = sym ~name:"k" () in
+  let s = sym ~name:"s" () and z = sym ~name:"z" () in
+  func ctx ~name:"gemm_blocked_scalar"
+    ~params:[ (n, Types.int64); (pa, ep); (pb, ep); (pc, ep) ]
+    ~ret:Types.Tunit
+    [
+      sfor z (int_ 0) (var n *! var n)
+        [ assign1 (index (var pc) (var z)) (lit elem 0.0) ];
+      sfor ib (int_ 0) (var n) ~step:(int_ nb)
+        [
+          sfor jb (int_ 0) (var n) ~step:(int_ nb)
+            [
+              sfor kb (int_ 0) (var n) ~step:(int_ nb)
+                [
+                  sfor i (var ib) (var ib +! int_ nb)
+                    [
+                      sfor j (var jb) (var jb +! int_ nb)
+                        [
+                          defvar s ~ty:elem
+                            ~init:(index (var pc) ((var i *! var n) +! var j));
+                          sfor k (var kb) (var kb +! int_ nb)
+                            [
+                              assign1 (var s)
+                                (var s
+                                +! (index (var pa) ((var i *! var n) +! var k)
+                                   *! index (var pb) ((var k *! var n) +! var j)
+                                   ));
+                            ];
+                          assign1
+                            (index (var pc) ((var i *! var n) +! var j))
+                            (var s);
+                        ];
+                    ];
+                ];
+            ];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* OCaml-side harness: matrices in VM memory, runs, verification *)
+
+module Vm = Tvm.Vm
+module Mem = Tvm.Mem
+
+type matrices = { ma : int; mb : int; mc : int; msize : int }
+
+let elem_bytes = Types.sizeof
+
+let alloc_matrices ctx ~elem n =
+  let bytes = n * n * elem_bytes elem in
+  let alloc = ctx.Context.vm.Vm.alloc in
+  { ma = Tvm.Alloc.malloc alloc bytes;
+    mb = Tvm.Alloc.malloc alloc bytes;
+    mc = Tvm.Alloc.malloc alloc bytes;
+    msize = n }
+
+let free_matrices ctx m =
+  let alloc = ctx.Context.vm.Vm.alloc in
+  Tvm.Alloc.free alloc m.ma;
+  Tvm.Alloc.free alloc m.mb;
+  Tvm.Alloc.free alloc m.mc
+
+let set_elem ctx ~elem addr i x =
+  let mem = ctx.Context.vm.Vm.mem in
+  match elem with
+  | Types.Tfloat -> Mem.set_f32 mem (addr + (4 * i)) x
+  | _ -> Mem.set_f64 mem (addr + (8 * i)) x
+
+let get_elem ctx ~elem addr i =
+  let mem = ctx.Context.vm.Vm.mem in
+  match elem with
+  | Types.Tfloat -> Mem.get_f32 mem (addr + (4 * i))
+  | _ -> Mem.get_f64 mem (addr + (8 * i))
+
+(* Deterministic, well-conditioned fill. *)
+let fill_matrices ctx ~elem m =
+  let n = m.msize in
+  for i = 0 to (n * n) - 1 do
+    set_elem ctx ~elem m.ma i (0.5 +. (0.5 *. sin (float_of_int i)));
+    set_elem ctx ~elem m.mb i (0.5 +. (0.5 *. cos (float_of_int (i * 7))))
+  done
+
+(** Run a gemm function over the matrices inside {!Tmachine.Machine.measure};
+    returns modeled GFLOPS. *)
+let run_gemm ctx (f : Func.t) m =
+  Jit.ensure_compiled f;
+  let machine = ctx.Context.machine in
+  let args =
+    [|
+      Vm.VI (Int64.of_int m.msize);
+      Vm.VI (Int64.of_int m.ma);
+      Vm.VI (Int64.of_int m.mb);
+      Vm.VI (Int64.of_int m.mc);
+    |]
+  in
+  let (), report =
+    Tmachine.Machine.measure machine (fun () ->
+        ignore (Vm.call ctx.Context.vm f.Func.vmid args))
+  in
+  let flops = 2.0 *. (float_of_int m.msize ** 3.0) in
+  let gflops = flops /. report.Tmachine.Machine.r_seconds /. 1e9 in
+  (gflops, report)
+
+(** Reference product computed in OCaml for correctness checks. *)
+let reference ctx ~elem m =
+  let n = m.msize in
+  let out = Array.make (n * n) 0.0 in
+  let av = Array.init (n * n) (get_elem ctx ~elem m.ma) in
+  let bv = Array.init (n * n) (get_elem ctx ~elem m.mb) in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let aik = av.((i * n) + k) in
+      for j = 0 to n - 1 do
+        out.((i * n) + j) <- out.((i * n) + j) +. (aik *. bv.((k * n) + j))
+      done
+    done
+  done;
+  out
+
+let max_error ctx ~elem m reference =
+  let n = m.msize in
+  let worst = ref 0.0 in
+  for i = 0 to (n * n) - 1 do
+    let got = get_elem ctx ~elem m.mc i in
+    worst := Float.max !worst (Float.abs (got -. reference.(i)))
+  done;
+  !worst

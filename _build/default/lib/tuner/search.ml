@@ -1,0 +1,76 @@
+(** The auto-tuner (Section 6.1): searches over (NB, RM, RN, V),
+    JIT-compiles each candidate kernel, runs it on a user-provided test
+    case, and picks the best-performing configuration — all in one
+    process, which is the paper's point: ATLAS needs Makefiles,
+    preprocessors and cross-compilation to do this offline. *)
+
+open Terra
+
+type candidate = {
+  cparams : Gemm.params;
+  gflops : float;
+  spilled : bool;
+}
+
+let default_space ~elem =
+  let vs = match elem with Types.Tfloat -> [ 4; 8 ] | _ -> [ 2; 4 ] in
+  let nbs = [ 16; 24; 32; 48 ] in
+  let rms = [ 1; 2; 4; 6; 8 ] in
+  let rns = [ 1; 2; 4 ] in
+  List.concat_map
+    (fun nb ->
+      List.concat_map
+        (fun rm ->
+          List.concat_map
+            (fun rn ->
+              List.filter_map
+                (fun v ->
+                  if nb mod rm = 0 && nb mod (rn * v) = 0 && rm * rn <= 32
+                  then Some { Gemm.nb; rm; rn; v }
+                  else None)
+                vs)
+            rns)
+        rms)
+    nbs
+
+(* Does this configuration exceed the vector register file? *)
+let would_spill machine (p : Gemm.params) =
+  let regs = (p.Gemm.rm * p.rn) + p.rm + p.rn in
+  regs > machine.Tmachine.Machine.config.Tmachine.Config.vector_regs
+
+(** Run the search. [test_n] must be a multiple of every NB in the space
+    (96 works for the default space). Returns candidates sorted best
+    first. *)
+let search ?(space = None) ?(test_n = 96) ?(no_spill = false) ctx ~elem () =
+  let space = match space with Some s -> s | None -> default_space ~elem in
+  let m = Gemm.alloc_matrices ctx ~elem test_n in
+  Gemm.fill_matrices ctx ~elem m;
+  let results =
+    List.filter_map
+      (fun p ->
+        if test_n mod p.Gemm.nb <> 0 then None
+        else
+          let kernel = Gemm.genkernel ctx ~elem ~no_spill p in
+          let driver = Gemm.blocked_driver ctx ~elem ~kernel ~nb:p.Gemm.nb in
+          match Gemm.run_gemm ctx driver m with
+          | gflops, _ ->
+              Some
+                {
+                  cparams = p;
+                  gflops;
+                  spilled = would_spill ctx.Context.machine p;
+                }
+          | exception _ -> None)
+      space
+  in
+  Gemm.free_matrices ctx m;
+  List.sort (fun a b -> compare b.gflops a.gflops) results
+
+let best results =
+  match results with
+  | [] -> invalid_arg "autotuner found no working configuration"
+  | b :: _ -> b
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%a : %.2f GFLOPS%s" Gemm.pp_params c.cparams c.gflops
+    (if c.spilled then " (spills)" else "")

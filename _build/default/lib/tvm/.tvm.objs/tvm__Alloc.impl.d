@@ -1,0 +1,1 @@
+lib/tvm/alloc.ml: Hashtbl Mem

@@ -1,0 +1,1 @@
+lib/tvm/alloc.mli: Mem

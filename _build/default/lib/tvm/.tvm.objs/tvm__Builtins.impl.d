@@ -1,0 +1,1 @@
+lib/tvm/builtins.ml: Alloc Array Buffer Char Cost Float Int64 Ir List Machine Mem Printf Tmachine Vm

@@ -1,0 +1,1 @@
+lib/tvm/ir.ml: Array Format Printf

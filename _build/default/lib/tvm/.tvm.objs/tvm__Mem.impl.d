@@ -1,0 +1,1 @@
+lib/tvm/mem.ml: Buffer Bytes Char Int32 Int64 String

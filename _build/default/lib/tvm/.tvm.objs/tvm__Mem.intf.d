@@ -1,0 +1,1 @@
+lib/tvm/mem.mli:

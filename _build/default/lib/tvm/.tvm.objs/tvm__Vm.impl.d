@@ -1,0 +1,1 @@
+lib/tvm/vm.ml: Alloc Array Cost Float Hashtbl Int32 Int64 Ir List Machine Mem Printf Tmachine

@@ -1,0 +1,87 @@
+exception Out_of_memory of int
+exception Invalid_free of int
+
+type t = {
+  mem : Mem.t;
+  mutable free_list : (int * int) list;  (** (addr, size), sorted by addr *)
+  live : (int, int) Hashtbl.t;
+  mutable live_bytes : int;
+}
+
+let align = 16
+
+let create mem =
+  let base = Mem.heap_base mem and limit = Mem.heap_limit mem in
+  {
+    mem;
+    free_list = [ (base, limit - base) ];
+    live = Hashtbl.create 64;
+    live_bytes = 0;
+  }
+
+let round n = (n + align - 1) / align * align
+
+(* Allocation-size jitter: vary block offsets so same-sized buffers do not
+   land at identical cache-set alignments (as real malloc headers and ASLR
+   do). Deterministic. *)
+let jitter = ref 0
+
+let malloc t n =
+  if n < 0 || n > 1 lsl 48 then raise (Out_of_memory n);
+  jitter := (!jitter + 1) land 7;
+  let n = max align (round n) + (!jitter * 64) in
+  let rec take = function
+    | [] -> raise (Out_of_memory n)
+    | (addr, size) :: rest when size >= n ->
+        let remainder =
+          if size > n then [ (addr + n, size - n) ] else []
+        in
+        (addr, remainder @ rest)
+    | blk :: rest ->
+        let addr, rest' = take rest in
+        (addr, blk :: rest')
+  in
+  let addr, fl = take t.free_list in
+  t.free_list <- fl;
+  Hashtbl.replace t.live addr n;
+  t.live_bytes <- t.live_bytes + n;
+  addr
+
+(* Insert keeping the list sorted and coalescing adjacent blocks. *)
+let rec insert blk = function
+  | [] -> [ blk ]
+  | (a, s) :: rest ->
+      let ba, bs = blk in
+      if ba + bs = a then (ba, bs + s) :: rest
+      else if a + s = ba then insert (a, s + bs) rest
+      else if ba < a then blk :: (a, s) :: rest
+      else (a, s) :: insert blk rest
+
+let free t addr =
+  if addr = 0 then ()
+  else
+    match Hashtbl.find_opt t.live addr with
+    | None -> raise (Invalid_free addr)
+    | Some size ->
+        Hashtbl.remove t.live addr;
+        t.live_bytes <- t.live_bytes - size;
+        t.free_list <- insert (addr, size) t.free_list
+
+let block_size t addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> raise (Invalid_free addr)
+  | Some s -> s
+
+let realloc t addr n =
+  if addr = 0 then malloc t n
+  else begin
+    let old = block_size t addr in
+    let fresh = malloc t n in
+    Mem.blit t.mem ~src:addr ~dst:fresh ~len:(min old n);
+    free t addr;
+    fresh
+  end
+
+let live_blocks t = Hashtbl.length t.live
+let live_bytes t = t.live_bytes
+let blocks t = Hashtbl.fold (fun a s acc -> (a, s) :: acc) t.live []

@@ -1,0 +1,22 @@
+(** First-fit free-list allocator over the heap region of a {!Mem.t}.
+    Block metadata lives on the OCaml side so user stores cannot corrupt
+    the allocator, mirroring a hardened malloc. *)
+
+exception Out_of_memory of int
+exception Invalid_free of int
+
+type t
+
+val create : Mem.t -> t
+
+(** 16-byte-aligned allocation; size 0 returns a unique non-null pointer. *)
+val malloc : t -> int -> int
+
+val free : t -> int -> unit
+val realloc : t -> int -> int -> int
+val block_size : t -> int -> int
+val live_blocks : t -> int
+val live_bytes : t -> int
+
+(** Every live block's [addr, addr+size) range, for invariant checking. *)
+val blocks : t -> (int * int) list

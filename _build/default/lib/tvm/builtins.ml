@@ -1,0 +1,130 @@
+(** The modeled C runtime: implementations for the imports produced by the
+    [includec] substitute. Registered into a {!Vm.t} by {!install}. *)
+
+open Tmachine
+
+let arg args i =
+  if i < Array.length args then args.(i)
+  else raise (Vm.Trap "builtin: missing argument")
+
+let iarg args i = Vm.to_i (arg args i)
+let farg args i = Vm.to_f (arg args i)
+let addr_arg args i = Int64.to_int (iarg args i)
+
+let float1 name f =
+  ( name,
+    fun (vm : Vm.t) args ->
+      Machine.count vm.machine Cost.Fp_div;
+      Vm.VF (f (farg args 0)) )
+
+let float2 name f =
+  ( name,
+    fun (vm : Vm.t) args ->
+      Machine.count vm.machine Cost.Fp_div;
+      Vm.VF (f (farg args 0) (farg args 1)) )
+
+(* Deterministic xorshift so runs are reproducible. *)
+let rand_state = ref 0x9E3779B97F4A7C15L
+
+let rand_next () =
+  let open Int64 in
+  let x = !rand_state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  rand_state := x;
+  x
+
+let output = Buffer.create 256
+let print_sink : (string -> unit) ref = ref (fun s -> Buffer.add_string output s)
+let take_output () =
+  let s = Buffer.contents output in
+  Buffer.clear output;
+  s
+
+let emit s = !print_sink s
+
+let all : (string * Vm.builtin) list =
+  [
+    ( "malloc",
+      fun vm args ->
+        Machine.count vm.machine Cost.Call;
+        Vm.VI (Int64.of_int (Alloc.malloc vm.alloc (Int64.to_int (iarg args 0)))) );
+    ( "calloc",
+      fun vm args ->
+        let n = Int64.to_int (iarg args 0) * Int64.to_int (iarg args 1) in
+        let p = Alloc.malloc vm.alloc n in
+        Mem.fill vm.mem p n '\000';
+        Vm.VI (Int64.of_int p) );
+    ( "free",
+      fun vm args ->
+        Alloc.free vm.alloc (addr_arg args 0);
+        Vm.VUnit );
+    ( "realloc",
+      fun vm args ->
+        Vm.VI
+          (Int64.of_int
+             (Alloc.realloc vm.alloc (addr_arg args 0)
+                (Int64.to_int (iarg args 1)))) );
+    ( "memcpy",
+      fun vm args ->
+        let dst = addr_arg args 0 and src = addr_arg args 1 in
+        let len = Int64.to_int (iarg args 2) in
+        Machine.load vm.machine src len;
+        Machine.store vm.machine dst len;
+        Mem.blit vm.mem ~src ~dst ~len;
+        Vm.VI (Int64.of_int dst) );
+    ( "memset",
+      fun vm args ->
+        let dst = addr_arg args 0 in
+        let c = Int64.to_int (iarg args 1) land 0xff in
+        let len = Int64.to_int (iarg args 2) in
+        Machine.store vm.machine dst len;
+        Mem.fill vm.mem dst len (Char.chr c);
+        Vm.VI (Int64.of_int dst) );
+    float1 "sqrt" sqrt;
+    float1 "fabs" Float.abs;
+    float1 "floor" floor;
+    float1 "ceil" ceil;
+    float1 "sin" sin;
+    float1 "cos" cos;
+    float1 "tan" tan;
+    float1 "exp" exp;
+    float1 "log" log;
+    float2 "pow" ( ** );
+    float2 "fmod" Float.rem;
+    float1 "sqrtf" (fun x -> Vm.round_fk Ir.Fk32 (sqrt x));
+    float1 "fabsf" Float.abs;
+    ( "abs",
+      fun _ args -> Vm.VI (Int64.abs (iarg args 0)) );
+    ( "rand",
+      fun _ _ -> Vm.VI (Int64.logand (rand_next ()) 0x7fffffffL) );
+    ( "srand",
+      fun _ args ->
+        rand_state := Int64.logor (iarg args 0) 1L;
+        Vm.VUnit );
+    ( "clock_cycles",
+      (* Extension point used by the auto-tuner: reads the machine model's
+         cycle counter, the substitute for rdtsc. *)
+      fun vm _ -> Vm.VI (Int64.of_float (Machine.cycles vm.machine)) );
+    ( "puts",
+      fun vm args ->
+        emit (Mem.get_cstring vm.mem (addr_arg args 0));
+        emit "\n";
+        Vm.VI 0L );
+    ( "print_i64",
+      fun _ args ->
+        emit (Int64.to_string (iarg args 0));
+        emit "\n";
+        Vm.VUnit );
+    ( "print_f64",
+      fun _ args ->
+        emit (Printf.sprintf "%.6g\n" (farg args 0));
+        Vm.VUnit );
+    ( "exit",
+      fun _ args ->
+        raise (Vm.Trap (Printf.sprintf "exit(%Ld)" (iarg args 0))) );
+  ]
+
+let install vm = List.iter (fun (n, f) -> Vm.register_builtin vm n f) all
+let names = List.map fst all

@@ -1,0 +1,113 @@
+exception Fault of int * string
+
+type t = {
+  bytes : Bytes.t;
+  mutable statics_ptr : int;
+  heap_base : int;
+  heap_limit : int;
+  stack_top : int;
+}
+
+let statics_base = 4096
+let statics_limit = 1 lsl 20
+let default_bytes = 192 * (1 lsl 20)
+let stack_bytes = 8 * (1 lsl 20)
+
+let create ?(bytes = default_bytes) () =
+  let bytes = max bytes (statics_limit + stack_bytes + (1 lsl 20)) in
+  {
+    bytes = Bytes.make bytes '\000';
+    statics_ptr = statics_base;
+    heap_base = statics_limit;
+    heap_limit = bytes - stack_bytes;
+    stack_top = bytes;
+  }
+
+let size t = Bytes.length t.bytes
+let heap_base t = t.heap_base
+let heap_limit t = t.heap_limit
+let stack_top t = t.stack_top
+
+let align_up n a = (n + a - 1) / a * a
+
+let alloc_static t ~align n =
+  let addr = align_up t.statics_ptr (max 1 align) in
+  if addr + n > statics_limit then raise (Fault (addr, "static region full"));
+  t.statics_ptr <- addr + n;
+  addr
+
+let check t addr len what =
+  if addr < statics_base || addr + len > Bytes.length t.bytes then
+    raise (Fault (addr, what))
+
+let get_u8 t a =
+  check t a 1 "load u8";
+  Char.code (Bytes.unsafe_get t.bytes a)
+
+let get_i8 t a =
+  let v = get_u8 t a in
+  if v >= 128 then v - 256 else v
+
+let get_u16 t a =
+  check t a 2 "load u16";
+  Bytes.get_uint16_le t.bytes a
+
+let get_i16 t a =
+  check t a 2 "load i16";
+  Bytes.get_int16_le t.bytes a
+
+let get_i32 t a =
+  check t a 4 "load i32";
+  Bytes.get_int32_le t.bytes a
+
+let get_i64 t a =
+  check t a 8 "load i64";
+  Bytes.get_int64_le t.bytes a
+
+let get_f32 t a = Int32.float_of_bits (get_i32 t a)
+let get_f64 t a = Int64.float_of_bits (get_i64 t a)
+
+let set_u8 t a v =
+  check t a 1 "store u8";
+  Bytes.unsafe_set t.bytes a (Char.unsafe_chr (v land 0xff))
+
+let set_u16 t a v =
+  check t a 2 "store u16";
+  Bytes.set_uint16_le t.bytes a (v land 0xffff)
+
+let set_i32 t a v =
+  check t a 4 "store i32";
+  Bytes.set_int32_le t.bytes a v
+
+let set_i64 t a v =
+  check t a 8 "store i64";
+  Bytes.set_int64_le t.bytes a v
+
+let set_f32 t a v = set_i32 t a (Int32.bits_of_float v)
+let set_f64 t a v = set_i64 t a (Int64.bits_of_float v)
+
+let blit t ~src ~dst ~len =
+  check t src len "memcpy src";
+  check t dst len "memcpy dst";
+  Bytes.blit t.bytes src t.bytes dst len
+
+let fill t addr len c =
+  check t addr len "memset";
+  Bytes.fill t.bytes addr len c
+
+let get_cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = get_u8 t a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+let set_cstring t addr s =
+  check t addr (String.length s + 1) "store string";
+  Bytes.blit_string s 0 t.bytes addr (String.length s);
+  set_u8 t (addr + String.length s) 0

@@ -1,0 +1,42 @@
+(** Byte-addressed linear memory for compiled Terra code.
+
+    Address 0 is the null page and always faults; a static-data region is
+    bump-allocated from [statics_base]; the heap and stack share the rest
+    (heap grows up, stack grows down from [stack_top]). *)
+
+exception Fault of int * string
+
+type t
+
+val create : ?bytes:int -> unit -> t
+val size : t -> int
+val statics_base : int
+val heap_base : t -> int
+val heap_limit : t -> int
+val stack_top : t -> int
+
+(** Bump-allocate static storage (for globals and constant data). *)
+val alloc_static : t -> align:int -> int -> int
+
+val get_u8 : t -> int -> int
+val get_i8 : t -> int -> int
+val get_u16 : t -> int -> int
+val get_i16 : t -> int -> int
+val get_i32 : t -> int -> int32
+val get_i64 : t -> int -> int64
+val get_f32 : t -> int -> float
+val get_f64 : t -> int -> float
+val set_u8 : t -> int -> int -> unit
+val set_u16 : t -> int -> int -> unit
+val set_i32 : t -> int -> int32 -> unit
+val set_i64 : t -> int -> int64 -> unit
+val set_f32 : t -> int -> float -> unit
+val set_f64 : t -> int -> float -> unit
+val blit : t -> src:int -> dst:int -> len:int -> unit
+val fill : t -> int -> int -> char -> unit
+
+(** Read a NUL-terminated string. *)
+val get_cstring : t -> int -> string
+
+(** Write [s] plus a terminating NUL at [addr]. *)
+val set_cstring : t -> int -> string -> unit

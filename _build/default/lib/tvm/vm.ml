@@ -1,0 +1,397 @@
+(** The virtual machine: executes {!Ir} functions against a {!Mem.t},
+    threading every retired operation through the {!Tmachine} cost model.
+    This is the substitute for LLVM-JITed native code in the paper. *)
+
+open Tmachine
+
+type value = VI of int64 | VF of float | VV of float array | VUnit
+
+exception Trap of string
+
+type t = {
+  mem : Mem.t;
+  alloc : Alloc.t;
+  machine : Machine.t;
+  mutable funcs : Ir.func array;
+  mutable nfuncs : int;
+  mutable imports : string array;
+  mutable nimports : int;
+  builtins : (string, builtin) Hashtbl.t;
+  mutable sp : int;
+  mutable fuel : int;
+}
+
+and builtin = t -> value array -> value
+
+let create ?mem_bytes machine =
+  let mem = Mem.create ?bytes:mem_bytes () in
+  {
+    mem;
+    alloc = Alloc.create mem;
+    machine;
+    funcs = Array.make 16 { Ir.fname = ""; nparams = 0; nregs = 0; frame_bytes = 0; code = [||] };
+    nfuncs = 0;
+    imports = Array.make 16 "";
+    nimports = 0;
+    builtins = Hashtbl.create 32;
+    sp = Mem.stack_top mem;
+    fuel = max_int;
+  }
+
+let register_builtin t name fn = Hashtbl.replace t.builtins name fn
+
+let undefined_func name =
+  { Ir.fname = name; nparams = 0; nregs = 0; frame_bytes = 0; code = [||] }
+
+let grow arr n filler =
+  if n < Array.length arr then arr
+  else begin
+    let bigger = Array.make (max 16 (2 * n)) filler in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+(** Reserve a function id (a declaration); define it later with
+    {!set_func}. Calling it before definition traps — the paper's link
+    error for declared-but-undefined functions. *)
+let declare_func t name =
+  t.funcs <- grow t.funcs t.nfuncs (undefined_func "");
+  let id = t.nfuncs in
+  t.funcs.(id) <- undefined_func name;
+  t.nfuncs <- t.nfuncs + 1;
+  id
+
+let set_func t id f = t.funcs.(id) <- f
+let add_func t f =
+  let id = declare_func t f.Ir.fname in
+  set_func t id f;
+  id
+
+let func_defined t id = Array.length t.funcs.(id).Ir.code > 0
+let func t id = t.funcs.(id)
+
+let import t name =
+  let rec find i =
+    if i >= t.nimports then None
+    else if t.imports.(i) = name then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> i
+  | None ->
+      t.imports <- grow t.imports t.nimports "";
+      t.imports.(t.nimports) <- name;
+      t.nimports <- t.nimports + 1;
+      t.nimports - 1
+
+let to_i = function
+  | VI i -> i
+  | VF _ -> raise (Trap "expected integer, got float")
+  | VV _ -> raise (Trap "expected integer, got vector")
+  | VUnit -> raise (Trap "expected integer, got unit")
+
+let to_f = function
+  | VF f -> f
+  | VI _ -> raise (Trap "expected float, got integer")
+  | VV _ -> raise (Trap "expected float, got vector")
+  | VUnit -> raise (Trap "expected float, got unit")
+
+let to_v = function
+  | VV v -> v
+  | _ -> raise (Trap "expected vector")
+
+let to_addr v = Int64.to_int (to_i v)
+let bool_val b = VI (if b then 1L else 0L)
+let truthy v = to_i v <> 0L
+
+let eval_ibin op a b =
+  let open Int64 in
+  match op with
+  | Ir.Add -> VI (add a b)
+  | Sub -> VI (sub a b)
+  | Mul -> VI (mul a b)
+  | Divs -> if b = 0L then raise (Trap "integer division by zero") else VI (div a b)
+  | Divu -> if b = 0L then raise (Trap "integer division by zero") else VI (unsigned_div a b)
+  | Rems -> if b = 0L then raise (Trap "integer division by zero") else VI (rem a b)
+  | Remu -> if b = 0L then raise (Trap "integer division by zero") else VI (unsigned_rem a b)
+  | Band -> VI (logand a b)
+  | Bor -> VI (logor a b)
+  | Bxor -> VI (logxor a b)
+  | Shl -> VI (shift_left a (to_int b land 63))
+  | Shrs -> VI (shift_right a (to_int b land 63))
+  | Shru -> VI (shift_right_logical a (to_int b land 63))
+  | Eq -> bool_val (equal a b)
+  | Ne -> bool_val (not (equal a b))
+  | Lts -> bool_val (compare a b < 0)
+  | Les -> bool_val (compare a b <= 0)
+  | Gts -> bool_val (compare a b > 0)
+  | Ges -> bool_val (compare a b >= 0)
+  | Ltu -> bool_val (unsigned_compare a b < 0)
+  | Leu -> bool_val (unsigned_compare a b <= 0)
+  | Gtu -> bool_val (unsigned_compare a b > 0)
+  | Geu -> bool_val (unsigned_compare a b >= 0)
+  | Mins -> VI (if compare a b <= 0 then a else b)
+  | Maxs -> VI (if compare a b >= 0 then a else b)
+
+let round_fk fk (x : float) =
+  match fk with
+  | Ir.Fk32 -> Int32.float_of_bits (Int32.bits_of_float x)
+  | Ir.Fk64 -> x
+
+let eval_fbin fk op a b =
+  match op with
+  | Ir.FAdd -> VF (round_fk fk (a +. b))
+  | FSub -> VF (round_fk fk (a -. b))
+  | FMul -> VF (round_fk fk (a *. b))
+  | FDiv -> VF (round_fk fk (a /. b))
+  | FMin -> VF (Float.min a b)
+  | FMax -> VF (Float.max a b)
+  | FEq -> bool_val (a = b)
+  | FNe -> bool_val (a <> b)
+  | FLt -> bool_val (a < b)
+  | FLe -> bool_val (a <= b)
+  | FGt -> bool_val (a > b)
+  | FGe -> bool_val (a >= b)
+
+let scalar_fbin_lanes fk op la lb =
+  let f x y =
+    match op with
+    | Ir.FAdd -> round_fk fk (x +. y)
+    | FSub -> round_fk fk (x -. y)
+    | FMul -> round_fk fk (x *. y)
+    | FDiv -> round_fk fk (x /. y)
+    | FMin -> Float.min x y
+    | FMax -> Float.max x y
+    | FEq -> if x = y then 1.0 else 0.0
+    | FNe -> if x <> y then 1.0 else 0.0
+    | FLt -> if x < y then 1.0 else 0.0
+    | FLe -> if x <= y then 1.0 else 0.0
+    | FGt -> if x > y then 1.0 else 0.0
+    | FGe -> if x >= y then 1.0 else 0.0
+  in
+  Array.init (Array.length la) (fun i -> f la.(i) lb.(i))
+
+let eval_funop fk op a =
+  match op with
+  | Ir.FNeg -> round_fk fk (-.a)
+  | FAbs -> Float.abs a
+  | FSqrt -> round_fk fk (sqrt a)
+
+let load_scalar t mty addr =
+  match mty with
+  | Ir.I8 -> VI (Int64.of_int (Mem.get_i8 t.mem addr))
+  | U8 -> VI (Int64.of_int (Mem.get_u8 t.mem addr))
+  | I16 -> VI (Int64.of_int (Mem.get_i16 t.mem addr))
+  | U16 -> VI (Int64.of_int (Mem.get_u16 t.mem addr))
+  | I32 -> VI (Int64.of_int32 (Mem.get_i32 t.mem addr))
+  | U32 -> VI (Int64.logand (Int64.of_int32 (Mem.get_i32 t.mem addr)) 0xffffffffL)
+  | I64 -> VI (Mem.get_i64 t.mem addr)
+  | F32 -> VF (Mem.get_f32 t.mem addr)
+  | F64 -> VF (Mem.get_f64 t.mem addr)
+
+let store_scalar t mty addr v =
+  match mty with
+  | Ir.I8 | U8 -> Mem.set_u8 t.mem addr (Int64.to_int (to_i v) land 0xff)
+  | I16 | U16 -> Mem.set_u16 t.mem addr (Int64.to_int (to_i v) land 0xffff)
+  | I32 | U32 -> Mem.set_i32 t.mem addr (Int64.to_int32 (to_i v))
+  | I64 -> Mem.set_i64 t.mem addr (to_i v)
+  | F32 -> Mem.set_f32 t.mem addr (to_f v)
+  | F64 -> Mem.set_f64 t.mem addr (to_f v)
+
+let eval_cvt from_t to_t v =
+  let wrap_int to_t (i : int64) =
+    match to_t with
+    | Ir.I8 -> VI (Int64.of_int (Int64.to_int i land 0xff |> fun x -> if x >= 128 then x - 256 else x))
+    | U8 -> VI (Int64.of_int (Int64.to_int i land 0xff))
+    | I16 -> VI (Int64.of_int (Int64.to_int i land 0xffff |> fun x -> if x >= 32768 then x - 65536 else x))
+    | U16 -> VI (Int64.of_int (Int64.to_int i land 0xffff))
+    | I32 -> VI (Int64.of_int32 (Int64.to_int32 i))
+    | U32 -> VI (Int64.logand i 0xffffffffL)
+    | I64 -> VI i
+    | F32 -> VF (round_fk Fk32 (Int64.to_float i))
+    | F64 -> VF (Int64.to_float i)
+  in
+  match from_t with
+  | Ir.F32 | F64 -> (
+      let f = to_f v in
+      match to_t with
+      | Ir.F32 -> VF (round_fk Fk32 f)
+      | F64 -> VF f
+      | _ -> wrap_int to_t (Int64.of_float f))
+  | _ -> wrap_int to_t (to_i v)
+
+exception Return_value of value
+
+let align_down n a = n / a * a
+
+let rec call t fidx (args : value array) : value =
+  let f = t.funcs.(fidx) in
+  if Array.length f.Ir.code = 0 then
+    raise (Trap (Printf.sprintf "call to undefined function '%s'" f.Ir.fname));
+  if Array.length args <> f.nparams then
+    raise
+      (Trap
+         (Printf.sprintf "function '%s' expects %d arguments, got %d"
+            f.Ir.fname f.nparams (Array.length args)));
+  let regs = Array.make (max 1 f.nregs) VUnit in
+  Array.blit args 0 regs 0 (Array.length args);
+  let saved_sp = t.sp in
+  t.sp <- align_down (t.sp - f.frame_bytes) 16;
+  if t.sp < Mem.heap_limit t.mem then raise (Trap "stack overflow");
+  let frame = t.sp in
+  let m = t.machine in
+  let code = f.code in
+  let operand = function
+    | Ir.R r -> regs.(r)
+    | Ir.Ki i -> VI i
+    | Ir.Kf fl -> VF fl
+  in
+  let result =
+    try
+      let pc = ref 0 in
+      while true do
+        if t.fuel <= 0 then raise (Trap "fuel exhausted");
+        t.fuel <- t.fuel - 1;
+        (match Array.unsafe_get code !pc with
+        | Mov (d, a) ->
+            (* no issue cost: register moves are eliminated by renaming *)
+            regs.(d) <- operand a
+        | Ibin (op, d, a, b) ->
+            Machine.count m Cost.Int_alu;
+            regs.(d) <- eval_ibin op (to_i (operand a)) (to_i (operand b))
+        | Fbin (fk, op, d, a, b) ->
+            Machine.count m
+              (match op with
+              | FMul -> Cost.Fp_mul
+              | FDiv -> Cost.Fp_div
+              | _ -> Cost.Fp_add);
+            regs.(d) <- eval_fbin fk op (to_f (operand a)) (to_f (operand b))
+        | Iun (op, d, a) ->
+            Machine.count m Cost.Int_alu;
+            let x = to_i (operand a) in
+            regs.(d) <-
+              (match op with
+              | INeg -> VI (Int64.neg x)
+              | IBnot -> VI (Int64.lognot x)
+              | ILnot -> bool_val (x = 0L))
+        | Fun (fk, op, d, a) ->
+            Machine.count m
+              (match op with FSqrt -> Cost.Fp_div | _ -> Cost.Fp_add);
+            regs.(d) <- VF (eval_funop fk op (to_f (operand a)))
+        | Lea (d, base, idx, scale, disp) ->
+            Machine.count m Cost.Addr;
+            let b = to_i (operand base) and i = to_i (operand idx) in
+            regs.(d) <-
+              VI
+                Int64.(
+                  add (add b (mul i (of_int scale))) (of_int disp))
+        | Load (mty, d, a) ->
+            let addr = to_addr (operand a) in
+            Machine.load m addr (Ir.mty_bytes mty);
+            regs.(d) <- load_scalar t mty addr
+        | Store (mty, a, v) ->
+            let addr = to_addr (operand a) in
+            Machine.store m addr (Ir.mty_bytes mty);
+            store_scalar t mty addr (operand v)
+        | Vload (fk, lanes, d, a) ->
+            let addr = to_addr (operand a) in
+            let eb = Ir.fk_bytes fk in
+            Machine.load m addr (lanes * eb);
+            Machine.vec_event m (lanes * eb * 8);
+            let get = match fk with Fk32 -> Mem.get_f32 | Fk64 -> Mem.get_f64 in
+            regs.(d) <- VV (Array.init lanes (fun i -> get t.mem (addr + (i * eb))))
+        | Vstore (fk, lanes, a, v) ->
+            let addr = to_addr (operand a) in
+            let eb = Ir.fk_bytes fk in
+            Machine.store m addr (lanes * eb);
+            Machine.vec_event m (lanes * eb * 8);
+            let set = match fk with Fk32 -> Mem.set_f32 | Fk64 -> Mem.set_f64 in
+            let arr = to_v (operand v) in
+            if Array.length arr <> lanes then raise (Trap "vector store width mismatch");
+            Array.iteri (fun i x -> set t.mem (addr + (i * eb)) x) arr
+        | Vsplat (fk, lanes, d, a) ->
+            Machine.count m (Cost.Vec_other lanes);
+            Machine.vec_event m (lanes * Ir.fk_bytes fk * 8);
+            let x = to_f (operand a) in
+            regs.(d) <- VV (Array.make lanes x)
+        | Vbin (fk, lanes, op, d, a, b) ->
+            Machine.count m
+              (match op with
+              | FMul -> Cost.Vec_mul lanes
+              | FDiv -> Cost.Vec_div lanes
+              | _ -> Cost.Vec_add lanes);
+            Machine.vec_event m (lanes * Ir.fk_bytes fk * 8);
+            regs.(d) <-
+              VV (scalar_fbin_lanes fk op (to_v (operand a)) (to_v (operand b)))
+        | Vun (fk, lanes, op, d, a) ->
+            Machine.count m (Cost.Vec_other lanes);
+            Machine.vec_event m (lanes * Ir.fk_bytes fk * 8);
+            regs.(d) <- VV (Array.map (eval_funop fk op) (to_v (operand a)))
+        | Vextract (d, a, i) ->
+            Machine.count m Cost.Other;
+            let arr = to_v (operand a) in
+            if i >= Array.length arr then raise (Trap "vextract lane out of range");
+            regs.(d) <- VF arr.(i)
+        | Cvt (ft, tt, d, a) ->
+            Machine.count m Cost.Int_alu;
+            regs.(d) <- eval_cvt ft tt (operand a)
+        | Call (d, fid, cargs) ->
+            Machine.count m Cost.Call;
+            let argv = Array.of_list (List.map operand cargs) in
+            let r = call t fid argv in
+            (match d with Some dr -> regs.(dr) <- r | None -> ())
+        | Callind (d, faddr, cargs) ->
+            Machine.count m Cost.Indirect_call;
+            let a = to_addr (operand faddr) in
+            let fid =
+              match Ir.func_of_addr a with
+              | Some id when id < t.nfuncs -> id
+              | _ -> raise (Trap (Printf.sprintf "indirect call to bad address %#x" a))
+            in
+            let argv = Array.of_list (List.map operand cargs) in
+            let r = call t fid argv in
+            (match d with Some dr -> regs.(dr) <- r | None -> ())
+        | Ccall (d, imp, cargs) ->
+            Machine.count m Cost.Call;
+            let name = t.imports.(imp) in
+            let fn =
+              match Hashtbl.find_opt t.builtins name with
+              | Some fn -> fn
+              | None -> raise (Trap ("unresolved C import: " ^ name))
+            in
+            let argv = Array.of_list (List.map operand cargs) in
+            let r = fn t argv in
+            (match d with Some dr -> regs.(dr) <- r | None -> ())
+        | Prefetch a ->
+            Machine.count m Cost.Other;
+            Machine.prefetch m (to_addr (operand a))
+        | FrameAddr (d, off) ->
+            Machine.count m Cost.Addr;
+            regs.(d) <- VI (Int64.of_int (frame + off))
+        | SpillTouch off ->
+            (* a spill reload: one load uop hitting the stack's L1 lines *)
+            Machine.load m (frame + off) 8
+        | Jmp l ->
+            Machine.count m Cost.Branch;
+            pc := l - 1
+        | Br (c, lt, lf) ->
+            Machine.count m Cost.Branch;
+            pc := (if truthy (operand c) then lt else lf) - 1
+        | Ret None -> raise (Return_value VUnit)
+        | Ret (Some a) -> raise (Return_value (operand a)));
+        incr pc
+      done;
+      assert false
+    with
+    | Return_value v ->
+        t.sp <- saved_sp;
+        v
+    | e ->
+        t.sp <- saved_sp;
+        raise e
+  in
+  result
+
+let call_by_id = call
+
+let set_fuel t n = t.fuel <- n

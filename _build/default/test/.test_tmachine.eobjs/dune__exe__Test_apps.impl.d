@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Context Datalayout Ffi Filename Float Int32 Javalike Jit List Mlua Orion Printf QCheck QCheck_alcotest Stage Sys Terra Timage Tmachine Tuner Tvm Types

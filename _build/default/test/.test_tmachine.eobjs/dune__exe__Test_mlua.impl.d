@@ -1,0 +1,1 @@
+test/test_mlua.ml: Alcotest Gen Mlua Printf QCheck QCheck_alcotest String

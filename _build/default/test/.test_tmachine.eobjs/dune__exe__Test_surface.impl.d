@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest String Terra Terrastd

@@ -1,0 +1,1 @@
+test/test_tcore.ml: Alcotest List QCheck QCheck_alcotest Tcore

@@ -1,0 +1,1 @@
+test/test_terra.ml: Alcotest Engine Filename Func Int64 List Mlua Objfile Printf QCheck QCheck_alcotest Specialize String Sys Terra Tvm Typecheck Types

@@ -1,0 +1,1 @@
+test/test_tmachine.ml: Alcotest Cache Config Cost List Machine QCheck QCheck_alcotest Tmachine

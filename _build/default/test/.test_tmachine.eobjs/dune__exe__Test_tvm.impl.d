@@ -1,0 +1,1 @@
+test/test_tvm.ml: Alcotest Alloc Builtins Gen Int32 Int64 List Mem Printf QCheck QCheck_alcotest String Tmachine Tvm Vm

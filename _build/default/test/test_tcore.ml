@@ -1,0 +1,303 @@
+(* Tests for the Terra Core calculus (Section 3, Figures 1-4): the
+   paper's own examples from Section 4.1 run as programs, plus qcheck
+   properties for hygiene and determinism. *)
+
+open Tcore.Terra_core
+
+let checkb = Alcotest.(check bool)
+let quick name f = Alcotest.test_case name `Quick f
+
+let base n = EBase n
+let tint = EType TB
+
+let check_base name expected e () =
+  match run e with
+  | VBase b -> Alcotest.(check int) name expected b
+  | v -> Alcotest.failf "expected base value, got %a" pp_value v
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Section 4.1 example programs, transliterated *)
+
+(* let x1 = 0 in let y = ter tdecl(x2 : int) : int { x1 } in
+   x1 := 1; y(0)   -- eager specialization: evaluates to 0 *)
+let eager_specialization =
+  ELet
+    ( "x1",
+      base 0,
+      ELet
+        ( "y",
+          ter_anon "x2" tint tint (TVar "x1"),
+          ESeq (EAssign ("x1", base 1), EApp (EVar "y", base 0)) ) )
+
+(* let x1 = 1 in let y = ter tdecl(x2 : int) : int { x1 } in
+   x1 := 2; y(0)   -- separate evaluation: still 1 *)
+let separate_evaluation =
+  ELet
+    ( "x1",
+      base 1,
+      ELet
+        ( "y",
+          ter_anon "x2" tint tint (TVar "x1"),
+          ESeq (EAssign ("x1", base 2), EApp (EVar "y", base 0)) ) )
+
+(* shared lexical environment (Section 4.1):
+   let x1 = 0 in
+   let x2 = ' (tlet y1 : int = 1 in x1) in
+   let x3 = ter tdecl(y2 : int) : int { x2 } in x3(0) *)
+let shared_env =
+  ELet
+    ( "x1",
+      base 0,
+      ELet
+        ( "x2",
+          EQuote (TLet ("y1", tint, TBase 1, TVar "x1")),
+          ELet
+            ( "x3",
+              ter_anon "y2" tint tint (TVar "x2"),
+              EApp (EVar "x3", base 0) ) ) )
+
+(* hygiene (Section 4.1): without renaming, the tlet would capture y.
+   let x1 = fun(x2){ ' tlet y : int = 0 in [x2] } in
+   let x3 = ter tdecl(y : int) : int { [x1(y)] } in x3(42)
+   -- must return 42 (the parameter y), not 0 (the tlet's y) *)
+let hygiene =
+  ELet
+    ( "x1",
+      EFun ("x2", EQuote (TLet ("y", tint, TBase 0, TEsc (EVar "x2")))),
+      ELet
+        ( "x3",
+          ter_anon "y" tint tint (TEsc (EApp (EVar "x1", EVar "y"))),
+          EApp (EVar "x3", base 42) ) )
+
+(* type reflection: fun(x1){ ter tdecl(x2 : x1) : x1 { x2 } } applied to
+   int gives the identity function *)
+let type_as_value =
+  ELet
+    ( "mkid",
+      EFun ("x1", ter_anon "x2" (EVar "x1") (EVar "x1") (TVar "x2")),
+      EApp (EApp (EVar "mkid", tint), base 9) )
+
+(* mutual recursion via separate declaration (Section 4.1):
+   let x2 = tdecl in
+   let x1 = ter tdecl(y : int) : int { x2(y) } in
+   ter x2(y : int) : int { y };  x1(5) *)
+let mutual_recursion =
+  ELet
+    ( "x2",
+      ETDecl,
+      ELet
+        ( "x1",
+          ter_anon "y" tint tint (TApp (TVar "x2", TVar "y")),
+          ESeq
+            ( ETDefn (EVar "x2", "y", tint, tint, TVar "y"),
+              EApp (EVar "x1", base 5) ) ) )
+
+let calculus_tests =
+  [
+    quick "base value" (check_base "b" 7 (base 7));
+    quick "let and assignment" (check_base "asgn" 3
+        (ELet ("x", base 1, ESeq (EAssign ("x", base 3), EVar "x"))));
+    quick "lua closures" (check_base "clos" 11
+        (ELet
+           ( "f",
+             EFun ("x", EVar "x"),
+             EApp (EVar "f", base 11) )));
+    quick "closures capture statically" (check_base "static" 1
+        (ELet
+           ( "x",
+             base 1,
+             ELet
+               ( "f",
+                 EFun ("ignored", EVar "x"),
+                 ELet ("x", base 2, EApp (EVar "f", base 0)) ) )));
+    quick "terra identity runs" (check_base "id" 5
+        (ELet ("f", ter_anon "x" tint tint (TVar "x"), EApp (EVar "f", base 5))));
+    quick "eager specialization (paper)" (check_base "eager" 0
+        eager_specialization);
+    quick "separate evaluation (paper)" (check_base "separate" 1
+        separate_evaluation);
+    quick "shared lexical environment (paper)" (check_base "shared" 0
+        shared_env);
+    quick "hygiene (paper)" (check_base "hygiene" 42 hygiene);
+    quick "types are lua values (paper)" (check_base "tyval" 9 type_as_value);
+    quick "mutual recursion via tdecl (paper)" (check_base "mutual" 5
+        mutual_recursion);
+    quick "tlet evaluates" (check_base "tlet" 4
+        (ELet
+           ( "f",
+             ter_anon "x" tint tint (TLet ("y", tint, TBase 4, TVar "y")),
+             EApp (EVar "f", base 0) )));
+    quick "quote splices into terra" (check_base "splice" 8
+        (ELet
+           ( "q",
+             EQuote (TBase 8),
+             ELet
+               ( "f",
+                 ter_anon "x" tint tint (TEsc (EVar "q")),
+                 EApp (EVar "f", base 0) ) )));
+  ]
+
+let error_tests =
+  [
+    quick "calling undefined function is a link error" (fun () ->
+        checkb "link" true
+          (match
+             run
+               (ELet
+                  ( "x",
+                    ETDecl,
+                    ELet
+                      ( "f",
+                        ter_anon "y" tint tint (TApp (TVar "x", TVar "y")),
+                        EApp (EVar "f", base 0) ) ))
+           with
+          | exception Link_error _ -> true
+          | _ -> false));
+    quick "monotonic typechecking: define then call" (fun () ->
+        (* same program, but x gets defined before the call: succeeds *)
+        let prog =
+          ELet
+            ( "x",
+              ETDecl,
+              ELet
+                ( "f",
+                  ter_anon "y" tint tint (TApp (TVar "x", TVar "y")),
+                  ESeq
+                    ( ETDefn (EVar "x", "z", tint, tint, TVar "z"),
+                      EApp (EVar "f", base 6) ) ) )
+        in
+        match run prog with
+        | VBase 6 -> ()
+        | v -> Alcotest.failf "expected 6, got %a" pp_value v);
+    quick "redefinition is stuck" (fun () ->
+        checkb "redef" true
+          (match
+             run
+               (ELet
+                  ( "x",
+                    ETDecl,
+                    ESeq
+                      ( ETDefn (EVar "x", "y", tint, tint, TVar "y"),
+                        ETDefn (EVar "x", "y", tint, tint, TVar "y") ) ))
+           with
+          | exception Stuck _ -> true
+          | _ -> false));
+    quick "type error detected at call" (fun () ->
+        (* f : int -> int but body applies its int argument as a function *)
+        checkb "tyerr" true
+          (match
+             run
+               (ELet
+                  ( "f",
+                    ter_anon "x" tint tint (TApp (TVar "x", TVar "x")),
+                    EApp (EVar "f", base 1) ))
+           with
+          | exception Type_error _ -> true
+          | _ -> false));
+    quick "unbound variable is stuck" (fun () ->
+        checkb "unbound" true
+          (match run (EVar "ghost") with
+          | exception Stuck _ -> true
+          | _ -> false));
+    quick "escape to non-terra value is stuck" (fun () ->
+        checkb "bad escape" true
+          (match
+             run
+               (ELet
+                  ( "f",
+                    EFun ("x", EVar "x"),
+                    ELet
+                      ( "g",
+                        ter_anon "y" tint tint (TEsc (EVar "f")),
+                        EApp (EVar "g", base 0) ) ))
+           with
+          | exception Stuck _ -> true
+          | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+(* random closed Lua-Core integer programs evaluate deterministically *)
+let gen_prog =
+  QCheck.make
+    QCheck.Gen.(
+      let rec go depth vars =
+        if depth = 0 then
+          match vars with
+        | [] -> map (fun n -> EBase n) (int_range 0 99)
+        | vs -> oneof [ map (fun n -> EBase n) (int_range 0 99);
+                        map (fun i -> EVar (List.nth vs (i mod List.length vs)))
+                          (int_range 0 10) ]
+        else
+          let sub = go (depth - 1) in
+          oneof
+            [
+              map (fun n -> EBase n) (int_range 0 99);
+              (let name = "v" ^ string_of_int depth in
+               map2 (fun a b -> ELet (name, a, b)) (sub vars)
+                 (go (depth - 1) (name :: vars)));
+              map2 (fun a b -> ESeq (a, b)) (sub vars) (sub vars);
+            ]
+      in
+      go 4 [])
+
+let prop_deterministic =
+  QCheck.Test.make ~count:100 ~name:"evaluation is deterministic" gen_prog
+    (fun e ->
+      match (run e, run e) with
+      | VBase a, VBase b -> a = b
+      | _ -> false)
+
+(* staging a constant through a terra function is the identity *)
+let prop_stage_identity =
+  QCheck.Test.make ~count:100 ~name:"staged constants round-trip"
+    QCheck.(int_range (-1000) 1000)
+    (fun n ->
+      match
+        run
+          (ELet
+             ( "k",
+               base n,
+               ELet
+                 ( "f",
+                   ter_anon "x" tint tint (TVar "k"),
+                   EApp (EVar "f", base 0) ) ))
+      with
+      | VBase b -> b = n
+      | _ -> false)
+
+(* hygiene holds for arbitrary nesting depth of tlets around an escape *)
+let prop_hygiene_nesting =
+  QCheck.Test.make ~count:50 ~name:"hygiene under arbitrary tlet nesting"
+    QCheck.(int_range 1 10)
+    (fun depth ->
+      (* f(y) = [ mk(y) ] where mk wraps its argument in [depth] tlets
+         that all bind a variable also named y to 0 *)
+      let rec wrap k =
+        if k = 0 then TEsc (EVar "hole")
+        else TLet ("y", tint, TBase 0, wrap (k - 1))
+      in
+      let prog =
+        ELet
+          ( "mk",
+            EFun ("hole", EQuote (wrap depth)),
+            ELet
+              ( "f",
+                ter_anon "y" tint tint (TEsc (EApp (EVar "mk", EVar "y"))),
+                EApp (EVar "f", base 77) ) )
+      in
+      match run prog with VBase 77 -> true | _ -> false)
+
+let () =
+  Alcotest.run "tcore"
+    [
+      ("calculus", calculus_tests);
+      ("errors", error_tests);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_deterministic;
+          QCheck_alcotest.to_alcotest prop_stage_identity;
+          QCheck_alcotest.to_alcotest prop_hygiene_nesting;
+        ] );
+    ]

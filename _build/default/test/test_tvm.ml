@@ -1,0 +1,560 @@
+(* Tests for the VM substrate: memory, allocator, IR semantics. *)
+
+open Tvm
+module Ir = Tvm.Ir
+
+let checki = Alcotest.(check int)
+let checki64 = Alcotest.(check int64)
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let new_vm () =
+  let vm =
+    Vm.create ~mem_bytes:(16 * 1024 * 1024)
+      (Tmachine.Machine.create Tmachine.Config.test_tiny)
+  in
+  Builtins.install vm;
+  vm
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_mem_roundtrip () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  Mem.set_i64 m 8192 0x1122334455667788L;
+  checki64 "i64" 0x1122334455667788L (Mem.get_i64 m 8192);
+  Mem.set_f64 m 8200 3.14159;
+  checkf "f64" 3.14159 (Mem.get_f64 m 8200);
+  Mem.set_f32 m 8208 1.5;
+  checkf "f32" 1.5 (Mem.get_f32 m 8208);
+  Mem.set_u8 m 8212 200;
+  checki "u8" 200 (Mem.get_u8 m 8212);
+  checki "i8 sign extends" (-56) (Mem.get_i8 m 8212);
+  Mem.set_u16 m 8214 0xBEEF;
+  checki "u16" 0xBEEF (Mem.get_u16 m 8214);
+  checki "i16 sign extends" (-16657) (Mem.get_i16 m 8214)
+
+let test_mem_little_endian () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  Mem.set_i32 m 8192 0x04030201l;
+  checki "LE byte 0" 1 (Mem.get_u8 m 8192);
+  checki "LE byte 3" 4 (Mem.get_u8 m 8195)
+
+let test_mem_null_faults () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  Alcotest.check_raises "null deref"
+    (Mem.Fault (0, "load u8"))
+    (fun () -> ignore (Mem.get_u8 m 0))
+
+let test_mem_oob_faults () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  checkb "oob traps" true
+    (match Mem.get_i64 m (Mem.size m + 10) with
+    | exception Mem.Fault _ -> true
+    | _ -> false)
+
+let test_cstring_roundtrip () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  Mem.set_cstring m 9000 "hello terra";
+  Alcotest.(check string) "cstring" "hello terra" (Mem.get_cstring m 9000)
+
+let test_blit () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  Mem.set_i64 m 8192 42L;
+  Mem.blit m ~src:8192 ~dst:9000 ~len:8;
+  checki64 "copied" 42L (Mem.get_i64 m 9000)
+
+let test_alloc_static_aligned () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Mem.alloc_static m ~align:1 3 in
+  let b = Mem.alloc_static m ~align:16 8 in
+  checki "aligned" 0 (b mod 16);
+  checkb "no overlap" true (b >= a + 3)
+
+(* ------------------------------------------------------------------ *)
+(* Allocator *)
+
+let test_malloc_basic () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Alloc.create m in
+  let p1 = Alloc.malloc a 100 in
+  let p2 = Alloc.malloc a 100 in
+  checkb "distinct" true (p2 >= p1 + 100 || p1 >= p2 + 100);
+  checki "aligned" 0 (p1 mod 16);
+  Alloc.free a p1;
+  Alloc.free a p2;
+  checki "all freed" 0 (Alloc.live_blocks a)
+
+let test_free_reuse () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Alloc.create m in
+  let p1 = Alloc.malloc a (1 lsl 20) in
+  Alloc.free a p1;
+  let p2 = Alloc.malloc a (1 lsl 20) in
+  checkb "space reused" true (p2 <= p1 + 1024)
+
+let test_double_free_rejected () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Alloc.create m in
+  let p = Alloc.malloc a 64 in
+  Alloc.free a p;
+  Alcotest.check_raises "double free" (Alloc.Invalid_free p) (fun () ->
+      Alloc.free a p)
+
+let test_free_null_ok () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Alloc.create m in
+  Alloc.free a 0
+
+let test_realloc_copies () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Alloc.create m in
+  let p = Alloc.malloc a 16 in
+  Mem.set_i64 m p 777L;
+  let q = Alloc.realloc a p 256 in
+  checki64 "contents copied" 777L (Mem.get_i64 m q)
+
+let test_oom () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  let a = Alloc.create m in
+  checkb "OOM raised" true
+    (match Alloc.malloc a (1 lsl 62) with
+    | exception Alloc.Out_of_memory _ -> true
+    | _ -> false)
+
+let prop_no_overlap =
+  QCheck.Test.make ~count:50 ~name:"live blocks never overlap"
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 1 4096))
+    (fun sizes ->
+      let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+      let a = Alloc.create m in
+      let ptrs = List.map (fun s -> (Alloc.malloc a s, s)) sizes in
+      (* free every other block, then allocate again *)
+      List.iteri (fun i (p, _) -> if i mod 2 = 0 then Alloc.free a p) ptrs;
+      let _more = List.map (fun s -> Alloc.malloc a s) sizes in
+      let blocks = List.sort compare (Alloc.blocks a) in
+      let rec ok = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) -> a1 + s1 <= a2 && ok rest
+        | _ -> true
+      in
+      ok blocks)
+
+let prop_malloc_free_balance =
+  QCheck.Test.make ~count:50 ~name:"free restores live_bytes"
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 1 10000))
+    (fun sizes ->
+      let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+      let a = Alloc.create m in
+      let ptrs = List.map (Alloc.malloc a) sizes in
+      List.iter (Alloc.free a) ptrs;
+      Alloc.live_bytes a = 0 && Alloc.live_blocks a = 0)
+
+(* ------------------------------------------------------------------ *)
+(* VM execution *)
+
+let compile_and_run ?(args = [||]) code ~nparams ~nregs =
+  let vm = new_vm () in
+  let id =
+    Vm.add_func vm { Ir.fname = "t"; nparams; nregs; frame_bytes = 64; code }
+  in
+  Vm.call vm id args
+
+let test_ret_const () =
+  match compile_and_run [| Ir.Ret (Some (Ir.Ki 42L)) |] ~nparams:0 ~nregs:0 with
+  | Vm.VI v -> checki64 "const" 42L v
+  | _ -> Alcotest.fail "expected int"
+
+let test_int_arith () =
+  let cases =
+    [
+      (Ir.Add, 7L, 3L, 10L); (Ir.Sub, 7L, 3L, 4L); (Ir.Mul, 7L, 3L, 21L);
+      (Ir.Divs, 7L, 3L, 2L); (Ir.Divs, -7L, 3L, -2L); (Ir.Rems, 7L, 3L, 1L);
+      (Ir.Band, 6L, 3L, 2L); (Ir.Bor, 6L, 3L, 7L); (Ir.Bxor, 6L, 3L, 5L);
+      (Ir.Shl, 3L, 4L, 48L); (Ir.Shrs, -16L, 2L, -4L);
+      (Ir.Lts, 3L, 7L, 1L); (Ir.Gts, 3L, 7L, 0L);
+      (Ir.Mins, 3L, 7L, 3L); (Ir.Maxs, 3L, 7L, 7L);
+      (Ir.Ltu, -1L, 1L, 0L) (* unsigned: 2^64-1 > 1 *);
+    ]
+  in
+  List.iter
+    (fun (op, a, b, expect) ->
+      match
+        compile_and_run ~nparams:0 ~nregs:1
+          [| Ir.Ibin (op, 0, Ir.Ki a, Ir.Ki b); Ir.Ret (Some (Ir.R 0)) |]
+      with
+      | Vm.VI v ->
+          checki64 (Printf.sprintf "%s %Ld %Ld" (Ir.ibin_name op) a b) expect v
+      | _ -> Alcotest.fail "int expected")
+    cases
+
+let test_div_by_zero_traps () =
+  checkb "traps" true
+    (match
+       compile_and_run ~nparams:0 ~nregs:1
+         [| Ir.Ibin (Ir.Divs, 0, Ir.Ki 1L, Ir.Ki 0L); Ir.Ret (Some (Ir.R 0)) |]
+     with
+    | exception Vm.Trap _ -> true
+    | _ -> false)
+
+let test_float_arith () =
+  match
+    compile_and_run ~nparams:0 ~nregs:2
+      [|
+        Ir.Fbin (Ir.Fk64, Ir.FMul, 0, Ir.Kf 2.5, Ir.Kf 4.0);
+        Ir.Fbin (Ir.Fk64, Ir.FAdd, 1, Ir.R 0, Ir.Kf 1.0);
+        Ir.Ret (Some (Ir.R 1));
+      |]
+  with
+  | Vm.VF v -> checkf "2.5*4+1" 11.0 v
+  | _ -> Alcotest.fail "float expected"
+
+let test_f32_rounding () =
+  (* f32 arithmetic rounds to single precision *)
+  match
+    compile_and_run ~nparams:0 ~nregs:1
+      [|
+        Ir.Fbin (Ir.Fk32, Ir.FAdd, 0, Ir.Kf 0.1, Ir.Kf 0.2);
+        Ir.Ret (Some (Ir.R 0));
+      |]
+  with
+  | Vm.VF v ->
+      checkf "f32 rounded" (Int32.float_of_bits (Int32.bits_of_float 0.3)) v
+  | _ -> Alcotest.fail "float expected"
+
+let test_branch_loop () =
+  (* sum 1..10 *)
+  let code =
+    [|
+      Ir.Mov (0, Ir.Ki 0L) (* acc *);
+      Ir.Mov (1, Ir.Ki 1L) (* i *);
+      (* 2: *) Ir.Ibin (Ir.Les, 2, Ir.R 1, Ir.Ki 10L);
+      Ir.Br (Ir.R 2, 4, 7);
+      (* 4: *) Ir.Ibin (Ir.Add, 0, Ir.R 0, Ir.R 1);
+      Ir.Ibin (Ir.Add, 1, Ir.R 1, Ir.Ki 1L);
+      Ir.Jmp 2;
+      (* 7: *) Ir.Ret (Some (Ir.R 0));
+    |]
+  in
+  match compile_and_run code ~nparams:0 ~nregs:3 with
+  | Vm.VI v -> checki64 "sum" 55L v
+  | _ -> Alcotest.fail "int"
+
+let test_load_store () =
+  let vm = new_vm () in
+  let addr = Alloc.malloc vm.Vm.alloc 64 in
+  let code =
+    [|
+      Ir.Store (Ir.F64, Ir.Ki (Int64.of_int addr), Ir.Kf 6.25);
+      Ir.Load (Ir.F64, 0, Ir.Ki (Int64.of_int addr));
+      Ir.Ret (Some (Ir.R 0));
+    |]
+  in
+  let id =
+    Vm.add_func vm { Ir.fname = "ls"; nparams = 0; nregs = 1; frame_bytes = 0; code }
+  in
+  match Vm.call vm id [||] with
+  | Vm.VF v -> checkf "roundtrip" 6.25 v
+  | _ -> Alcotest.fail "float"
+
+let test_narrow_store_truncates () =
+  let vm = new_vm () in
+  let addr = Alloc.malloc vm.Vm.alloc 64 in
+  let code =
+    [|
+      Ir.Store (Ir.U8, Ir.Ki (Int64.of_int addr), Ir.Ki 0x1FFL);
+      Ir.Load (Ir.U8, 0, Ir.Ki (Int64.of_int addr));
+      Ir.Ret (Some (Ir.R 0));
+    |]
+  in
+  let id =
+    Vm.add_func vm { Ir.fname = "n"; nparams = 0; nregs = 1; frame_bytes = 0; code }
+  in
+  match Vm.call vm id [||] with
+  | Vm.VI v -> checki64 "truncated" 0xFFL v
+  | _ -> Alcotest.fail "int"
+
+let test_vector_ops () =
+  let vm = new_vm () in
+  let addr = Alloc.malloc vm.Vm.alloc 64 in
+  let code =
+    [|
+      Ir.Vsplat (Ir.Fk64, 4, 0, Ir.Kf 3.0);
+      Ir.Vsplat (Ir.Fk64, 4, 1, Ir.Kf 2.0);
+      Ir.Vbin (Ir.Fk64, 4, Ir.FMul, 2, Ir.R 0, Ir.R 1);
+      Ir.Vstore (Ir.Fk64, 4, Ir.Ki (Int64.of_int addr), Ir.R 2);
+      Ir.Vload (Ir.Fk64, 4, 3, Ir.Ki (Int64.of_int addr));
+      Ir.Vextract (4, Ir.R 3, 2);
+      Ir.Ret (Some (Ir.R 4));
+    |]
+  in
+  let id =
+    Vm.add_func vm { Ir.fname = "v"; nparams = 0; nregs = 5; frame_bytes = 0; code }
+  in
+  match Vm.call vm id [||] with
+  | Vm.VF v -> checkf "splat mul" 6.0 v
+  | _ -> Alcotest.fail "float"
+
+let test_call_and_args () =
+  let vm = new_vm () in
+  let callee =
+    Vm.add_func vm
+      {
+        Ir.fname = "add";
+        nparams = 2;
+        nregs = 3;
+        frame_bytes = 0;
+        code = [| Ir.Ibin (Ir.Add, 2, Ir.R 0, Ir.R 1); Ir.Ret (Some (Ir.R 2)) |];
+      }
+  in
+  let caller =
+    Vm.add_func vm
+      {
+        Ir.fname = "main";
+        nparams = 0;
+        nregs = 1;
+        frame_bytes = 0;
+        code =
+          [| Ir.Call (Some 0, callee, [ Ir.Ki 40L; Ir.Ki 2L ]); Ir.Ret (Some (Ir.R 0)) |];
+      }
+  in
+  match Vm.call vm caller [||] with
+  | Vm.VI v -> checki64 "call" 42L v
+  | _ -> Alcotest.fail "int"
+
+let test_indirect_call () =
+  let vm = new_vm () in
+  let callee =
+    Vm.add_func vm
+      {
+        Ir.fname = "seven";
+        nparams = 0;
+        nregs = 0;
+        frame_bytes = 0;
+        code = [| Ir.Ret (Some (Ir.Ki 7L)) |];
+      }
+  in
+  let fptr = Int64.of_int (Ir.func_addr callee) in
+  let caller =
+    Vm.add_func vm
+      {
+        Ir.fname = "main";
+        nparams = 0;
+        nregs = 1;
+        frame_bytes = 0;
+        code = [| Ir.Callind (Some 0, Ir.Ki fptr, []); Ir.Ret (Some (Ir.R 0)) |];
+      }
+  in
+  match Vm.call vm caller [||] with
+  | Vm.VI v -> checki64 "indirect" 7L v
+  | _ -> Alcotest.fail "int"
+
+let test_indirect_bad_address_traps () =
+  let vm = new_vm () in
+  let caller =
+    Vm.add_func vm
+      {
+        Ir.fname = "main";
+        nparams = 0;
+        nregs = 1;
+        frame_bytes = 0;
+        code = [| Ir.Callind (Some 0, Ir.Ki 12345L, []); Ir.Ret (Some (Ir.R 0)) |];
+      }
+  in
+  checkb "traps" true
+    (match Vm.call vm caller [||] with
+    | exception Vm.Trap _ -> true
+    | _ -> false)
+
+let test_undefined_function_traps () =
+  let vm = new_vm () in
+  let id = Vm.declare_func vm "ghost" in
+  checkb "link error" true
+    (match Vm.call vm id [||] with
+    | exception Vm.Trap msg -> String.length msg > 0
+    | _ -> false)
+
+let test_frame_addr_and_stack () =
+  let vm = new_vm () in
+  let id =
+    Vm.add_func vm
+      {
+        Ir.fname = "f";
+        nparams = 0;
+        nregs = 2;
+        frame_bytes = 32;
+        code =
+          [|
+            Ir.FrameAddr (0, 8);
+            Ir.Store (Ir.I64, Ir.R 0, Ir.Ki 99L);
+            Ir.Load (Ir.I64, 1, Ir.R 0);
+            Ir.Ret (Some (Ir.R 1));
+          |];
+      }
+  in
+  (match Vm.call vm id [||] with
+  | Vm.VI v -> checki64 "frame slot" 99L v
+  | _ -> Alcotest.fail "int");
+  (* stack pointer restored *)
+  checki "sp restored" (Mem.stack_top vm.Vm.mem) vm.Vm.sp
+
+let test_fuel_stops_infinite_loop () =
+  let vm = new_vm () in
+  Vm.set_fuel vm 10_000;
+  let id =
+    Vm.add_func vm
+      { Ir.fname = "spin"; nparams = 0; nregs = 0; frame_bytes = 0; code = [| Ir.Jmp 0 |] }
+  in
+  checkb "fuel trap" true
+    (match Vm.call vm id [||] with
+    | exception Vm.Trap "fuel exhausted" -> true
+    | _ -> false)
+
+let test_builtin_malloc_free () =
+  let vm = new_vm () in
+  let malloc = Vm.import vm "malloc" in
+  let free = Vm.import vm "free" in
+  let id =
+    Vm.add_func vm
+      {
+        Ir.fname = "m";
+        nparams = 0;
+        nregs = 2;
+        frame_bytes = 0;
+        code =
+          [|
+            Ir.Ccall (Some 0, malloc, [ Ir.Ki 128L ]);
+            Ir.Store (Ir.I64, Ir.R 0, Ir.Ki 5L);
+            Ir.Load (Ir.I64, 1, Ir.R 0);
+            Ir.Ccall (None, free, [ Ir.R 0 ]);
+            Ir.Ret (Some (Ir.R 1));
+          |];
+      }
+  in
+  (match Vm.call vm id [||] with
+  | Vm.VI v -> checki64 "heap roundtrip" 5L v
+  | _ -> Alcotest.fail "int");
+  checki "no leak" 0 (Alloc.live_blocks vm.Vm.alloc)
+
+let test_builtin_sqrt () =
+  let vm = new_vm () in
+  let sqrt_i = Vm.import vm "sqrt" in
+  let id =
+    Vm.add_func vm
+      {
+        Ir.fname = "s";
+        nparams = 0;
+        nregs = 1;
+        frame_bytes = 0;
+        code = [| Ir.Ccall (Some 0, sqrt_i, [ Ir.Kf 49.0 ]); Ir.Ret (Some (Ir.R 0)) |];
+      }
+  in
+  match Vm.call vm id [||] with
+  | Vm.VF v -> checkf "sqrt" 7.0 v
+  | _ -> Alcotest.fail "float"
+
+let test_unresolved_import_traps () =
+  let vm = new_vm () in
+  let imp = Vm.import vm "no_such_c_function" in
+  let id =
+    Vm.add_func vm
+      {
+        Ir.fname = "u";
+        nparams = 0;
+        nregs = 1;
+        frame_bytes = 0;
+        code = [| Ir.Ccall (Some 0, imp, []); Ir.Ret (Some (Ir.R 0)) |];
+      }
+  in
+  checkb "traps" true
+    (match Vm.call vm id [||] with exception Vm.Trap _ -> true | _ -> false)
+
+let prop_cvt_int_widths =
+  QCheck.Test.make ~count:200 ~name:"cvt to i8/i16/i32 wraps like C"
+    QCheck.int64 (fun x ->
+      let run to_t =
+        match
+          compile_and_run ~nparams:0 ~nregs:1
+            [| Ir.Cvt (Ir.I64, to_t, 0, Ir.Ki x); Ir.Ret (Some (Ir.R 0)) |]
+        with
+        | Vm.VI v -> v
+        | _ -> Alcotest.fail "int"
+      in
+      let i8 = run Ir.I8 and i32 = run Ir.I32 in
+      let expect_i8 =
+        let m = Int64.to_int (Int64.logand x 0xffL) in
+        Int64.of_int (if m >= 128 then m - 256 else m)
+      in
+      i8 = expect_i8 && i32 = Int64.of_int32 (Int64.to_int32 x))
+
+let prop_int_add_matches_ocaml =
+  QCheck.Test.make ~count:200 ~name:"VM int arithmetic = Int64 arithmetic"
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let run op =
+        match
+          compile_and_run ~nparams:0 ~nregs:1
+            [| Ir.Ibin (op, 0, Ir.Ki a, Ir.Ki b); Ir.Ret (Some (Ir.R 0)) |]
+        with
+        | Vm.VI v -> v
+        | _ -> Alcotest.fail "int"
+      in
+      run Ir.Add = Int64.add a b
+      && run Ir.Sub = Int64.sub a b
+      && run Ir.Mul = Int64.mul a b)
+
+let () =
+  Alcotest.run "tvm"
+    [
+      ( "mem",
+        [
+          Alcotest.test_case "scalar roundtrip" `Quick test_mem_roundtrip;
+          Alcotest.test_case "little endian" `Quick test_mem_little_endian;
+          Alcotest.test_case "null faults" `Quick test_mem_null_faults;
+          Alcotest.test_case "oob faults" `Quick test_mem_oob_faults;
+          Alcotest.test_case "cstring" `Quick test_cstring_roundtrip;
+          Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "static alloc aligned" `Quick
+            test_alloc_static_aligned;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "malloc basic" `Quick test_malloc_basic;
+          Alcotest.test_case "free reuse" `Quick test_free_reuse;
+          Alcotest.test_case "double free rejected" `Quick
+            test_double_free_rejected;
+          Alcotest.test_case "free null ok" `Quick test_free_null_ok;
+          Alcotest.test_case "realloc copies" `Quick test_realloc_copies;
+          Alcotest.test_case "out of memory" `Quick test_oom;
+          QCheck_alcotest.to_alcotest prop_no_overlap;
+          QCheck_alcotest.to_alcotest prop_malloc_free_balance;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "ret const" `Quick test_ret_const;
+          Alcotest.test_case "int arithmetic" `Quick test_int_arith;
+          Alcotest.test_case "div by zero traps" `Quick test_div_by_zero_traps;
+          Alcotest.test_case "float arithmetic" `Quick test_float_arith;
+          Alcotest.test_case "f32 rounding" `Quick test_f32_rounding;
+          Alcotest.test_case "branch loop" `Quick test_branch_loop;
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "narrow store truncates" `Quick
+            test_narrow_store_truncates;
+          Alcotest.test_case "vector ops" `Quick test_vector_ops;
+          Alcotest.test_case "call with args" `Quick test_call_and_args;
+          Alcotest.test_case "indirect call" `Quick test_indirect_call;
+          Alcotest.test_case "indirect bad address traps" `Quick
+            test_indirect_bad_address_traps;
+          Alcotest.test_case "undefined function traps" `Quick
+            test_undefined_function_traps;
+          Alcotest.test_case "frame and stack" `Quick test_frame_addr_and_stack;
+          Alcotest.test_case "fuel stops infinite loop" `Quick
+            test_fuel_stops_infinite_loop;
+          Alcotest.test_case "malloc/free builtins" `Quick
+            test_builtin_malloc_free;
+          Alcotest.test_case "sqrt builtin" `Quick test_builtin_sqrt;
+          Alcotest.test_case "unresolved import traps" `Quick
+            test_unresolved_import_traps;
+          QCheck_alcotest.to_alcotest prop_cvt_int_widths;
+          QCheck_alcotest.to_alcotest prop_int_add_matches_ocaml;
+        ] );
+    ]
