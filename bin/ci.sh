@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI entry point: full build, full test suite, and the paper example
+# programs as smoke tests (fuel-bounded so a regression cannot hang CI).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== example program smoke tests =="
+for prog in examples/programs/*.t; do
+  echo "-- $prog"
+  timeout 120 dune exec bin/terra_run.exe -- --fuel 2000000000 "$prog" \
+    > /dev/null
+done
+
+echo "CI OK"

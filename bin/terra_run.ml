@@ -1,28 +1,30 @@
 (* Run a combined Lua–Terra program: the equivalent of the paper's
-   modified LuaJIT binary. *)
+   modified LuaJIT binary.
 
-let run_file path stats =
+   Exit codes: 0 = success, 1 = diagnostic (compile/eval error),
+   2 = resource trap (fuel, stack, steps, memory). *)
+
+let run_file path stats fuel max_steps max_depth =
   let src =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let engine = Terrastd.create () in
-  (match Terra.Engine.run engine src with
-  | _ -> ()
-  | exception Mlua.Value.Lua_error v ->
-      Printf.eprintf "lua error: %s\n" (Mlua.Value.tostring v);
-      exit 1
-  | exception Mlua.Parser.Parse_error (msg, line) ->
-      Printf.eprintf "%s:%d: %s\n" path line msg;
-      exit 1
-  | exception Terra.Typecheck.Tc_error msg ->
-      Printf.eprintf "type error: %s\n" msg;
-      exit 1);
+  let engine =
+    Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth ()
+  in
+  let code =
+    match Terra.Engine.run_protected engine ~file:path src with
+    | Ok _ -> 0
+    | Error d ->
+        Printf.eprintf "%s\n" (Terra.Diag.to_string d);
+        if Terra.Diag.is_trap d then 2 else 1
+  in
   if stats then
     Format.eprintf "-- machine model --@.%a@." Tmachine.Machine.pp_report
-      (Terra.Engine.report engine)
+      (Terra.Engine.report engine);
+  code
 
 let () =
   let open Cmdliner in
@@ -32,9 +34,32 @@ let () =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"print machine-model counters")
   in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Terra VM instruction budget; exceeding it exits 2 with a \
+             trap.fuel diagnostic instead of hanging.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Lua interpreter statement budget (guards runaway Lua).")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"maximum call depth for both Lua and Terra (default 200).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
-      Term.(const run_file $ path $ stats)
+      Term.(const run_file $ path $ stats $ fuel $ max_steps $ max_depth)
   in
-  exit (Cmd.eval cmd)
+  exit (Cmd.eval' cmd)

@@ -14,13 +14,22 @@ let globals scope =
   | Some g -> g
   | None -> invalid_arg "Driver.globals: scope has no globals table"
 
-(** Run a chunk; returns the chunk's return values (usually []). *)
-let run_in ?ext_expr ?ext_stat scope src =
+(** Run a chunk; returns the chunk's return values (usually []).
+    [chunkname] names the bottom frame of tracebacks (e.g. the file). *)
+let run_in ?ext_expr ?ext_stat ?(chunkname = "main chunk") scope src =
   let block = Parser.parse_string ?ext_expr ?ext_stat src in
-  try
-    Interp.exec_stats_in scope block;
-    []
-  with Interp.Return_exc vs -> vs
+  Interp.push_frame chunkname;
+  match Interp.exec_stats_in scope block with
+  | () ->
+      Interp.pop_frame ();
+      []
+  | exception Interp.Return_exc vs ->
+      Interp.pop_frame ();
+      vs
+  | exception e ->
+      Interp.save_traceback ();
+      Interp.pop_frame ();
+      raise e
 
 let run ?ext_expr ?ext_stat src =
   let scope = make_scope () in

@@ -6,6 +6,69 @@ open Value
 exception Break_exc
 exception Return_exc of t list
 
+(** Raised when the interpreter's statement budget runs out (resource
+    guard against runaway Lua, mirroring the VM's fuel for Terra). *)
+exception Step_limit
+
+(* ------------------------------------------------------------------ *)
+(* Call-frame stack: maintained so errors escaping any depth carry a Lua
+   traceback (the paper's modified-LuaJIT reporting).  Frames are
+   mutable so [exec_stat] can update the current line cheaply. *)
+
+type frame = { mutable name : string; mutable line : int }
+
+let call_stack : frame list ref = ref []
+let call_depth = ref 0
+
+(** Maximum Lua call depth before a catchable "stack overflow" error.
+    Engines overwrite this per-run. *)
+let max_call_depth = ref 200
+
+(* Snapshot of the stack captured at the deepest point of an unwinding
+   exception, so the traceback survives the frames being popped. *)
+let saved_traceback : (string * int) list option ref = ref None
+
+let snapshot_stack () = List.map (fun fr -> (fr.name, fr.line)) !call_stack
+
+let save_traceback () =
+  if !saved_traceback = None then saved_traceback := Some (snapshot_stack ())
+
+(** Consume the saved traceback (or the live stack if none saved). *)
+let take_traceback () =
+  let tb =
+    match !saved_traceback with Some tb -> tb | None -> snapshot_stack ()
+  in
+  saved_traceback := None;
+  tb
+
+let clear_traceback () = saved_traceback := None
+
+let current_line () =
+  match !call_stack with fr :: _ when fr.line > 0 -> Some fr.line | _ -> None
+
+let push_frame name =
+  let fr = { name; line = 0 } in
+  call_stack := fr :: !call_stack;
+  incr call_depth
+
+let pop_frame () =
+  (match !call_stack with _ :: rest -> call_stack := rest | [] -> ());
+  decr call_depth
+
+(* ------------------------------------------------------------------ *)
+(* Step budget.  [tick] runs once per statement and once per loop
+   iteration (an empty loop body executes no statements, so the
+   per-iteration tick is what bounds `while true do end`). *)
+
+let steps = ref max_int
+
+let tick () =
+  if !steps <= 0 then begin
+    save_traceback ();
+    raise Step_limit
+  end
+  else decr steps
+
 (* Set by Stdlib so string values can answer method calls (s:rep(2)). *)
 let string_table : table option ref = ref None
 
@@ -229,6 +292,12 @@ and eval_exprlist scope = function
 
 and make_closure defscope params body name =
   new_func ~name (fun args ->
+      if !call_depth >= !max_call_depth then begin
+        save_traceback ();
+        error_str
+          (Printf.sprintf "stack overflow (call depth exceeds %d)"
+             !max_call_depth)
+      end;
       let s = new_scope ~parent:defscope () in
       let rec bind ps vs =
         match (ps, vs) with
@@ -241,10 +310,20 @@ and make_closure defscope params body name =
             bind ps' vs'
       in
       bind params args;
-      try
-        exec_block s body;
-        []
-      with Return_exc vs -> vs)
+      push_frame name;
+      match exec_block s body with
+      | () ->
+          pop_frame ();
+          []
+      | exception Return_exc vs ->
+          pop_frame ();
+          vs
+      | exception e ->
+          (* Snapshot before this frame is popped so the diagnostic sees
+             the full stack at the point of failure. *)
+          save_traceback ();
+          pop_frame ();
+          raise e)
 
 and exec_block parent_scope block =
   let s = new_scope ~parent:parent_scope () in
@@ -260,6 +339,8 @@ and assign scope lhs v =
   | Ast.Lindex (b, k) -> newindex (eval scope b) (eval scope k) v
 
 and exec_stat scope (st : Ast.stat) =
+  tick ();
+  (match !call_stack with fr :: _ -> fr.line <- st.line | [] -> ());
   match st.sd with
   | Ast.Slocal (names, exprs) ->
       let vs = eval_exprlist scope exprs in
@@ -288,6 +369,7 @@ and exec_stat scope (st : Ast.stat) =
   | Swhile (c, b) -> (
       try
         while truthy (eval scope c) do
+          tick ();
           exec_block scope b
         done
       with Break_exc -> ())
@@ -295,6 +377,7 @@ and exec_stat scope (st : Ast.stat) =
       try
         let continue_ = ref true in
         while !continue_ do
+          tick ();
           (* the condition sees the loop body's scope *)
           let s = new_scope ~parent:scope () in
           exec_stats_in s b;
@@ -313,6 +396,7 @@ and exec_stat scope (st : Ast.stat) =
       try
         let i = ref v1 in
         while (step > 0.0 && !i <= v2) || (step < 0.0 && !i >= v2) do
+          tick ();
           let s = new_scope ~parent:scope () in
           scope_define s n (Num !i);
           exec_stats_in s b;
@@ -327,6 +411,7 @@ and exec_stat scope (st : Ast.stat) =
       try
         let continue_ = ref true in
         while !continue_ do
+          tick ();
           let rets = call_value f [ state; !control ] in
           let first = match rets with v :: _ -> v | [] -> Nil in
           if first = Nil then continue_ := false

@@ -6,6 +6,12 @@ open Value
 
 let output_sink : (string -> unit) ref = ref print_string
 
+(** Hook installed by the Terra engine: converts host exceptions (traps,
+    compile errors, ...) into Lua error values so [pcall] observes them
+    as structured diagnostics rather than crashing the host.  Returning
+    [None] lets the exception propagate. *)
+let exn_to_value : (exn -> t option) ref = ref (fun _ -> None)
+
 let reg tbl name f = raw_set_str tbl name (Func (new_func ~name f))
 
 let arg args i = match List.nth_opt args i with Some v -> v | None -> Nil
@@ -59,10 +65,24 @@ let install_base g =
   reg g "pcall" (fun args ->
       match args with
       | f :: rest -> (
-          try Bool true :: Interp.call_value f rest
-          with
-          | Lua_error v -> [ Bool false; v ]
-          | Failure msg -> [ Bool false; Str msg ])
+          let caught v =
+            (* the error is handled: drop any snapshot taken on unwind *)
+            Interp.clear_traceback ();
+            [ Bool false; v ]
+          in
+          try Bool true :: Interp.call_value f rest with
+          | Lua_error v -> caught v
+          | (Interp.Break_exc | Interp.Return_exc _ | Interp.Step_limit) as e ->
+              (* control-flow and the global step budget are not errors a
+                 protected call may swallow *)
+              raise e
+          | e -> (
+              match !exn_to_value e with
+              | Some v -> caught v
+              | None -> (
+                  match e with
+                  | Failure msg -> caught (Str msg)
+                  | e -> raise e)))
       | [] -> error_str "pcall: missing function");
   reg g "unpack" (fun args ->
       let t = to_table (arg args 0) in

@@ -11,6 +11,12 @@ exception Compile_error of string
 
 let comp_error fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
 
+let () =
+  Diag.register_converter (function
+    | Compile_error msg ->
+        Some (Diag.make ~phase:Diag.Compile ~code:"compile.error" msg)
+    | _ -> None)
+
 type pinstr =
   | P of Ir.instr
   | PJmp of int

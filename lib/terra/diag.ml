@@ -1,0 +1,246 @@
+(** Structured diagnostics for the whole pipeline (the fault-isolation
+    layer): every failure in any stage — lexing, parsing, Lua evaluation,
+    specialization, typechecking, compilation, or Terra execution — is
+    represented by one value carrying a stage, a stable machine-readable
+    code, a source span, and a Lua traceback.
+
+    The paper's separate-evaluation contract says Terra compile and
+    runtime failures surface to Lua as catchable errors rather than host
+    crashes; this module is how they travel.  A diagnostic crosses the
+    Lua boundary as a userdata ({!wrap}) whose metatable exposes
+    [phase]/[code]/[message]/[file]/[line]/[traceback], so [pcall] can
+    inspect it; it crosses the OCaml boundary as a [(_, Diag.t) result]
+    from [Engine.run_protected]. *)
+
+module V = Mlua.Value
+
+type phase = Lex | Parse | Eval | Specialize | Typecheck | Compile | Run
+
+type frame = { fr_name : string; fr_line : int }
+
+type t = {
+  phase : phase;
+  code : string;  (** stable machine-readable code, e.g. "trap.fuel" *)
+  message : string;
+  span : (string * int) option;  (** file, line *)
+  lua_traceback : frame list;  (** innermost frame first *)
+}
+
+exception Error of t
+
+let phase_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Eval -> "eval"
+  | Specialize -> "specialize"
+  | Typecheck -> "typecheck"
+  | Compile -> "compile"
+  | Run -> "run"
+
+(* ------------------------------------------------------------------ *)
+(* Span hints.  The frontend marks every Terra statement with its source
+   line; the specializer and typechecker update this hint as they walk
+   marked terms, so an error raised anywhere inside the pipeline can be
+   attributed to the statement being processed without threading a
+   location through every [raise] site. *)
+
+let hint_file : string option ref = ref None
+let hint_line : int option ref = ref None
+
+let set_line n = hint_line := Some n
+let span_file () = match !hint_file with Some f -> f | None -> "<input>"
+let current_span () = Option.map (fun l -> (span_file (), l)) !hint_line
+
+(** Reset per-run state (span hints, any stale Lua traceback snapshot).
+    Called by the engine at the top of every run. *)
+let begin_run ?file () =
+  hint_file := file;
+  hint_line := None;
+  Mlua.Interp.clear_traceback ()
+
+(* ------------------------------------------------------------------ *)
+
+let make ?span ?(traceback = []) ~phase ~code message =
+  let span = match span with Some _ as s -> s | None -> current_span () in
+  { phase; code; message; span; lua_traceback = traceback }
+
+let error ~phase ~code fmt =
+  Format.kasprintf (fun m -> raise (Error (make ~phase ~code m))) fmt
+
+let is_trap d =
+  d.phase = Run && String.length d.code >= 5 && String.sub d.code 0 5 = "trap."
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing *)
+
+let pp_span ppf = function
+  | Some (f, l) -> Format.fprintf ppf "%s:%d: " f l
+  | None -> ()
+
+(** Human-readable, multi-line (traceback indented below the message). *)
+let pp ppf d =
+  Format.fprintf ppf "%a%s error [%s]: %s" pp_span d.span
+    (phase_name d.phase) d.code d.message;
+  List.iter
+    (fun fr ->
+      Format.fprintf ppf "@\n  in %s%s" fr.fr_name
+        (if fr.fr_line > 0 then Printf.sprintf " (line %d)" fr.fr_line else ""))
+    d.lua_traceback
+
+let to_string d = Format.asprintf "%a" pp d
+
+(** One-line machine format: [phase|code|file:line|message]. *)
+let one_line d =
+  Printf.sprintf "%s|%s|%s|%s" (phase_name d.phase) d.code
+    (match d.span with
+    | Some (f, l) -> Printf.sprintf "%s:%d" f l
+    | None -> "-")
+    (String.map (function '\n' -> ' ' | c -> c) d.message)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics as first-class Lua values, so [pcall] observes structure *)
+
+type V.u += Udiag of t
+
+let diag_meta : V.table = V.new_table ()
+
+let wrap d =
+  let ud = V.new_userdata ~tag:"diagnostic" (Udiag d) in
+  ud.V.umeta <- Some diag_meta;
+  V.Userdata ud
+
+let unwrap_opt = function
+  | V.Userdata { V.u = Udiag d; _ } -> Some d
+  | _ -> None
+
+let () =
+  V.raw_set_str diag_meta "__tostring"
+    (V.Func
+       (V.new_func ~name:"diag_tostring" (fun args ->
+            match args with
+            | V.Userdata { V.u = Udiag d; _ } :: _ -> [ V.Str (to_string d) ]
+            | _ -> [ V.Str "diagnostic" ])));
+  V.raw_set_str diag_meta "__index"
+    (V.Func
+       (V.new_func ~name:"diag_index" (fun args ->
+            match args with
+            | V.Userdata { V.u = Udiag d; _ } :: V.Str key :: _ ->
+                [
+                  (match key with
+                  | "phase" -> V.Str (phase_name d.phase)
+                  | "code" -> V.Str d.code
+                  | "message" -> V.Str d.message
+                  | "file" -> (
+                      match d.span with
+                      | Some (f, _) -> V.Str f
+                      | None -> V.Nil)
+                  | "line" -> (
+                      match d.span with
+                      | Some (_, l) -> V.Num (float_of_int l)
+                      | None -> V.Nil)
+                  | "traceback" ->
+                      let tb = V.new_table () in
+                      List.iteri
+                        (fun i fr ->
+                          V.raw_set tb
+                            (V.Num (float_of_int (i + 1)))
+                            (V.Str
+                               (Printf.sprintf "%s:%d" fr.fr_name fr.fr_line)))
+                        d.lua_traceback;
+                      V.Table tb
+                  | _ -> V.Nil);
+                ]
+            | _ -> [ V.Nil ])))
+
+(* ------------------------------------------------------------------ *)
+(* Exception conversion.  Modules defining their own exceptions above
+   this one in the dependency order (Specialize, Typecheck, Compile, ...)
+   register converters at init time; everything below (mlua, tvm,
+   Stdlib) is handled here directly. *)
+
+let converters : (exn -> t option) list ref = ref []
+let register_converter f = converters := f :: !converters
+
+let lua_traceback () =
+  List.map
+    (fun (n, l) -> { fr_name = n; fr_line = l })
+    (Mlua.Interp.take_traceback ())
+
+(** Classify a VM trap message into a stable code. *)
+let trap_code msg =
+  let has pre =
+    String.length msg >= String.length pre
+    && String.sub msg 0 (String.length pre) = pre
+  in
+  if has "fuel exhausted" then "trap.fuel"
+  else if has "stack overflow" then "trap.stack"
+  else if has "out of memory" then "trap.oom"
+  else if has "integer division by zero" then "trap.divzero"
+  else if has "call to undefined function" then "trap.link"
+  else if has "indirect call" then "trap.indirect"
+  else if has "unresolved C import" then "trap.import"
+  else "trap.runtime"
+
+(** Convert a raised exception to a diagnostic; [None] for exceptions
+    that are not part of the failure model (asserts, host OOM, ...). *)
+let of_exn (e : exn) : t option =
+  let fill d =
+    if d.lua_traceback = [] then { d with lua_traceback = lua_traceback () }
+    else d
+  in
+  match List.find_map (fun f -> f e) !converters with
+  | Some d -> Some (fill d)
+  | None -> (
+      match e with
+      | Error d -> Some (fill d)
+      | V.Lua_error v -> (
+          match unwrap_opt v with
+          | Some d -> Some d
+          | None ->
+              let tb = lua_traceback () in
+              let span =
+                match tb with
+                | fr :: _ when fr.fr_line > 0 -> Some (span_file (), fr.fr_line)
+                | _ -> current_span ()
+              in
+              Some
+                {
+                  phase = Eval;
+                  code = "lua.error";
+                  message = V.tostring v;
+                  span;
+                  lua_traceback = tb;
+                })
+      | Mlua.Lexer.Lex_error (msg, line) ->
+          Some (make ~span:(span_file (), line) ~phase:Lex ~code:"lex.error" msg)
+      | Mlua.Parser.Parse_error (msg, line) ->
+          Some
+            (make ~span:(span_file (), line) ~phase:Parse ~code:"parse.error"
+               msg)
+      | Mlua.Interp.Step_limit ->
+          Some
+            (fill
+               (make ~phase:Run ~code:"trap.steps"
+                  "lua step budget exhausted"))
+      | Tvm.Vm.Trap msg -> Some (fill (make ~phase:Run ~code:(trap_code msg) msg))
+      | Tvm.Mem.Fault (addr, what) ->
+          Some
+            (fill
+               (make ~phase:Run ~code:"trap.mem"
+                  (Printf.sprintf "memory fault at %#x (%s)" addr what)))
+      | Tvm.Alloc.Out_of_memory n ->
+          Some
+            (fill
+               (make ~phase:Run ~code:"trap.oom"
+                  (Printf.sprintf "out of memory (requested %d bytes)" n)))
+      | Tvm.Alloc.Invalid_free a ->
+          Some
+            (fill
+               (make ~phase:Run ~code:"trap.free"
+                  (Printf.sprintf "invalid free of address %#x" a)))
+      | Stack_overflow ->
+          Some (fill (make ~phase:Run ~code:"trap.stack" "host stack overflow"))
+      | Failure msg -> Some (fill (make ~phase:Eval ~code:"internal.failure" msg))
+      | Invalid_argument msg ->
+          Some (fill (make ~phase:Eval ~code:"internal.invalid" msg))
+      | _ -> None)

@@ -1,25 +1,53 @@
 (** The combined Lua–Terra engine: a Lua state with the Terra frontend
     hooks and the terralib API installed. [run] evaluates a combined
-    program exactly as the paper's modified LuaJIT loader does. *)
+    program exactly as the paper's modified LuaJIT loader does.
+
+    The engine is also the fault-isolation boundary: {!run_protected}
+    turns any pipeline failure into a structured {!Diag.t} instead of an
+    exception, and [create]'s resource knobs ([?fuel], [?max_call_depth],
+    [?lua_steps]) bound runaway programs so they degrade into catchable
+    [trap.*] diagnostics rather than hanging the host. *)
 
 module V = Mlua.Value
 
-type t = { ctx : Context.t; scope : V.scope }
+type t = {
+  ctx : Context.t;
+  scope : V.scope;
+  lua_depth : int;  (** Lua call-depth bound, applied at each run *)
+  lua_steps : int;  (** Lua statement budget per run *)
+}
 
-let create ?machine ?mem_bytes () =
+(* Route every host exception pcall sees through the diagnostic
+   converter, so protected Lua calls observe Terra failures (compile
+   errors, traps) as structured values.  Installed once. *)
+let () =
+  Mlua.Lualib.exn_to_value := fun e -> Option.map Diag.wrap (Diag.of_exn e)
+
+let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps () =
   let ctx = Context.create ?machine ?mem_bytes () in
+  (match fuel with Some n -> Tvm.Vm.set_fuel ctx.Context.vm n | None -> ());
+  Tvm.Vm.set_max_depth ctx.Context.vm max_call_depth;
   let scope = Mlua.Driver.make_scope () in
   (match V.scope_globals scope with
   | Some g -> Terralib.install ctx g
   | None -> assert false);
-  { ctx; scope }
+  {
+    ctx;
+    scope;
+    lua_depth = max_call_depth;
+    lua_steps = (match lua_steps with Some n -> n | None -> max_int);
+  }
 
-let run t src =
+let run ?file t src =
+  Diag.begin_run ?file ();
+  Mlua.Interp.max_call_depth := t.lua_depth;
+  Mlua.Interp.steps := t.lua_steps;
   let ext_expr, ext_stat = Frontend.hooks t.ctx in
-  Mlua.Driver.run_in ~ext_expr ~ext_stat t.scope src
+  let chunkname = match file with Some f -> f | None -> "main chunk" in
+  Mlua.Driver.run_in ~ext_expr ~ext_stat ~chunkname t.scope src
 
 (** Run and capture printed output (tests). *)
-let run_capture t src =
+let run_capture ?file t src =
   let buf = Buffer.create 256 in
   let saved_lua = !Mlua.Lualib.output_sink in
   let saved_vm = !Tvm.Builtins.print_sink in
@@ -30,8 +58,40 @@ let run_capture t src =
       Mlua.Lualib.output_sink := saved_lua;
       Tvm.Builtins.print_sink := saved_vm)
     (fun () ->
-      let rets = run t src in
+      let rets = run ?file t src in
       (Buffer.contents buf, rets))
+
+(** Protected entry point: every failure anywhere in the pipeline —
+    lexing through Terra execution — returns as [Error diag].  Only
+    exceptions outside the failure model (host OOM, assert failures)
+    still propagate. *)
+let run_protected (t : t) ?file src : (V.t list, Diag.t) result =
+  match run ?file t src with
+  | vs -> Ok vs
+  | exception ((Out_of_memory | Assert_failure _) as e) -> raise e
+  | exception e -> (
+      match Diag.of_exn e with
+      | Some d -> Error d
+      | None ->
+          Error
+            (Diag.make ~phase:Diag.Eval ~code:"internal.exn"
+               (Printexc.to_string e)))
+
+(** [run_protected] + output capture: [(output, result)]. *)
+let run_capture_protected (t : t) ?file src :
+    string * (V.t list, Diag.t) result =
+  let buf = Buffer.create 256 in
+  let saved_lua = !Mlua.Lualib.output_sink in
+  let saved_vm = !Tvm.Builtins.print_sink in
+  Mlua.Lualib.output_sink := Buffer.add_string buf;
+  Tvm.Builtins.print_sink := Buffer.add_string buf;
+  Fun.protect
+    ~finally:(fun () ->
+      Mlua.Lualib.output_sink := saved_lua;
+      Tvm.Builtins.print_sink := saved_vm)
+    (fun () ->
+      let r = run_protected t ?file src in
+      (Buffer.contents buf, r))
 
 (** Look up a global by name. *)
 let get_global t name = V.scope_lookup t.scope name
@@ -40,7 +100,9 @@ let get_global t name = V.scope_lookup t.scope name
 let get_func t name =
   match Func.unwrap_opt (get_global t name) with
   | Some f -> f
-  | None -> failwith (name ^ " is not a terra function")
+  | None ->
+      Diag.error ~phase:Diag.Eval ~code:"engine.not-a-function"
+        "%s is not a terra function" name
 
 let call_func t name args = Jit.call (get_func t name) args
 

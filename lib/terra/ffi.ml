@@ -11,6 +11,11 @@ exception Ffi_error of string
 
 let ffi_error fmt = Format.kasprintf (fun s -> raise (Ffi_error s)) fmt
 
+let () =
+  Diag.register_converter (function
+    | Ffi_error msg -> Some (Diag.make ~phase:Diag.Run ~code:"ffi.error" msg)
+    | _ -> None)
+
 type cdata = { caddr : int; cty : Types.t; cctx : Context.t }
 
 type Mlua.Value.u += Ucdata of cdata

@@ -277,8 +277,9 @@ let rec parse_tblock p : ublock =
         P.advance p;
         go ()
     | _ ->
+        let ln = P.line p in
         let s = parse_tstat p in
-        stats := s :: !stats;
+        stats := s :: Uline ln :: !stats;
         (match s with Ureturn _ -> () | _ -> go ())
   in
   go ();

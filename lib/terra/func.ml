@@ -11,6 +11,12 @@ module V = Mlua.Value
 
 exception Link_error of string
 
+let () =
+  Diag.register_converter (function
+    | Link_error msg ->
+        Some (Diag.make ~phase:Diag.Compile ~code:"link.error" msg)
+    | _ -> None)
+
 type def = {
   dparams : (Tast.sym * Types.t) list;
   dret : Types.t option;  (** None: inferred from return statements *)
@@ -76,7 +82,8 @@ let is_defined f = f.def <> None
     monotonicity of typechecking (Section 4.1) depends on it. *)
 let define f ~params ~ret ~body =
   if is_defined f then
-    failwith (Printf.sprintf "terra function '%s' is already defined" f.name);
+    Diag.error ~phase:Diag.Specialize ~code:"func.redefine"
+      "terra function '%s' is already defined" f.name;
   (* a forward declaration (tdecl) may have fixed the type already *)
   let ret =
     match (ret, f.ftype) with
@@ -87,19 +94,18 @@ let define f ~params ~ret ~body =
             && List.length dparams = List.length params
             && List.for_all2 Types.equal dparams (List.map snd params))
         then
-          failwith
-            (Printf.sprintf
-               "terra function '%s': definition does not match its declared \
-                type %s"
-               f.name
-               (Types.to_string (Types.Tfunc (dparams, dret))));
+          Diag.error ~phase:Diag.Specialize ~code:"func.decl-mismatch"
+            "terra function '%s': definition does not match its declared \
+             type %s"
+            f.name
+            (Types.to_string (Types.Tfunc (dparams, dret)));
         Some r
     | None, Some (Types.Tfunc (dparams, dret)) ->
         if List.length dparams <> List.length params then
-          failwith
-            (Printf.sprintf
-               "terra function '%s': definition does not match its declared \
-                arity" f.name);
+          Diag.error ~phase:Diag.Specialize ~code:"func.decl-mismatch"
+            "terra function '%s': definition does not match its declared \
+             arity"
+            f.name;
         Some dret
     | ret, _ -> ret
   in
@@ -118,7 +124,9 @@ let extern ctx ~name ~cname ~params ~ret =
 (* Calling and pretty-printing need the JIT, which lives above this
    module; it installs itself here. *)
 let call_impl : (t -> V.t list -> V.t list) ref =
-  ref (fun _ _ -> failwith "Terra JIT not initialized")
+  ref (fun _ _ ->
+      Diag.error ~phase:Diag.Compile ~code:"jit.uninitialized"
+        "Terra JIT not initialized")
 
 let func_meta : V.table = V.new_table ()
 

@@ -6,6 +6,11 @@ module V = Mlua.Value
 
 exception Terra_error of string
 
+let () =
+  Diag.register_converter (function
+    | Terra_error msg -> Some (Diag.make ~phase:Diag.Run ~code:"call.error" msg)
+    | _ -> None)
+
 (** Typecheck and compile [f] together with every Terra function its body
     references, transitively. Raises {!Func.Link_error} if any referenced
     function is declared but not defined. *)
@@ -69,18 +74,16 @@ let call (f : Func.t) (args : V.t list) : V.t list =
       let result = Tvm.Vm.call ctx.Context.vm f.Func.vmid (Array.of_list argv) in
       [ Ffi.of_vm ctx ret result ]
 
-(* Compilation failures surface as Lua errors so pcall can observe them,
-   as in the paper's implementation where typechecking happens during the
-   evaluation of the Lua program. *)
+(* Compile-time *and* runtime failures surface as Lua errors carrying the
+   structured diagnostic, so pcall observes them — the paper's separate-
+   evaluation contract: a Terra failure never crashes the Lua host. *)
 let call_wrapped f args =
   try call f args with
-  | Typecheck.Tc_error msg
-  | Func.Link_error msg
-  | Specialize.Spec_error msg
-  | Types.Type_error msg
-  | Compile.Compile_error msg ->
-      raise (Mlua.Value.Lua_error (Mlua.Value.Str msg))
-  | Terra_error msg -> raise (Mlua.Value.Lua_error (Mlua.Value.Str msg))
+  | Mlua.Value.Lua_error _ as e -> raise e
+  | e -> (
+      match Diag.of_exn e with
+      | Some d -> raise (Mlua.Value.Lua_error (Diag.wrap d))
+      | None -> raise e)
 
 let () = Func.call_impl := call_wrapped
 

@@ -148,7 +148,9 @@ let load_file path : obj =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith (path ^ ": not a terra object file");
+      if m <> magic then
+        Diag.error ~phase:Diag.Compile ~code:"objfile.magic"
+          "%s: not a terra object file" path;
       (Marshal.from_channel ic : obj))
 
 (** Load an object into a fresh VM (no Lua anywhere) and return the VM

@@ -14,6 +14,12 @@ exception Spec_error of string
 
 let spec_error fmt = Format.kasprintf (fun s -> raise (Spec_error s)) fmt
 
+let () =
+  Diag.register_converter (function
+    | Spec_error msg ->
+        Some (Diag.make ~phase:Diag.Specialize ~code:"spec.error" msg)
+    | _ -> None)
+
 let eval_type scope (thunk : lua_thunk) : Types.t =
   let v = thunk scope in
   match Types.unwrap_opt v with
@@ -28,12 +34,14 @@ let term_of_value name (v : V.t) : sexpr =
   match v with
   | V.Userdata { u = Usym s; _ } -> Svar s
   | V.Userdata { u = Uquote (Qexpr e); _ } -> e
-  | V.Userdata { u = Uquote (Qstmts [ Sexprstat e ]); _ } -> e
-  | V.Userdata { u = Uquote (Qstmts _); _ } ->
-      spec_error
-        "escape [%s]: a statement quotation cannot be spliced into an \
-         expression"
-        name
+  | V.Userdata { u = Uquote (Qstmts b); _ } -> (
+      match strip_lines b with
+      | [ Sexprstat e ] -> e
+      | _ ->
+          spec_error
+            "escape [%s]: a statement quotation cannot be spliced into an \
+             expression"
+            name)
   | V.Num n ->
       if Float.is_integer n && Float.abs n < 9.2e18 then
         Slit (Lint (Int64.of_float n))
@@ -144,6 +152,9 @@ let rec stat (scope : V.scope) (s : ustat) (acc : sstat list) : sstat list =
   | Ubreak -> Sbreak :: acc
   | Uexprstat e -> Sexprstat (expr scope e) :: acc
   | Usplice (what, thunk) -> splice_value what (thunk scope) acc
+  | Uline n ->
+      Diag.set_line n;
+      Sline n :: acc
 
 and splice_value what (v : V.t) acc =
   match v with

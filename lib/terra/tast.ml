@@ -58,6 +58,9 @@ type ustat =
   | Ubreak
   | Uexprstat of uexpr
   | Usplice of string * lua_thunk  (** [stmts] in statement position *)
+  | Uline of int
+      (** source-line marker emitted by the frontend; carries no
+          semantics — consumed by the specializer for diagnostics *)
 
 and ublock = ustat list
 
@@ -128,8 +131,14 @@ and sstat =
   | Sreturn of sexpr option
   | Sbreak
   | Sexprstat of sexpr
+  | Sline of int  (** source-line marker, consumed by the typechecker *)
 
 and sblock = sstat list
+
+(** Drop line markers — for code that pattern-matches on block shapes
+    (single-statement splices, inlinable bodies). *)
+let strip_lines (b : sblock) =
+  List.filter (function Sline _ -> false | _ -> true) b
 
 (** Quotations: specialized code as a Lua value. *)
 type quote = Qexpr of sexpr | Qstmts of sblock
@@ -223,11 +232,13 @@ let rec pp_sstat ppf = function
   | Sreturn (Some e) -> Format.fprintf ppf "return %a" pp_sexpr e
   | Sbreak -> Format.fprintf ppf "break"
   | Sexprstat e -> pp_sexpr ppf e
+  | Sline n -> Format.fprintf ppf "--[[line %d]]" n
 
 and pp_sblock ppf b =
+  (* line markers are invisible in printed code (they'd swamp it) *)
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
-    pp_sstat ppf b
+    pp_sstat ppf (strip_lines b)
 
 let sexpr_to_string e = Format.asprintf "%a" pp_sexpr e
 let sblock_to_string b = Format.asprintf "%a" pp_sblock b

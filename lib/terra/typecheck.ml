@@ -11,6 +11,13 @@ exception Tc_error of string
 
 let tc_error fmt = Format.kasprintf (fun s -> raise (Tc_error s)) fmt
 
+let () =
+  Diag.register_converter (function
+    | Tc_error msg -> Some (Diag.make ~phase:Diag.Typecheck ~code:"tc.error" msg)
+    | Types.Type_error msg ->
+        Some (Diag.make ~phase:Diag.Typecheck ~code:"type.error" msg)
+    | _ -> None)
+
 type env = {
   ctx : Context.t;
   vars : (int, Types.t) Hashtbl.t;
@@ -344,8 +351,12 @@ and try_inline env (f : Func.t) (targs : texpr list) rty =
   in
   if not f.Func.always_inline then None
   else
-    match f.Func.def with
-    | Some { Func.dparams; dbody = [ Sreturn (Some body) ]; _ }
+    match
+      Option.map
+        (fun d -> (d, strip_lines d.Func.dbody))
+        f.Func.def
+    with
+    | Some ({ Func.dparams; _ }, [ Sreturn (Some body) ])
       when List.for_all duplicable targs ->
         List.iter2
           (fun (sym, _) te -> Hashtbl.replace env.aliases sym.symid te)
@@ -603,8 +614,22 @@ let rec check_stat env (s : sstat) : tstat =
           | Some t -> TSreturn (Some (convert env te t))))
   | Sbreak -> TSbreak
   | Sexprstat e -> TSexpr (infer env e)
+  | Sline _ ->
+      (* consumed by [check_block]; never reaches here *)
+      assert false
 
-and check_block env b = List.map (check_stat env) b
+(* Explicit left-to-right recursion: line markers must update the span
+   hint *before* the following statement is checked, and OCaml evaluates
+   [e1 :: e2] right to left. *)
+and check_block env b =
+  match b with
+  | [] -> []
+  | Sline n :: rest ->
+      Diag.set_line n;
+      check_block env rest
+  | s :: rest ->
+      let ts = check_stat env s in
+      ts :: check_block env rest
 
 (* ------------------------------------------------------------------ *)
 

@@ -10,7 +10,9 @@ let install (e : Terra.Engine.t) =
       Datalayout.Lua_api.install e.Terra.Engine.ctx g
   | None -> invalid_arg "engine has no globals"
 
-let create ?machine ?mem_bytes () =
-  let e = Terra.Engine.create ?machine ?mem_bytes () in
+let create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps () =
+  let e =
+    Terra.Engine.create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps ()
+  in
   install e;
   e

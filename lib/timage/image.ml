@@ -94,7 +94,9 @@ let load_pgm ctx path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let line () = input_line ic in
-      if line () <> "P5" then failwith (path ^ ": not a P5 PGM");
+      if line () <> "P5" then
+        Terra.Diag.error ~phase:Terra.Diag.Run ~code:"image.format"
+          "%s: not a P5 PGM" path;
       let rec dims () =
         let l = line () in
         if String.length l > 0 && l.[0] = '#' then dims () else l

@@ -40,29 +40,60 @@ let would_spill machine (p : Gemm.params) =
 
 (** Run the search. [test_n] must be a multiple of every NB in the space
     (96 works for the default space). Returns candidates sorted best
-    first. *)
-let search ?(space = None) ?(test_n = 96) ?(no_spill = false) ctx ~elem () =
+    first.
+
+    Each candidate is generated, compiled, and run under [fuel_budget] VM
+    instructions; a candidate that fails at any stage — compile error,
+    trap, divergence — is reported to [on_skip] and skipped, and the
+    search continues. A poisoned variant cannot sink a tuning run.
+    [gen] overrides candidate generation (used by fault-injection tests). *)
+let search ?(space = None) ?(test_n = 96) ?(no_spill = false)
+    ?(fuel_budget = 2_000_000_000) ?(on_skip = fun _ _ -> ()) ?gen ctx ~elem ()
+    =
   let space = match space with Some s -> s | None -> default_space ~elem in
+  let gen =
+    match gen with
+    | Some g -> g
+    | None -> fun p -> Gemm.genkernel ctx ~elem ~no_spill p
+  in
   let m = Gemm.alloc_matrices ctx ~elem test_n in
   Gemm.fill_matrices ctx ~elem m;
+  let vm = ctx.Context.vm in
   let results =
     List.filter_map
       (fun p ->
         if test_n mod p.Gemm.nb <> 0 then None
-        else
-          let kernel = Gemm.genkernel ctx ~elem ~no_spill p in
-          let driver = Gemm.blocked_driver ctx ~elem ~kernel ~nb:p.Gemm.nb in
-          match Gemm.run_gemm ctx driver m with
+        else begin
+          Tvm.Vm.set_fuel vm fuel_budget;
+          match
+            let kernel = gen p in
+            let driver = Gemm.blocked_driver ctx ~elem ~kernel ~nb:p.Gemm.nb in
+            Gemm.run_gemm ctx driver m
+          with
           | gflops, _ ->
+              Tvm.Vm.set_fuel vm max_int;
               Some
                 {
                   cparams = p;
                   gflops;
                   spilled = would_spill ctx.Context.machine p;
                 }
-          | exception _ -> None)
+          | exception ((Out_of_memory | Assert_failure _) as e) -> raise e
+          | exception e ->
+              Tvm.Vm.set_fuel vm max_int;
+              let d =
+                match Diag.of_exn e with
+                | Some d -> d
+                | None ->
+                    Diag.make ~phase:Diag.Run ~code:"internal.exn"
+                      (Printexc.to_string e)
+              in
+              on_skip p d;
+              None
+        end)
       space
   in
+  Tvm.Vm.set_fuel vm max_int;
   Gemm.free_matrices ctx m;
   List.sort (fun a b -> compare b.gflops a.gflops) results
 

@@ -19,6 +19,8 @@ type t = {
   builtins : (string, builtin) Hashtbl.t;
   mutable sp : int;
   mutable fuel : int;
+  mutable depth : int;
+  mutable max_depth : int;
 }
 
 and builtin = t -> value array -> value
@@ -36,6 +38,8 @@ let create ?mem_bytes machine =
     builtins = Hashtbl.create 32;
     sp = Mem.stack_top mem;
     fuel = max_int;
+    depth = 0;
+    max_depth = 10_000;
   }
 
 let register_builtin t name fn = Hashtbl.replace t.builtins name fn
@@ -237,7 +241,15 @@ let rec call t fidx (args : value array) : value =
   Array.blit args 0 regs 0 (Array.length args);
   let saved_sp = t.sp in
   t.sp <- align_down (t.sp - f.frame_bytes) 16;
-  if t.sp < Mem.heap_limit t.mem then raise (Trap "stack overflow");
+  if t.sp < Mem.heap_limit t.mem then begin
+    t.sp <- saved_sp;
+    raise (Trap "stack overflow")
+  end;
+  if t.depth >= t.max_depth then begin
+    t.sp <- saved_sp;
+    raise (Trap (Printf.sprintf "stack overflow (call depth exceeds %d)" t.max_depth))
+  end;
+  t.depth <- t.depth + 1;
   let frame = t.sp in
   let m = t.machine in
   let code = f.code in
@@ -385,9 +397,11 @@ let rec call t fidx (args : value array) : value =
     with
     | Return_value v ->
         t.sp <- saved_sp;
+        t.depth <- t.depth - 1;
         v
     | e ->
         t.sp <- saved_sp;
+        t.depth <- t.depth - 1;
         raise e
   in
   result
@@ -395,3 +409,4 @@ let rec call t fidx (args : value array) : value =
 let call_by_id = call
 
 let set_fuel t n = t.fuel <- n
+let set_max_depth t n = t.max_depth <- n

@@ -121,6 +121,55 @@ let gemm_tests =
           (List.for_all
              (fun c -> c.Tuner.Search.gflops <= best.Tuner.Search.gflops)
              results));
+    quick "fault injection: a trapping candidate cannot sink the search"
+      (fun () ->
+        let machine =
+          Tmachine.Machine.create
+            (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
+        in
+        let ctx = Context.create ~mem_bytes:(64 * 1024 * 1024) ~machine () in
+        let elem = Types.double in
+        let good = { Tuner.Gemm.nb = 16; rm = 2; rn = 2; v = 2 } in
+        let bad = { Tuner.Gemm.nb = 24; rm = 4; rn = 1; v = 4 } in
+        (* the poisoned variant diverges: its kernel is `while true do end` *)
+        let poisoned () =
+          let open Stage in
+          let ep = Types.ptr elem in
+          let sA = sym ~name:"A" ()
+          and sB = sym ~name:"B" ()
+          and sC = sym ~name:"C" () in
+          let lda = sym ~name:"lda" ()
+          and ldb = sym ~name:"ldb" ()
+          and ldc = sym ~name:"ldc" () in
+          func ctx ~name:"poisoned_kernel"
+            ~params:
+              [
+                (sA, ep); (sB, ep); (sC, ep); (lda, Types.int64);
+                (ldb, Types.int64); (ldc, Types.int64);
+              ]
+            ~ret:Types.Tunit
+            [ swhile (bool_ true) [] ]
+        in
+        let gen p =
+          if p = bad then poisoned () else Tuner.Gemm.genkernel ctx ~elem p
+        in
+        let skipped = ref [] in
+        let results =
+          Tuner.Search.search ~space:(Some [ good; bad ]) ~test_n:48
+            ~fuel_budget:5_000_000
+            ~on_skip:(fun p d -> skipped := (p, d) :: !skipped)
+            ~gen ctx ~elem ()
+        in
+        (* the good candidate survives, the poisoned one is skipped with a
+           fuel-trap diagnostic, and the search completes *)
+        checki "one survivor" 1 (List.length results);
+        checkb "survivor is the good candidate" true
+          ((Tuner.Search.best results).Tuner.Search.cparams = good);
+        match !skipped with
+        | [ (p, d) ] ->
+            checkb "skipped the poisoned candidate" true (p = bad);
+            Alcotest.(check string) "trap code" "trap.fuel" d.Diag.code
+        | l -> Alcotest.failf "expected 1 skip, got %d" (List.length l));
     QCheck_alcotest.to_alcotest prop_genkernel_correct;
   ]
 

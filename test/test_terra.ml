@@ -17,17 +17,27 @@ let run src =
 
 let expect name src expected () = checks name expected (run src)
 
-let expect_terra_error name src () =
-  checkb name true
-    (match run src with
-    | exception Typecheck.Tc_error _ -> true
-    | exception Specialize.Spec_error _ -> true
-    | exception Types.Type_error _ -> true
-    | exception Func.Link_error _ -> true
-    | exception Mlua.Parser.Parse_error _ -> true
-    | exception Mlua.Value.Lua_error _ -> true
-    | exception Failure _ -> true
-    | _ -> false)
+(* Run through the protected boundary and assert a structured diagnostic
+   with the expected phase/code (and optionally span line). *)
+let expect_diag name ?phase ?code ?line src () =
+  let e = Engine.create ~mem_bytes:(32 * 1024 * 1024) () in
+  match Engine.run_capture_protected e src with
+  | _, Ok _ -> Alcotest.failf "%s: expected a diagnostic, got Ok" name
+  | _, Error d ->
+      (match phase with
+      | Some p ->
+          checks (name ^ " phase") (Diag.phase_name p)
+            (Diag.phase_name d.Diag.phase)
+      | None -> ());
+      (match code with
+      | Some c -> checks (name ^ " code") c d.Diag.code
+      | None -> ());
+      (match line with
+      | Some l -> (
+          match d.Diag.span with
+          | Some (_, got) -> checki (name ^ " line") l got
+          | None -> Alcotest.failf "%s: diagnostic has no span" name)
+      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Type system *)
@@ -197,9 +207,10 @@ let spec_tests =
           print(f())|}
         "42");
     quick "undefined variable in terra is an error"
-      (expect_terra_error "u" "terra f() : int return neverdefined end");
+      (expect_diag "u" ~phase:Diag.Specialize ~code:"spec.error"
+         "terra f() : int return neverdefined end");
     quick "escape evaluating to nil is an error"
-      (expect_terra_error "n"
+      (expect_diag "n" ~phase:Diag.Specialize ~code:"spec.error"
          "local q = nil terra f() : int return [q] end print(f())");
     quick "respecialization does not occur" (expect "s"
         {|local calls = 0
@@ -240,7 +251,8 @@ let typecheck_tests =
           print(ok, f())|}
         "false\t1");
     quick "recursive fn needs annotation"
-      (expect_terra_error "rec" "terra f(n : int) return f(n) end print(f(0))");
+      (expect_diag "rec" ~phase:Diag.Typecheck ~code:"tc.error"
+         "terra f(n : int) return f(n) end print(f(0))");
     quick "return type inference" (expect "t"
         {|terra f(x : int) return x * 2.5 end
           print(f(4), f:gettype().returntype == double)|}
@@ -254,14 +266,14 @@ let typecheck_tests =
           print(f(100, 1000000))|}
         "1000100");
     quick "narrowing requires explicit cast"
-      (expect_terra_error "narrow"
+      (expect_diag "narrow" ~phase:Diag.Typecheck ~code:"tc.error"
          "terra f(a : int64) : int return a end print(f(1))");
     quick "explicit casts" (expect "t"
         {|terra f(x : double) : int return [int](x) end
           print(f(3.99), f(-2.99))|}
         "3\t-2");
     quick "bool required in conditions"
-      (expect_terra_error "cond"
+      (expect_diag "cond" ~phase:Diag.Typecheck ~code:"tc.error"
          "terra f(x : int) : int if x then return 1 end return 0 end print(f(1))");
     quick "pointer arithmetic types" (expect "t"
         {|local std = terralib.includec("stdlib.h")
@@ -275,9 +287,10 @@ let typecheck_tests =
           print(f())|}
         "5");
     quick "assignment to rvalue rejected"
-      (expect_terra_error "lv" "terra f() : int 3 = 4 return 0 end print(f())");
+      (expect_diag "lv" ~phase:Diag.Typecheck ~code:"tc.error"
+         "terra f() : int 3 = 4 return 0 end print(f())");
     quick "wrong arity rejected"
-      (expect_terra_error "arity"
+      (expect_diag "arity" ~phase:Diag.Typecheck ~code:"tc.error"
          "terra g(x : int) : int return x end terra f() : int return g(1, 2) end print(f())");
     quick "missing field rejected at first call" (expect "nofield"
         {|struct S { x : int }
@@ -719,6 +732,186 @@ let prop_specialization_deterministic =
       in
       run src = run src)
 
+(* ------------------------------------------------------------------ *)
+(* Protected execution: structured diagnostics, spans, resource guards *)
+
+let run_lua src =
+  (* helper: run Lua that inspects a caught diagnostic value *)
+  expect "diag" src
+
+let diag_tests =
+  [
+    quick "diagnostic carries the offending line"
+      (expect_diag "span" ~phase:Diag.Specialize ~code:"spec.error" ~line:5
+         "local x = 1\nlocal y = 2\nterra f() : int\n  var a = 1\n  return neverdefined\nend");
+    quick "typecheck diagnostic carries the offending line"
+      (expect_diag "tc span" ~phase:Diag.Typecheck ~code:"tc.error" ~line:4
+         "local x = 1\nterra f() : int\n  var a = 1\n  var b : bool = a\n  return 0\nend\nprint(f())");
+    quick "parse error carries the line"
+      (expect_diag "parse span" ~phase:Diag.Parse ~code:"parse.error" ~line:2
+         "local ok = 1\nterra f( : int return 1 end");
+    quick "lua runtime error becomes an eval diagnostic"
+      (expect_diag "lua" ~phase:Diag.Eval ~code:"lua.error"
+         "local function g() error('boom') end g()");
+    quick "integer division by zero is a catchable trap"
+      (expect_diag "div0" ~phase:Diag.Run ~code:"trap.divzero"
+         "terra f(a : int, b : int) : int return a / b end print(f(1, 0))");
+    quick "infinite terra loop returns trap.fuel within budget" (fun () ->
+        let e = Engine.create ~mem_bytes:(32 * 1024 * 1024) ~fuel:100_000 () in
+        match
+          Engine.run_protected e "terra spin() while true do end end spin()"
+        with
+        | Ok _ -> Alcotest.fail "expected trap.fuel"
+        | Error d ->
+            checks "code" "trap.fuel" d.Diag.code;
+            checkb "is_trap" true (Diag.is_trap d));
+    quick "runaway lua loop returns trap.steps" (fun () ->
+        let e =
+          Engine.create ~mem_bytes:(32 * 1024 * 1024) ~lua_steps:10_000 ()
+        in
+        match Engine.run_protected e "while true do end" with
+        | Ok _ -> Alcotest.fail "expected trap.steps"
+        | Error d -> checks "code" "trap.steps" d.Diag.code);
+    quick "lua recursion hits the depth guard catchably"
+      (expect_diag "depth" ~phase:Diag.Eval ~code:"lua.error"
+         "local function g() return g() end g()");
+    quick "terra recursion hits the VM depth guard" (fun () ->
+        let e =
+          Engine.create ~mem_bytes:(32 * 1024 * 1024) ~max_call_depth:100 ()
+        in
+        match
+          Engine.run_protected e
+            "terra f(n : int) : int return f(n + 1) end print(f(0))"
+        with
+        | Ok _ -> Alcotest.fail "expected trap.stack"
+        | Error d -> checks "code" "trap.stack" d.Diag.code);
+    quick "diagnostic records the lua traceback" (fun () ->
+        let e = Engine.create ~mem_bytes:(32 * 1024 * 1024) () in
+        match
+          Engine.run_protected e
+            "local function inner() error('deep') end\n\
+             local function outer() inner() end\n\
+             outer()"
+        with
+        | Ok _ -> Alcotest.fail "expected a diagnostic"
+        | Error d ->
+            let names = List.map (fun fr -> fr.Diag.fr_name) d.Diag.lua_traceback in
+            checkb "has inner" true (List.mem "inner" names);
+            checkb "has outer" true (List.mem "outer" names));
+    quick "file name threads into the span" (fun () ->
+        let e = Engine.create ~mem_bytes:(32 * 1024 * 1024) () in
+        match
+          Engine.run_protected e ~file:"prog.t"
+            "terra f() : int return neverdefined end"
+        with
+        | Ok _ -> Alcotest.fail "expected a diagnostic"
+        | Error d -> (
+            match d.Diag.span with
+            | Some (f, _) -> checks "file" "prog.t" f
+            | None -> Alcotest.fail "no span"));
+    quick "pcall observes a terra type error with phase and line"
+      (run_lua
+         {|terra bad() : int
+             return 1.5 > 2.0
+           end
+           local ok, err = pcall(function() bad() end)
+           print(ok, err.phase, err.code, err.line)|}
+         "false\ttypecheck\ttc.error\t2");
+    quick "pcall observes a runtime trap as a structured value"
+      (run_lua
+         {|terra div(a : int, b : int) : int return a / b end
+           local ok, err = pcall(function() return div(1, 0) end)
+           print(ok, err.phase, err.code)|}
+         "false\trun\ttrap.divzero");
+    quick "pcall error value renders via tostring"
+      (run_lua
+         {|terra bad() : int return 1.5 > 2.0 end
+           local ok, err = pcall(function() bad() end)
+           print(ok, string.sub(tostring(err), 1, 8))|}
+         "false\t<input>:");
+    quick "lua error() interop still passes plain values through pcall"
+      (run_lua
+         {|local ok, v = pcall(function() error("plain") end)
+           print(ok, v)|}
+         "false\tplain");
+    quick "exit codes: one_line machine format is stable" (fun () ->
+        let e = Engine.create ~mem_bytes:(32 * 1024 * 1024) ~fuel:50_000 () in
+        match
+          Engine.run_protected e ~file:"spin.t"
+            "terra spin() while true do end end spin()"
+        with
+        | Ok _ -> Alcotest.fail "expected trap"
+        | Error d ->
+            checks "one_line" "run|trap.fuel|spin.t:1|fuel exhausted"
+              (Diag.one_line d));
+  ]
+
+(* Fuzz the protected boundary: random program text must always come back
+   as Ok or Error Diag — never an exception, never a hang (all engines are
+   resource-bounded). *)
+let prop_protected_never_raises =
+  let fragments =
+    [|
+      "terra f() : int return 1 end";
+      "print(f())";
+      "local x = ";
+      "42";
+      "end";
+      "terra";
+      "while true do";
+      "[";
+      "]";
+      "f(";
+      ")";
+      "var x : int = 1";
+      "error('x')";
+      "\"unterminated";
+      "struct S { x : int }";
+      "@";
+      "+ - */";
+      "return";
+      "function g()";
+      "local t = {}";
+      "t[1] = t";
+      "0x";
+      "1e999";
+      ";;";
+      "..";
+    |]
+  in
+  let gen_src =
+    QCheck.Gen.(
+      frequency
+        [
+          (* token soup from plausible fragments *)
+          ( 4,
+            map (String.concat " ")
+              (list_size (int_range 0 12)
+                 (map (Array.get fragments) (int_range 0 (Array.length fragments - 1)))) );
+          (* raw bytes *)
+          (1, string_size ~gen:(char_range '\032' '\126') (int_range 0 80));
+          (* a valid program, mutated by truncation *)
+          ( 2,
+            map
+              (fun n ->
+                let p =
+                  "local k = 3 terra f(x : int) : int return x * k end \
+                   print(f(7))"
+                in
+                String.sub p 0 (min n (String.length p)))
+              (int_range 0 64) );
+        ])
+  in
+  QCheck.Test.make ~count:60 ~name:"run_protected never raises"
+    (QCheck.make gen_src) (fun src ->
+      let e =
+        Engine.create ~mem_bytes:(4 * 1024 * 1024) ~fuel:200_000
+          ~lua_steps:50_000 ~max_call_depth:64 ()
+      in
+      match Engine.run_capture_protected e src with
+      | _, Ok _ -> true
+      | _, Error _ -> true)
+
 let () =
   Alcotest.run "terra"
     [
@@ -727,10 +920,12 @@ let () =
       ("typecheck", typecheck_tests);
       ("execute", exec_tests);
       ("ffi", ffi_tests);
+      ("diagnostics", diag_tests);
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_staged_constants;
           QCheck_alcotest.to_alcotest prop_int_expr;
           QCheck_alcotest.to_alcotest prop_specialization_deterministic;
+          QCheck_alcotest.to_alcotest prop_protected_never_raises;
         ] );
     ]
