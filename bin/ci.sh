@@ -18,4 +18,28 @@ for prog in examples/programs/*.t; do
     > /dev/null
 done
 
+echo "== example program smoke tests (checked) =="
+# Same programs again under TerraSan.  paper_surface.t keeps heap buffers
+# (DataTable columns, Orion pipeline images) alive until engine teardown,
+# so its leak check is opted out; everything else must be leak-clean too.
+for prog in examples/programs/*.t; do
+  echo "-- $prog [checked]"
+  case "$prog" in
+  *paper_surface.t) extra="--no-leak-check" ;;
+  *) extra="" ;;
+  esac
+  timeout 120 dune exec bin/terra_run.exe -- --checked $extra \
+    --fuel 2000000000 "$prog" > /dev/null
+done
+
+echo "== checked-mode overhead bound (mandelbrot) =="
+# TerraSan must not change the instruction stream: measure baseline fuel,
+# then require the checked run to finish within 3x that budget.
+base=$(dune exec bin/terra_run.exe -- --report-fuel \
+  examples/programs/mandelbrot.t 2>&1 >/dev/null | sed -n 's/^fuel: //p')
+echo "baseline fuel: $base"
+timeout 120 dune exec bin/terra_run.exe -- --checked --fuel $((3 * base)) \
+  examples/programs/mandelbrot.t > /dev/null
+echo "checked mandelbrot within 3x fuel budget"
+
 echo "CI OK"

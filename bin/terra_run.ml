@@ -2,25 +2,46 @@
    modified LuaJIT binary.
 
    Exit codes: 0 = success, 1 = diagnostic (compile/eval error),
-   2 = resource trap (fuel, stack, steps, memory). *)
+   2 = runtime fault (resource trap, TerraSan violation, injected
+   fault, or a leak under --checked). *)
 
-let run_file path stats fuel max_steps max_depth =
+let run_file path stats fuel max_steps max_depth checked no_leak_check
+    fail_alloc_at trap_at_step report_fuel =
   let src =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
+  let faults =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun n -> Tvm.Fault.Fail_alloc n) fail_alloc_at;
+        Option.map (fun n -> Tvm.Fault.Trap_at_step n) trap_at_step;
+      ]
+  in
   let engine =
-    Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth ()
+    Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
+      ~checked ~faults ()
   in
   let code =
     match Terra.Engine.run_protected engine ~file:path src with
-    | Ok _ -> 0
+    | Ok _ -> (
+        (* leak accounting: still-live heap blocks are a san.leak fault *)
+        if not (checked && not no_leak_check) then 0
+        else
+          match Terra.Engine.leak_diag engine with
+          | None -> 0
+          | Some d ->
+              Printf.eprintf "%s\n" (Terra.Diag.to_string d);
+              2)
     | Error d ->
         Printf.eprintf "%s\n" (Terra.Diag.to_string d);
-        if Terra.Diag.is_trap d then 2 else 1
+        if Terra.Diag.is_runtime_fault d then 2 else 1
   in
+  if report_fuel then
+    Printf.eprintf "fuel: %d\n" (Terra.Engine.fuel_used engine);
   if stats then
     Format.eprintf "-- machine model --@.%a@." Tmachine.Machine.pp_report
       (Terra.Engine.report engine);
@@ -57,9 +78,54 @@ let () =
       & info [ "max-depth" ] ~docv:"N"
           ~doc:"maximum call depth for both Lua and Terra (default 200).")
   in
+  let checked =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:
+            "TerraSan checked execution: redzones, use-after-free quarantine, \
+             and per-byte shadow checking; violations exit 2 with a san.* \
+             diagnostic, and heap blocks still live at exit are reported as \
+             san.leak.")
+  in
+  let no_leak_check =
+    Arg.(
+      value & flag
+      & info [ "no-leak-check" ]
+          ~doc:
+            "with $(b,--checked): do not treat heap blocks still live at \
+             exit as an error (for programs whose buffers are owned by the \
+             host until teardown).")
+  in
+  let fail_alloc_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fail-alloc-at" ] ~docv:"N"
+          ~doc:
+            "fault injection: fail the Nth program heap allocation with a \
+             catchable fault.alloc diagnostic.")
+  in
+  let trap_at_step =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trap-at-step" ] ~docv:"N"
+          ~doc:
+            "fault injection: trap at the Nth retired VM instruction with a \
+             catchable fault.trap diagnostic.")
+  in
+  let report_fuel =
+    Arg.(
+      value & flag
+      & info [ "report-fuel" ]
+          ~doc:"print consumed VM instructions to stderr (overhead checks).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
-      Term.(const run_file $ path $ stats $ fuel $ max_steps $ max_depth)
+      Term.(
+        const run_file $ path $ stats $ fuel $ max_steps $ max_depth $ checked
+        $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel)
   in
   exit (Cmd.eval' cmd)

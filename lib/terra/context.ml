@@ -14,10 +14,16 @@ type t = {
           written into static memory (vtables); saveobj relocates these *)
 }
 
-let create ?mem_bytes ?(machine = Machine.ivybridge ()) () =
-  let vm = Tvm.Vm.create ?mem_bytes machine in
+let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults () =
+  let vm = Tvm.Vm.create ?mem_bytes ?checked ?faults machine in
   Tvm.Builtins.install vm;
   { vm; machine; strings = Hashtbl.create 16; funcptr_relocs = [] }
+
+(** Is TerraSan checked execution on for this context? *)
+let checked t = Tvm.Vm.checked t.vm
+
+(** Live heap blocks, for leak accounting at shutdown. *)
+let leaks t = Tvm.Alloc.leaks t.vm.Tvm.Vm.alloc
 
 (** Record that [addr] holds the address of VM function [vmid]. *)
 let note_funcptr t addr vmid =

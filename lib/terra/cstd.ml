@@ -25,6 +25,7 @@ let stdlib_decls =
 let string_decls =
   [
     ("memcpy", [ ptr uint8; ptr uint8; int64 ], ptr uint8);
+    ("memmove", [ ptr uint8; ptr uint8; int64 ], ptr uint8);
     ("memset", [ ptr uint8; int_; int64 ], ptr uint8);
   ]
 

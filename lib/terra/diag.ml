@@ -67,8 +67,17 @@ let make ?span ?(traceback = []) ~phase ~code message =
 let error ~phase ~code fmt =
   Format.kasprintf (fun m -> raise (Error (make ~phase ~code m))) fmt
 
-let is_trap d =
-  d.phase = Run && String.length d.code >= 5 && String.sub d.code 0 5 = "trap."
+let has_prefix pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let is_trap d = d.phase = Run && has_prefix "trap." d.code
+
+(** Runtime faults — resource traps, TerraSan violations ([san.*]), and
+    injected faults ([fault.*]) — all exit 2 from [terra_run]. *)
+let is_runtime_fault d =
+  d.phase = Run
+  && (has_prefix "trap." d.code || has_prefix "san." d.code
+     || has_prefix "fault." d.code)
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing *)
@@ -223,6 +232,19 @@ let of_exn (e : exn) : t option =
                (make ~phase:Run ~code:"trap.steps"
                   "lua step budget exhausted"))
       | Tvm.Vm.Trap msg -> Some (fill (make ~phase:Run ~code:(trap_code msg) msg))
+      | Tvm.Shadow.Violation v ->
+          Some
+            (fill
+               (make ~phase:Run
+                  ~code:(Tvm.Shadow.kind_code v.Tvm.Shadow.vkind)
+                  (Tvm.Shadow.describe v)))
+      | Tvm.Fault.Injected (spec, msg) ->
+          Some (fill (make ~phase:Run ~code:(Tvm.Fault.code spec) msg))
+      | Tvm.Alloc.Invalid_realloc a ->
+          Some
+            (fill
+               (make ~phase:Run ~code:"trap.realloc"
+                  (Printf.sprintf "realloc of invalid pointer %#x" a)))
       | Tvm.Mem.Fault (addr, what) ->
           Some
             (fill

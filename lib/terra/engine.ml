@@ -23,8 +23,9 @@ type t = {
 let () =
   Mlua.Lualib.exn_to_value := fun e -> Option.map Diag.wrap (Diag.of_exn e)
 
-let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps () =
-  let ctx = Context.create ?machine ?mem_bytes () in
+let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
+    ?checked ?faults () =
+  let ctx = Context.create ?machine ?mem_bytes ?checked ?faults () in
   (match fuel with Some n -> Tvm.Vm.set_fuel ctx.Context.vm n | None -> ());
   Tvm.Vm.set_max_depth ctx.Context.vm max_call_depth;
   let scope = Mlua.Driver.make_scope () in
@@ -108,3 +109,38 @@ let call_func t name args = Jit.call (get_func t name) args
 
 let report t = Tmachine.Machine.report t.ctx.Context.machine
 let machine t = t.ctx.Context.machine
+let checked t = Context.checked t.ctx
+let fuel_used t = Tvm.Vm.fuel_used t.ctx.Context.vm
+
+(** Install a fault spec into the running VM (tests inject mid-session). *)
+let inject t spec = Tvm.Vm.add_fault t.ctx.Context.vm spec
+
+(* ------------------------------------------------------------------ *)
+(* Leak accounting (TerraSan shutdown report) *)
+
+(** Heap blocks still live, largest first: [(addr, size)]. *)
+let leak_report t =
+  List.sort (fun (_, a) (_, b) -> compare b a) (Context.leaks t.ctx)
+
+(** A [san.leak] summary diagnostic, or [None] if nothing leaked. *)
+let leak_diag t =
+  match leak_report t with
+  | [] -> None
+  | blocks ->
+      let total = List.fold_left (fun acc (_, s) -> acc + s) 0 blocks in
+      let shown = List.filteri (fun i _ -> i < 8) blocks in
+      let detail =
+        String.concat ", "
+          (List.map (fun (a, s) -> Printf.sprintf "%#x (%d bytes)" a s) shown)
+      in
+      let more =
+        if List.length blocks > List.length shown then
+          Printf.sprintf ", ... %d more" (List.length blocks - List.length shown)
+        else ""
+      in
+      Some
+        (Diag.make ~phase:Diag.Run ~code:"san.leak"
+           (Printf.sprintf "leaked %d bytes in %d block%s: %s%s" total
+              (List.length blocks)
+              (if List.length blocks = 1 then "" else "s")
+              detail more))

@@ -104,6 +104,16 @@ let install ctx (globals : V.table) =
           in
           [ Func.wrap f ]
       | _ -> V.error_str "terralib.cast(fntype, luafunction)");
+  (* TerraSan hooks: is checked execution on, and what is still live on
+     the Terra heap (count, bytes) — Lua-side leak accounting *)
+  reg tl "issanitized" (fun _ -> [ V.Bool (Context.checked ctx) ]);
+  reg tl "leakcheck" (fun _ ->
+      let blocks = Context.leaks ctx in
+      let bytes = List.fold_left (fun acc (_, s) -> acc + s) 0 blocks in
+      [
+        V.Num (float_of_int (List.length blocks));
+        V.Num (float_of_int bytes);
+      ]);
   reg tl "typeof" (fun args ->
       match arg args 0 with
       | V.Userdata { u = Func.Ufunc f; _ } -> [ Types.wrap (Func.type_of f) ]

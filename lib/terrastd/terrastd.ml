@@ -10,9 +10,11 @@ let install (e : Terra.Engine.t) =
       Datalayout.Lua_api.install e.Terra.Engine.ctx g
   | None -> invalid_arg "engine has no globals"
 
-let create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps () =
+let create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps ?checked
+    ?faults () =
   let e =
-    Terra.Engine.create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps ()
+    Terra.Engine.create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps
+      ?checked ?faults ()
   in
   install e;
   e

@@ -1,24 +1,54 @@
 exception Out_of_memory of int
 exception Invalid_free of int
+exception Invalid_realloc of int
 
 type t = {
   mem : Mem.t;
+  shadow : Shadow.t option;  (** present iff checked mode is on *)
   mutable free_list : (int * int) list;  (** (addr, size), sorted by addr *)
   live : (int, int) Hashtbl.t;
+      (** payload addr -> full block size (incl. redzones in checked mode) *)
+  starts : (int, int) Hashtbl.t;  (** payload addr -> block start (checked) *)
+  req : (int, int) Hashtbl.t;  (** payload addr -> requested size (checked) *)
+  quarantine : (int * int * int) Queue.t;
+      (** freed (block start, block size, payload), oldest first *)
+  mutable quarantine_bytes : int;
+  quarantine_limit : int;
   mutable live_bytes : int;
 }
 
 let align = 16
 
-let create mem =
+(** Redzone placed on each side of a checked allocation. *)
+let redzone = 16
+
+let default_quarantine = 1 lsl 20
+
+let create ?(checked = false) ?(quarantine = default_quarantine) mem =
   let base = Mem.heap_base mem and limit = Mem.heap_limit mem in
+  let shadow =
+    if checked then begin
+      let sh = Shadow.create ~base ~limit in
+      Mem.attach_shadow mem sh;
+      Some sh
+    end
+    else None
+  in
   {
     mem;
+    shadow;
     free_list = [ (base, limit - base) ];
     live = Hashtbl.create 64;
+    starts = Hashtbl.create 64;
+    req = Hashtbl.create 64;
+    quarantine = Queue.create ();
+    quarantine_bytes = 0;
+    quarantine_limit = quarantine;
     live_bytes = 0;
   }
 
+let checked t = t.shadow <> None
+let shadow t = t.shadow
 let round n = (n + align - 1) / align * align
 
 (* Allocation-size jitter: vary block offsets so same-sized buffers do not
@@ -26,26 +56,40 @@ let round n = (n + align - 1) / align * align
    do). Deterministic. *)
 let jitter = ref 0
 
+let rec take n = function
+  | [] -> raise (Out_of_memory n)
+  | (addr, size) :: rest when size >= n ->
+      let remainder = if size > n then [ (addr + n, size - n) ] else [] in
+      (addr, remainder @ rest)
+  | blk :: rest ->
+      let addr, rest' = take n rest in
+      (addr, blk :: rest')
+
 let malloc t n =
   if n < 0 || n > 1 lsl 48 then raise (Out_of_memory n);
   jitter := (!jitter + 1) land 7;
-  let n = max align (round n) + (!jitter * 64) in
-  let rec take = function
-    | [] -> raise (Out_of_memory n)
-    | (addr, size) :: rest when size >= n ->
-        let remainder =
-          if size > n then [ (addr + n, size - n) ] else []
-        in
-        (addr, remainder @ rest)
-    | blk :: rest ->
-        let addr, rest' = take rest in
-        (addr, blk :: rest')
-  in
-  let addr, fl = take t.free_list in
+  let inner = max align (round n) + (!jitter * 64) in
+  let rz = match t.shadow with Some _ -> redzone | None -> 0 in
+  let total = inner + (2 * rz) in
+  let start, fl = take total t.free_list in
   t.free_list <- fl;
-  Hashtbl.replace t.live addr n;
-  t.live_bytes <- t.live_bytes + n;
-  addr
+  let payload = start + rz in
+  Hashtbl.replace t.live payload total;
+  t.live_bytes <- t.live_bytes + total;
+  (match t.shadow with
+  | Some sh ->
+      Hashtbl.replace t.starts payload start;
+      Hashtbl.replace t.req payload n;
+      (* exact-size poisoning: the rounding slack behind the payload is
+         redzone too, so a one-byte overrun is caught *)
+      Shadow.mark sh ~addr:start ~len:rz Shadow.Redzone;
+      Shadow.mark sh ~addr:payload ~len:n Shadow.Addressable;
+      Shadow.mark sh ~addr:(payload + n)
+        ~len:(start + total - (payload + n))
+        Shadow.Redzone;
+      Shadow.note_block sh ~payload ~size:n ~lo:start ~hi:(start + total)
+  | None -> ());
+  payload
 
 (* Insert keeping the list sorted and coalescing adjacent blocks. *)
 let rec insert blk = function
@@ -57,31 +101,121 @@ let rec insert blk = function
       else if ba < a then blk :: (a, s) :: rest
       else (a, s) :: insert blk rest
 
+(* Recycle the oldest quarantined blocks once the quarantine exceeds its
+   budget: their bytes become unaddressable (a stale pointer now reads as
+   san.oob instead of san.use-after-free) and return to the free list. *)
+let drain_quarantine t sh =
+  while t.quarantine_bytes > t.quarantine_limit && not (Queue.is_empty t.quarantine) do
+    let start, size, payload = Queue.pop t.quarantine in
+    t.quarantine_bytes <- t.quarantine_bytes - size;
+    Shadow.mark sh ~addr:start ~len:size Shadow.Unaddressable;
+    Shadow.forget_block sh payload;
+    t.free_list <- insert (start, size) t.free_list
+  done
+
 let free t addr =
   if addr = 0 then ()
   else
     match Hashtbl.find_opt t.live addr with
-    | None -> raise (Invalid_free addr)
-    | Some size ->
+    | Some total -> (
         Hashtbl.remove t.live addr;
-        t.live_bytes <- t.live_bytes - size;
-        t.free_list <- insert (addr, size) t.free_list
+        t.live_bytes <- t.live_bytes - total;
+        match t.shadow with
+        | None -> t.free_list <- insert (addr, total) t.free_list
+        | Some sh ->
+            let start = Hashtbl.find t.starts addr in
+            Hashtbl.remove t.starts addr;
+            Hashtbl.remove t.req addr;
+            (* poison the whole block and hold it in quarantine so a
+               use-after-free is caught instead of recycled *)
+            Shadow.mark sh ~addr:start ~len:total Shadow.Freed;
+            Shadow.retire_block sh addr;
+            Queue.add (start, total, addr) t.quarantine;
+            t.quarantine_bytes <- t.quarantine_bytes + total;
+            drain_quarantine t sh)
+    | None -> (
+        match t.shadow with
+        | Some sh when Shadow.state_at sh addr = Shadow.Freed ->
+            raise
+              (Shadow.violation sh ~kind:Shadow.Double_free ~what:"free"
+                 ~addr ~len:0)
+        | Some sh ->
+            raise
+              (Shadow.violation sh ~kind:Shadow.Invalid_free ~what:"free"
+                 ~addr ~len:0)
+        | None -> raise (Invalid_free addr))
 
+(** Usable size of a live block: the requested size in checked mode, the
+    underlying block size otherwise. *)
 let block_size t addr =
-  match Hashtbl.find_opt t.live addr with
-  | None -> raise (Invalid_free addr)
-  | Some s -> s
+  match Hashtbl.find_opt t.req addr with
+  | Some n -> n
+  | None -> (
+      match Hashtbl.find_opt t.live addr with
+      | Some s -> s
+      | None -> raise (Invalid_free addr))
+
+let invalid_realloc t addr =
+  match t.shadow with
+  | Some sh ->
+      raise
+        (Shadow.violation sh ~kind:Shadow.Invalid_realloc ~what:"realloc"
+           ~addr ~len:0)
+  | None -> raise (Invalid_realloc addr)
 
 let realloc t addr n =
   if addr = 0 then malloc t n
-  else begin
-    let old = block_size t addr in
-    let fresh = malloc t n in
-    Mem.blit t.mem ~src:addr ~dst:fresh ~len:(min old n);
-    free t addr;
-    fresh
-  end
+  else if n < 0 || n > 1 lsl 48 then raise (Out_of_memory n)
+  else
+    match Hashtbl.find_opt t.live addr with
+    | None -> invalid_realloc t addr
+    | Some total -> (
+        match t.shadow with
+        | Some sh ->
+            let old_req = Hashtbl.find t.req addr in
+            let start = Hashtbl.find t.starts addr in
+            let capacity = total - (2 * redzone) in
+            if round n <= capacity then begin
+              (* shrink (or modest grow) in place: re-poison the slack *)
+              Hashtbl.replace t.req addr n;
+              Shadow.mark sh ~addr ~len:n Shadow.Addressable;
+              Shadow.mark sh ~addr:(addr + n)
+                ~len:(start + total - redzone - (addr + n))
+                Shadow.Redzone;
+              Shadow.note_block sh ~payload:addr ~size:n ~lo:start
+                ~hi:(start + total);
+              addr
+            end
+            else begin
+              let fresh = malloc t n in
+              Mem.blit t.mem ~src:addr ~dst:fresh ~len:(min old_req n);
+              free t addr;
+              fresh
+            end
+        | None ->
+            let rounded = max align (round n) in
+            if rounded <= total then begin
+              (* shrink in place, returning the tail to the free list *)
+              if rounded < total then begin
+                t.free_list <- insert (addr + rounded, total - rounded) t.free_list;
+                Hashtbl.replace t.live addr rounded;
+                t.live_bytes <- t.live_bytes - (total - rounded)
+              end;
+              addr
+            end
+            else begin
+              let fresh = malloc t n in
+              Mem.blit t.mem ~src:addr ~dst:fresh ~len:(min total n);
+              free t addr;
+              fresh
+            end)
 
 let live_blocks t = Hashtbl.length t.live
 let live_bytes t = t.live_bytes
 let blocks t = Hashtbl.fold (fun a s acc -> (a, s) :: acc) t.live []
+
+(** Live blocks as [(payload, size)] with the size the program asked
+    for (checked mode) or the block size (unchecked) — the leak report. *)
+let leaks t =
+  if checked t then Hashtbl.fold (fun a n acc -> (a, n) :: acc) t.req []
+  else blocks t

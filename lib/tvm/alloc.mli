@@ -1,22 +1,48 @@
 (** First-fit free-list allocator over the heap region of a {!Mem.t}.
     Block metadata lives on the OCaml side so user stores cannot corrupt
-    the allocator, mirroring a hardened malloc. *)
+    the allocator, mirroring a hardened malloc.
+
+    With [~checked:true] the allocator becomes TerraSan's instrumented
+    malloc: every block is bracketed by redzones, the payload is tracked
+    byte-for-byte in a {!Shadow.t} attached to the memory, and freed
+    blocks are poisoned and held in a bounded quarantine before reuse so
+    use-after-free is caught rather than silently recycled. *)
 
 exception Out_of_memory of int
 exception Invalid_free of int
 
+(** Realloc of a pointer malloc never returned (distinct from
+    {!Invalid_free} so the diagnostic names the right call). *)
+exception Invalid_realloc of int
+
 type t
 
-val create : Mem.t -> t
+val create : ?checked:bool -> ?quarantine:int -> Mem.t -> t
+val checked : t -> bool
+val shadow : t -> Shadow.t option
+
+(** Bytes of redzone on each side of a checked allocation. *)
+val redzone : int
 
 (** 16-byte-aligned allocation; size 0 returns a unique non-null pointer. *)
 val malloc : t -> int -> int
 
 val free : t -> int -> unit
+
+(** Shrinks in place when the rounded size does not grow; otherwise
+    allocates, copies, and frees. Raises {!Invalid_realloc} (or a
+    [san.*] violation in checked mode) on a bad pointer. *)
 val realloc : t -> int -> int -> int
+
+(** Usable size of a live block: the requested size in checked mode, the
+    underlying block size otherwise. *)
 val block_size : t -> int -> int
+
 val live_blocks : t -> int
 val live_bytes : t -> int
 
 (** Every live block's [addr, addr+size) range, for invariant checking. *)
 val blocks : t -> (int * int) list
+
+(** Live blocks as [(payload, requested size)] — the leak report. *)
+val leaks : t -> (int * int) list

@@ -49,9 +49,11 @@ let all : (string * Vm.builtin) list =
     ( "malloc",
       fun vm args ->
         Machine.count vm.machine Cost.Call;
+        Vm.note_alloc vm;
         Vm.VI (Int64.of_int (Alloc.malloc vm.alloc (Int64.to_int (iarg args 0)))) );
     ( "calloc",
       fun vm args ->
+        Vm.note_alloc vm;
         let n = Int64.to_int (iarg args 0) * Int64.to_int (iarg args 1) in
         let p = Alloc.malloc vm.alloc n in
         Mem.fill vm.mem p n '\000';
@@ -62,6 +64,7 @@ let all : (string * Vm.builtin) list =
         Vm.VUnit );
     ( "realloc",
       fun vm args ->
+        Vm.note_alloc vm;
         Vm.VI
           (Int64.of_int
              (Alloc.realloc vm.alloc (addr_arg args 0)
@@ -72,6 +75,15 @@ let all : (string * Vm.builtin) list =
         let len = Int64.to_int (iarg args 2) in
         Machine.load vm.machine src len;
         Machine.store vm.machine dst len;
+        Mem.blit vm.mem ~src ~dst ~len;
+        Vm.VI (Int64.of_int dst) );
+    ( "memmove",
+      fun vm args ->
+        let dst = addr_arg args 0 and src = addr_arg args 1 in
+        let len = Int64.to_int (iarg args 2) in
+        Machine.load vm.machine src len;
+        Machine.store vm.machine dst len;
+        (* Bytes.blit handles overlapping ranges *)
         Mem.blit vm.mem ~src ~dst ~len;
         Vm.VI (Int64.of_int dst) );
     ( "memset",

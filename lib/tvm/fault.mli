@@ -1,0 +1,32 @@
+(** Deterministic fault injection for the VM: fail the Nth allocation,
+    trap at the Nth retired instruction, or poison a heap byte at a
+    given step.  Each spec fires at most once; an injected failure
+    surfaces as a catchable [fault.*] diagnostic. *)
+
+type spec =
+  | Fail_alloc of int  (** fail the Nth program heap allocation (1-based) *)
+  | Trap_at_step of int  (** raise at the Nth retired VM instruction *)
+  | Poison_byte of { step : int; addr : int }
+      (** at step N, poison one heap byte (unaddressable when checked,
+          silently corrupted when not) *)
+
+exception Injected of spec * string
+
+val code : spec -> string
+val describe : spec -> string
+
+type t
+
+val create : spec list -> t
+val add : t -> spec -> unit
+
+(** Smallest step ordinal any pending step-based spec fires at. *)
+val next_step : t -> int
+
+val pending : t -> spec list
+
+(** Note one program heap allocation; raises {!Injected} if armed. *)
+val on_alloc : t -> unit
+
+(** Fire all step-based specs due at [step]. *)
+val fire_step : t -> Mem.t -> int -> unit

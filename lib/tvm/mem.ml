@@ -6,6 +6,7 @@ type t = {
   heap_base : int;
   heap_limit : int;
   stack_top : int;
+  mutable shadow : Shadow.t option;  (** present iff checked mode is on *)
 }
 
 let statics_base = 4096
@@ -21,7 +22,12 @@ let create ?(bytes = default_bytes) () =
     heap_base = statics_limit;
     heap_limit = bytes - stack_bytes;
     stack_top = bytes;
+    shadow = None;
   }
+
+let attach_shadow t sh = t.shadow <- Some sh
+let shadow t = t.shadow
+let checked t = t.shadow <> None
 
 let size t = Bytes.length t.bytes
 let heap_base t = t.heap_base
@@ -36,9 +42,16 @@ let alloc_static t ~align n =
   t.statics_ptr <- addr + n;
   addr
 
+(* [len < 0] must fault (a negative length slips past an [addr + len]
+   upper-bound test), and the upper bound is phrased as a subtraction so
+   a huge [len] cannot wrap [addr + len] around. *)
 let check t addr len what =
-  if addr < statics_base || addr + len > Bytes.length t.bytes then
-    raise (Fault (addr, what))
+  if len < 0 then raise (Fault (addr, what ^ " (negative length)"));
+  if addr < statics_base || addr > Bytes.length t.bytes - len then
+    raise (Fault (addr, what));
+  match t.shadow with
+  | None -> ()
+  | Some sh -> Shadow.check sh ~what ~addr ~len
 
 let get_u8 t a =
   check t a 1 "load u8";
@@ -95,9 +108,19 @@ let fill t addr len c =
   check t addr len "memset";
   Bytes.fill t.bytes addr len c
 
+(* A C string that long is a bug, not data: stop scanning instead of
+   walking the rest of the arena. *)
+let max_cstring = 1 lsl 20
+
 let get_cstring t addr =
   let buf = Buffer.create 16 in
   let rec go a =
+    if a - addr >= max_cstring then
+      raise
+        (Fault
+           ( addr,
+             Printf.sprintf "unterminated string (no NUL within %d bytes)"
+               max_cstring ));
     let c = get_u8 t a in
     if c <> 0 then begin
       Buffer.add_char buf (Char.chr c);
@@ -106,6 +129,12 @@ let get_cstring t addr =
   in
   go addr;
   Buffer.contents buf
+
+(** Fault-injection entry: silently corrupt one byte, bypassing all
+    checks — models a flipped bit in an unchecked heap. *)
+let corrupt_byte t addr =
+  if addr >= 0 && addr < Bytes.length t.bytes then
+    Bytes.set t.bytes addr '\xA5'
 
 let set_cstring t addr s =
   check t addr (String.length s + 1) "store string";

@@ -10,6 +10,13 @@ type t
 
 val create : ?bytes:int -> unit -> t
 val size : t -> int
+
+(** Attach a TerraSan shadow map; every subsequent access is checked
+    against it in addition to the arena bounds. *)
+val attach_shadow : t -> Shadow.t -> unit
+
+val shadow : t -> Shadow.t option
+val checked : t -> bool
 val statics_base : int
 val heap_base : t -> int
 val heap_limit : t -> int
@@ -35,8 +42,15 @@ val set_f64 : t -> int -> float -> unit
 val blit : t -> src:int -> dst:int -> len:int -> unit
 val fill : t -> int -> int -> char -> unit
 
-(** Read a NUL-terminated string. *)
+(** Longest C string {!get_cstring} will scan before faulting. *)
+val max_cstring : int
+
+(** Read a NUL-terminated string; faults if no NUL appears within
+    {!max_cstring} bytes. *)
 val get_cstring : t -> int -> string
+
+(** Silently corrupt one byte, bypassing all checks (fault injection). *)
+val corrupt_byte : t -> int -> unit
 
 (** Write [s] plus a terminating NUL at [addr]. *)
 val set_cstring : t -> int -> string -> unit

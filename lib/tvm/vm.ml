@@ -19,17 +19,20 @@ type t = {
   builtins : (string, builtin) Hashtbl.t;
   mutable sp : int;
   mutable fuel : int;
+  mutable fuel_limit : int;
   mutable depth : int;
   mutable max_depth : int;
+  mutable steps : int;  (** retired instructions, for fault injection *)
+  mutable faults : Fault.t option;
 }
 
 and builtin = t -> value array -> value
 
-let create ?mem_bytes machine =
+let create ?mem_bytes ?(checked = false) ?faults machine =
   let mem = Mem.create ?bytes:mem_bytes () in
   {
     mem;
-    alloc = Alloc.create mem;
+    alloc = Alloc.create ~checked mem;
     machine;
     funcs = Array.make 16 { Ir.fname = ""; nparams = 0; nregs = 0; frame_bytes = 0; code = [||] };
     nfuncs = 0;
@@ -38,9 +41,28 @@ let create ?mem_bytes machine =
     builtins = Hashtbl.create 32;
     sp = Mem.stack_top mem;
     fuel = max_int;
+    fuel_limit = max_int;
     depth = 0;
     max_depth = 10_000;
+    steps = 0;
+    faults =
+      (match faults with
+      | None | Some [] -> None
+      | Some specs -> Some (Fault.create specs));
   }
+
+let checked t = Mem.checked t.mem
+let steps t = t.steps
+
+(** Install a fault spec after creation (tests inject mid-run). *)
+let add_fault t spec =
+  match t.faults with
+  | Some f -> Fault.add f spec
+  | None -> t.faults <- Some (Fault.create [ spec ])
+
+(** Called by builtins on every program heap allocation. *)
+let note_alloc t =
+  match t.faults with Some f -> Fault.on_alloc f | None -> ()
 
 let register_builtin t name fn = Hashtbl.replace t.builtins name fn
 
@@ -264,6 +286,11 @@ let rec call t fidx (args : value array) : value =
       while true do
         if t.fuel <= 0 then raise (Trap "fuel exhausted");
         t.fuel <- t.fuel - 1;
+        t.steps <- t.steps + 1;
+        (match t.faults with
+        | Some f when t.steps >= Fault.next_step f ->
+            Fault.fire_step f t.mem t.steps
+        | _ -> ());
         (match Array.unsafe_get code !pc with
         | Mov (d, a) ->
             (* no issue cost: register moves are eliminated by renaming *)
@@ -408,5 +435,12 @@ let rec call t fidx (args : value array) : value =
 
 let call_by_id = call
 
-let set_fuel t n = t.fuel <- n
+let set_fuel t n =
+  t.fuel <- n;
+  t.fuel_limit <- n
+
+(** Instructions retired since the last {!set_fuel} — the checked-mode
+    overhead measurement in CI relies on this counter. *)
+let fuel_used t = t.fuel_limit - t.fuel
+
 let set_max_depth t n = t.max_depth <- n

@@ -1,0 +1,13 @@
+-- TerraSan golden: freeing the same block twice.
+-- checked: san.double-free with the owning block's bounds;
+-- unchecked: the hardened allocator still traps, but coarsely (trap.free).
+local std = terralib.includec("stdlib.h")
+
+terra bug()
+  var p = std.malloc(16)
+  std.free(p)
+  std.free(p)
+  return 0
+end
+
+print(bug())

@@ -1,0 +1,13 @@
+-- TerraSan golden: one-past-the-end store into a 10-element array.
+-- checked: san.heap-overflow; unchecked: runs to completion (prints 0).
+local std = terralib.includec("stdlib.h")
+
+terra bug()
+  var p = [&int32](std.malloc(40))
+  for i = 0, 10 do p[i] = i end
+  p[10] = 7 -- writes into the redzone
+  std.free([&uint8](p))
+  return 0
+end
+
+print(bug())

@@ -1,0 +1,12 @@
+-- TerraSan golden: freeing an interior pointer (not a malloc result).
+-- checked: san.invalid-free naming the block the address falls inside;
+-- unchecked: the hardened allocator still traps, but coarsely (trap.free).
+local std = terralib.includec("stdlib.h")
+
+terra bug()
+  var p = std.malloc(16)
+  std.free(p + 4)
+  return 0
+end
+
+print(bug())

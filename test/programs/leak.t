@@ -1,0 +1,12 @@
+-- TerraSan golden: a block that is never freed.
+-- checked: the program itself succeeds, but the shutdown leak check
+-- reports san.leak (64 bytes in 1 block); unchecked: silent.
+local std = terralib.includec("stdlib.h")
+
+terra bug()
+  var p = [&int32](std.malloc(64))
+  p[0] = 42
+  return p[0]
+end
+
+print(bug())

@@ -1,0 +1,13 @@
+-- TerraSan golden: read through a dangling pointer.
+-- checked: san.use-after-free (quarantine keeps the block poisoned);
+-- unchecked: runs to completion (prints the stale value).
+local std = terralib.includec("stdlib.h")
+
+terra bug()
+  var p = [&int32](std.malloc(16))
+  p[0] = 1
+  std.free([&uint8](p))
+  return p[0] -- dangling load
+end
+
+print(bug())

@@ -170,6 +170,41 @@ let gemm_tests =
             checkb "skipped the poisoned candidate" true (p = bad);
             Alcotest.(check string) "trap code" "trap.fuel" d.Diag.code
         | l -> Alcotest.failf "expected 1 skip, got %d" (List.length l));
+    quick "fault injection: an injected VM trap cannot sink the search"
+      (fun () ->
+        (* same property, but the failure comes from the TerraSan fault
+           harness rather than a bad kernel: a one-shot trap is armed
+           while generating the second candidate and fires during its
+           timing run *)
+        let machine =
+          Tmachine.Machine.create
+            (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
+        in
+        let ctx = Context.create ~mem_bytes:(64 * 1024 * 1024) ~machine () in
+        let elem = Types.double in
+        let good = { Tuner.Gemm.nb = 16; rm = 2; rn = 2; v = 2 } in
+        let doomed = { Tuner.Gemm.nb = 24; rm = 4; rn = 1; v = 4 } in
+        let vm = ctx.Context.vm in
+        let gen p =
+          if p = doomed then
+            Tvm.Vm.add_fault vm
+              (Tvm.Fault.Trap_at_step (Tvm.Vm.steps vm + 10));
+          Tuner.Gemm.genkernel ctx ~elem p
+        in
+        let skipped = ref [] in
+        let results =
+          Tuner.Search.search ~space:(Some [ good; doomed ]) ~test_n:48
+            ~on_skip:(fun p d -> skipped := (p, d) :: !skipped)
+            ~gen ctx ~elem ()
+        in
+        checki "one survivor" 1 (List.length results);
+        checkb "survivor is the clean candidate" true
+          ((Tuner.Search.best results).Tuner.Search.cparams = good);
+        match !skipped with
+        | [ (p, d) ] ->
+            checkb "skipped the doomed candidate" true (p = doomed);
+            Alcotest.(check string) "fault code" "fault.trap" d.Diag.code
+        | l -> Alcotest.failf "expected 1 skip, got %d" (List.length l));
     QCheck_alcotest.to_alcotest prop_genkernel_correct;
   ]
 

@@ -53,10 +53,51 @@ let test_mem_oob_faults () =
     | exception Mem.Fault _ -> true
     | _ -> false)
 
+let test_mem_negative_len_faults () =
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  checkb "negative blit length traps" true
+    (match Mem.blit m ~src:8192 ~dst:9000 ~len:(-1) with
+    | exception Mem.Fault (_, what) ->
+        checkb "names the cause" true
+          (String.length what > 0
+          && String.sub what (String.length what - 1) 1 = ")");
+        true
+    | _ -> false);
+  checkb "negative fill length traps" true
+    (match Mem.fill m 8192 (-8) 'x' with
+    | exception Mem.Fault _ -> true
+    | _ -> false)
+
+let test_mem_len_overflow_faults () =
+  (* addr + len wrapping past the arena must not pass the bounds check *)
+  let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
+  checkb "huge length traps" true
+    (match Mem.fill m 8192 max_int 'x' with
+    | exception Mem.Fault _ -> true
+    | _ -> false);
+  checkb "addr+len overflow traps" true
+    (match Mem.blit m ~src:8192 ~dst:(Mem.size m - 4) ~len:8 with
+    | exception Mem.Fault _ -> true
+    | _ -> false)
+
 let test_cstring_roundtrip () =
   let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
   Mem.set_cstring m 9000 "hello terra";
   Alcotest.(check string) "cstring" "hello terra" (Mem.get_cstring m 9000)
+
+let test_cstring_unterminated_bounded () =
+  (* a missing NUL must fault after max_cstring bytes, not scan the
+     whole arena *)
+  let m = Mem.create ~bytes:(4 * 1024 * 1024) () in
+  Mem.fill m Mem.statics_base (Mem.size m - Mem.statics_base) 'a';
+  checkb "scan is bounded" true (Mem.max_cstring <= 1 lsl 20);
+  checkb "unterminated string traps" true
+    (match Mem.get_cstring m Mem.statics_base with
+    | exception Mem.Fault (_, what) ->
+        checkb "mentions the missing NUL" true
+          (String.length what >= 12 && String.sub what 0 12 = "unterminated");
+        true
+    | _ -> false)
 
 let test_blit () =
   let m = Mem.create ~bytes:(16 * 1024 * 1024) () in
@@ -511,7 +552,13 @@ let () =
           Alcotest.test_case "little endian" `Quick test_mem_little_endian;
           Alcotest.test_case "null faults" `Quick test_mem_null_faults;
           Alcotest.test_case "oob faults" `Quick test_mem_oob_faults;
+          Alcotest.test_case "negative length faults" `Quick
+            test_mem_negative_len_faults;
+          Alcotest.test_case "length overflow faults" `Quick
+            test_mem_len_overflow_faults;
           Alcotest.test_case "cstring" `Quick test_cstring_roundtrip;
+          Alcotest.test_case "unterminated cstring bounded" `Quick
+            test_cstring_unterminated_bounded;
           Alcotest.test_case "blit" `Quick test_blit;
           Alcotest.test_case "static alloc aligned" `Quick
             test_alloc_static_aligned;
