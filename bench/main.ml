@@ -15,6 +15,71 @@ open Terra
 let line = String.make 72 '-'
 let section title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: --json out.json collects one row per
+   measured point (GFLOPS and/or retired VM instructions) so future
+   runs have a perf trajectory to diff against. *)
+
+type json_row = {
+  jr_experiment : string;
+  jr_series : string;
+  jr_n : int;  (** problem size; 0 when not applicable *)
+  jr_gflops : float option;
+  jr_fuel : int option;  (** retired VM instructions *)
+}
+
+let json_rows : json_row list ref = ref []
+
+let record ~experiment ~series ?(n = 0) ?gflops ?fuel () =
+  json_rows :=
+    { jr_experiment = experiment; jr_series = series; jr_n = n;
+      jr_gflops = gflops; jr_fuel = fuel }
+    :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"schema\": \"terra-bench-1\",\n  \"results\": [\n";
+      let rows = List.rev !json_rows in
+      List.iteri
+        (fun i r ->
+          let fields =
+            [
+              Printf.sprintf "\"experiment\": \"%s\"" (json_escape r.jr_experiment);
+              Printf.sprintf "\"series\": \"%s\"" (json_escape r.jr_series);
+              Printf.sprintf "\"n\": %d" r.jr_n;
+            ]
+            @ (match r.jr_gflops with
+              | Some g -> [ Printf.sprintf "\"gflops\": %.6f" g ]
+              | None -> [])
+            @
+            match r.jr_fuel with
+            | Some f -> [ Printf.sprintf "\"fuel\": %d" f ]
+            | None -> []
+          in
+          Printf.fprintf oc "    {%s}%s\n"
+            (String.concat ", " fields)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n");
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
+
 let fresh_ctx () =
   let machine =
     Tmachine.Machine.create
@@ -30,15 +95,18 @@ let gemm_sizes = [ 96; 192; 288; 384 ]
 let footprint_mb n bytes =
   float_of_int (3 * n * n * bytes) /. 1024.0 /. 1024.0
 
-let run_gemm_series ctx ~elem name make_fn sizes =
+let run_gemm_series ?(experiment = "gemm") ctx ~elem name make_fn sizes =
   let pts =
     List.map
       (fun n ->
         let m = Tuner.Gemm.alloc_matrices ctx ~elem n in
         Tuner.Gemm.fill_matrices ctx ~elem m;
         let f = make_fn n in
+        let s0 = Tvm.Vm.steps ctx.Context.vm in
         let gflops, _ = Tuner.Gemm.run_gemm ctx f m in
+        let fuel = Tvm.Vm.steps ctx.Context.vm - s0 in
         Tuner.Gemm.free_matrices ctx m;
+        record ~experiment ~series:name ~n ~gflops ~fuel ();
         (n, gflops))
       sizes
   in
@@ -87,16 +155,16 @@ let dgemm () =
   in
   let series =
     [
-      run_gemm_series ctx ~elem "Naive"
+      run_gemm_series ~experiment:"dgemm" ctx ~elem "Naive"
         (fun _ -> Tuner.Gemm.naive ctx ~elem)
         gemm_sizes;
-      run_gemm_series ctx ~elem "Blocked (cache only)"
+      run_gemm_series ~experiment:"dgemm" ctx ~elem "Blocked (cache only)"
         (fun _ -> Tuner.Gemm.blocked_scalar ctx ~elem ~nb:24)
         gemm_sizes;
-      run_gemm_series ctx ~elem "Terra (auto-tuned)"
+      run_gemm_series ~experiment:"dgemm" ctx ~elem "Terra (auto-tuned)"
         (fun _ -> tuned_driver best.Tuner.Search.cparams ~no_spill:false ())
         gemm_sizes;
-      run_gemm_series ctx ~elem "ATLAS (model)"
+      run_gemm_series ~experiment:"dgemm" ctx ~elem "ATLAS (model)"
         (fun _ -> tuned_driver abest.Tuner.Search.cparams ~no_spill:true ())
         gemm_sizes;
     ]
@@ -139,7 +207,7 @@ let sgemm () =
   Format.printf "tuner winner: %a@." Tuner.Search.pp_candidate best;
   let series =
     [
-      run_gemm_series ctx ~elem "Terra (auto-tuned)"
+      run_gemm_series ~experiment:"sgemm" ctx ~elem "Terra (auto-tuned)"
         (fun _ ->
           let kernel =
             Tuner.Gemm.genkernel ctx ~elem best.Tuner.Search.cparams
@@ -147,7 +215,7 @@ let sgemm () =
           Tuner.Gemm.blocked_driver ctx ~elem ~kernel
             ~nb:best.Tuner.Search.cparams.Tuner.Gemm.nb)
         gemm_sizes;
-      run_gemm_series ctx ~elem "ATLAS (fixed, model)"
+      run_gemm_series ~experiment:"sgemm" ctx ~elem "ATLAS (fixed, model)"
         (fun _ ->
           let kernel =
             Tuner.Gemm.genkernel ctx ~elem ~no_spill:true
@@ -156,7 +224,7 @@ let sgemm () =
           Tuner.Gemm.blocked_driver ctx ~elem ~kernel
             ~nb:abest.Tuner.Search.cparams.Tuner.Gemm.nb)
         gemm_sizes;
-      run_gemm_series ctx ~elem "ATLAS (orig., model)"
+      run_gemm_series ~experiment:"sgemm" ctx ~elem "ATLAS (orig., model)"
         (fun _ ->
           (* an SSE-width kernel with stray AVX touches: every inner
              iteration pays the vector-unit transition penalty *)
@@ -578,6 +646,52 @@ let ablation () =
     [ true; false ];
   Tuner.Gemm.free_matrices ctx m
 
+(* ------------------------------------------------------------------ *)
+(* Topt: optimizer impact on the blocked GEMM kernel, opt=0 vs opt=2 *)
+
+let topt () =
+  section "Topt: optimizer impact on blocked DGEMM (opt=0 vs opt=2)";
+  let elem = Types.double in
+  let n = 192 in
+  let params = { Tuner.Gemm.nb = 48; rm = 4; rn = 2; v = 4 } in
+  let run level =
+    let machine =
+      Tmachine.Machine.create
+        (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
+    in
+    let ctx =
+      Context.create ~mem_bytes:(420 * 1024 * 1024) ~machine ~opt_level:level ()
+    in
+    let m = Tuner.Gemm.alloc_matrices ctx ~elem n in
+    Tuner.Gemm.fill_matrices ctx ~elem m;
+    let reference = Tuner.Gemm.reference ctx ~elem m in
+    let kernel = Tuner.Gemm.genkernel ctx ~elem params in
+    let driver =
+      Tuner.Gemm.blocked_driver ctx ~elem ~kernel ~nb:params.Tuner.Gemm.nb
+    in
+    Jit.ensure_compiled driver;
+    let s0 = Tvm.Vm.steps ctx.Context.vm in
+    let gflops, _ = Tuner.Gemm.run_gemm ctx driver m in
+    let fuel = Tvm.Vm.steps ctx.Context.vm - s0 in
+    let err = Tuner.Gemm.max_error ctx ~elem m reference in
+    Tuner.Gemm.free_matrices ctx m;
+    record ~experiment:"topt" ~series:(Printf.sprintf "opt%d" level) ~n
+      ~gflops ~fuel ();
+    (gflops, fuel, err, ctx.Context.opt_stats)
+  in
+  Format.printf "kernel %a, n=%d@." Tuner.Gemm.pp_params params n;
+  let g0, f0, e0, _ = run 0 in
+  let g2, f2, e2, stats = run 2 in
+  Printf.printf "  %-8s %10s %16s %12s\n" "" "GFLOPS" "retired instrs" "max error";
+  Printf.printf "  %-8s %10.2f %16d %12.2e\n" "opt=0" g0 f0 e0;
+  Printf.printf "  %-8s %10.2f %16d %12.2e\n" "opt=2" g2 f2 e2;
+  Printf.printf
+    "  retired-instruction reduction: %.1f%%  (speedup %.2fx)  %s\n"
+    (100.0 *. float_of_int (f0 - f2) /. float_of_int f0)
+    (g2 /. g0)
+    (if e0 < 1e-9 && e2 < 1e-9 then "[ok]" else "[WRONG]");
+  Format.printf "%a@." Topt.Stats.pp stats
+
 let experiments =
   [
     ("dgemm", dgemm);
@@ -589,14 +703,27 @@ let experiments =
     ("layout", layout);
     ("classes", classes);
     ("ablation", ablation);
+    ("topt", topt);
     ("bechamel", bechamel);
   ]
 
 let () =
+  (* split "--json FILE" out of the experiment-name arguments *)
+  let json_path = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | "--json" :: [] ->
+        Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | [] | [ _ ] -> List.map fst experiments
-    | _ :: rest -> rest
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | rest -> rest
   in
   List.iter
     (fun name ->
@@ -605,4 +732,5 @@ let () =
       | None ->
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat " " (List.map fst experiments)))
-    requested
+    requested;
+  match !json_path with Some path -> write_json path | None -> ()

@@ -32,6 +32,31 @@ for prog in examples/programs/*.t; do
     --fuel 2000000000 "$prog" > /dev/null
 done
 
+echo "== optimizer differential (examples at --opt=0 vs --opt=2) =="
+# Topt must be semantics-preserving: every example program has to print
+# byte-identical output with the optimizer off and fully on.
+opt0_out=$(mktemp) opt2_out=$(mktemp)
+trap 'rm -f "$opt0_out" "$opt2_out"' EXIT
+for prog in examples/programs/*.t; do
+  echo "-- $prog [opt-diff]"
+  timeout 120 dune exec bin/terra_run.exe -- --opt=0 --fuel 2000000000 \
+    "$prog" > "$opt0_out"
+  timeout 120 dune exec bin/terra_run.exe -- --opt=2 --fuel 2000000000 \
+    "$prog" > "$opt2_out"
+  diff "$opt0_out" "$opt2_out"
+done
+
+echo "== optimizer fuel reduction (mandelbrot) =="
+f0=$(dune exec bin/terra_run.exe -- --opt=0 --report-fuel \
+  examples/programs/mandelbrot.t 2>&1 >/dev/null | sed -n 's/^fuel: //p')
+f2=$(dune exec bin/terra_run.exe -- --opt=2 --report-fuel \
+  examples/programs/mandelbrot.t 2>&1 >/dev/null | sed -n 's/^fuel: //p')
+echo "mandelbrot fuel: opt0=$f0 opt2=$f2"
+if [ "$f2" -ge "$f0" ]; then
+  echo "optimizer did not reduce retired instructions" >&2
+  exit 1
+fi
+
 echo "== checked-mode overhead bound (mandelbrot) =="
 # TerraSan must not change the instruction stream: measure baseline fuel,
 # then require the checked run to finish within 3x that budget.

@@ -6,7 +6,7 @@
    fault, or a leak under --checked). *)
 
 let run_file path stats fuel max_steps max_depth checked no_leak_check
-    fail_alloc_at trap_at_step report_fuel =
+    fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats =
   let src =
     let ic = open_in_bin path in
     Fun.protect
@@ -21,9 +21,15 @@ let run_file path stats fuel max_steps max_depth checked no_leak_check
         Option.map (fun n -> Tvm.Fault.Trap_at_step n) trap_at_step;
       ]
   in
+  let dump_ir =
+    match dump_ir with
+    | None -> Terra.Context.Dump_none
+    | Some `Before -> Terra.Context.Dump_before
+    | Some `After -> Terra.Context.Dump_after
+  in
   let engine =
     Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
-      ~checked ~faults ()
+      ~checked ~faults ~opt_level:opt ~dump_ir ()
   in
   let code =
     match Terra.Engine.run_protected engine ~file:path src with
@@ -42,6 +48,8 @@ let run_file path stats fuel max_steps max_depth checked no_leak_check
   in
   if report_fuel then
     Printf.eprintf "fuel: %d\n" (Terra.Engine.fuel_used engine);
+  if dump_opt_stats then
+    Format.eprintf "%a@." Topt.Stats.pp (Terra.Engine.opt_stats engine);
   if stats then
     Format.eprintf "-- machine model --@.%a@." Tmachine.Machine.pp_report
       (Terra.Engine.report engine);
@@ -121,11 +129,39 @@ let () =
       & info [ "report-fuel" ]
           ~doc:"print consumed VM instructions to stderr (overhead checks).")
   in
+  let opt =
+    Arg.(
+      value & opt int 2
+      & info [ "opt" ] ~docv:"LEVEL"
+          ~doc:
+            "Topt optimization level: 0 = none, 1 = constant folding, copy \
+             propagation, peephole, and dead-code elimination, 2 = adds \
+             common-subexpression elimination and loop-invariant code \
+             motion (default).")
+  in
+  let dump_ir =
+    Arg.(
+      value
+      & opt (some (enum [ ("before", `Before); ("after", `After) ])) None
+      & info [ "dump-ir" ] ~docv:"WHEN"
+          ~doc:
+            "print each compiled function's IR to stderr, either \
+             $(b,before) or $(b,after) the optimizer runs.")
+  in
+  let dump_opt_stats =
+    Arg.(
+      value & flag
+      & info [ "dump-opt-stats" ]
+          ~doc:
+            "print accumulated per-pass optimizer statistics (instructions \
+             folded/hoisted/deleted, pass times) to stderr at exit.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
       Term.(
         const run_file $ path $ stats $ fuel $ max_steps $ max_depth $ checked
-        $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel)
+        $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel $ opt
+        $ dump_ir $ dump_opt_stats)
   in
   exit (Cmd.eval' cmd)

@@ -5,6 +5,9 @@
 
 module Machine = Tmachine.Machine
 
+(** Where [terra_run --dump-ir] prints each compiled function. *)
+type ir_dump = Dump_none | Dump_before | Dump_after
+
 type t = {
   vm : Tvm.Vm.t;
   machine : Machine.t;
@@ -12,12 +15,26 @@ type t = {
   mutable funcptr_relocs : (int * int) list;
       (** (static address, VM function id) for every function pointer
           written into static memory (vtables); saveobj relocates these *)
+  mutable opt_level : int;
+      (** Topt pipeline level applied after lowering: 0 = off, 1 =
+          fold/copyprop/peephole/DCE, 2 = + CSE and LICM (default) *)
+  opt_stats : Topt.Stats.t;  (** accumulated across every compiled function *)
+  mutable dump_ir : ir_dump;
 }
 
-let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults () =
+let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults
+    ?(opt_level = 2) () =
   let vm = Tvm.Vm.create ?mem_bytes ?checked ?faults machine in
   Tvm.Builtins.install vm;
-  { vm; machine; strings = Hashtbl.create 16; funcptr_relocs = [] }
+  {
+    vm;
+    machine;
+    strings = Hashtbl.create 16;
+    funcptr_relocs = [];
+    opt_level;
+    opt_stats = Topt.Stats.create ();
+    dump_ir = Dump_none;
+  }
 
 (** Is TerraSan checked execution on for this context? *)
 let checked t = Tvm.Vm.checked t.vm

@@ -77,7 +77,7 @@ let is_trap d = d.phase = Run && has_prefix "trap." d.code
 let is_runtime_fault d =
   d.phase = Run
   && (has_prefix "trap." d.code || has_prefix "san." d.code
-     || has_prefix "fault." d.code)
+     || has_prefix "fault." d.code || has_prefix "call." d.code)
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing *)
@@ -185,6 +185,7 @@ let trap_code msg =
   else if has "stack overflow" then "trap.stack"
   else if has "out of memory" then "trap.oom"
   else if has "integer division by zero" then "trap.divzero"
+  else if has "call to unset function slot" then "call.undefined"
   else if has "call to undefined function" then "trap.link"
   else if has "indirect call" then "trap.indirect"
   else if has "unresolved C import" then "trap.import"

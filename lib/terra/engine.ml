@@ -24,8 +24,9 @@ let () =
   Mlua.Lualib.exn_to_value := fun e -> Option.map Diag.wrap (Diag.of_exn e)
 
 let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
-    ?checked ?faults () =
-  let ctx = Context.create ?machine ?mem_bytes ?checked ?faults () in
+    ?checked ?faults ?opt_level ?dump_ir () =
+  let ctx = Context.create ?machine ?mem_bytes ?checked ?faults ?opt_level () in
+  (match dump_ir with Some d -> ctx.Context.dump_ir <- d | None -> ());
   (match fuel with Some n -> Tvm.Vm.set_fuel ctx.Context.vm n | None -> ());
   Tvm.Vm.set_max_depth ctx.Context.vm max_call_depth;
   let scope = Mlua.Driver.make_scope () in
@@ -111,6 +112,8 @@ let report t = Tmachine.Machine.report t.ctx.Context.machine
 let machine t = t.ctx.Context.machine
 let checked t = Context.checked t.ctx
 let fuel_used t = Tvm.Vm.fuel_used t.ctx.Context.vm
+let opt_level t = t.ctx.Context.opt_level
+let opt_stats t = t.ctx.Context.opt_stats
 
 (** Install a fault spec into the running VM (tests inject mid-session). *)
 let inject t spec = Tvm.Vm.add_fault t.ctx.Context.vm spec

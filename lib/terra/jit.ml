@@ -22,11 +22,27 @@ let ensure_compiled (f : Func.t) =
       if g.Func.extern_name = None then begin
         let typed = Typecheck.typecheck g in
         if not g.Func.compiled then begin
+          let ctx = g.Func.ctx in
           let result =
-            Compile.compile_func ~no_spill:g.Func.no_spill g.Func.ctx
+            Compile.compile_func ~no_spill:g.Func.no_spill ctx
               ~name:g.Func.name typed
           in
-          Tvm.Vm.set_func g.Func.ctx.Context.vm g.Func.vmid result.Compile.func;
+          let dump tag fn =
+            Format.eprintf "; %s (opt=%d)@.%a@." tag ctx.Context.opt_level
+              Tvm.Ir.pp_func fn
+          in
+          if ctx.Context.dump_ir = Context.Dump_before then
+            dump "before optimization" result.Compile.func;
+          (* the Topt pipeline sits between lowering and the VM; checked
+             contexts keep every memory access for the sanitizer *)
+          let optimized =
+            Topt.Pipeline.optimize ~level:ctx.Context.opt_level
+              ~checked:(Context.checked ctx) ~stats:ctx.Context.opt_stats
+              result.Compile.func
+          in
+          if ctx.Context.dump_ir = Context.Dump_after then
+            dump "after optimization" optimized;
+          Tvm.Vm.set_func ctx.Context.vm g.Func.vmid optimized;
           g.Func.compiled <- true
         end;
         List.iter visit typed.Func.trefs

@@ -114,6 +114,33 @@ let install ctx (globals : V.table) =
         V.Num (float_of_int (List.length blocks));
         V.Num (float_of_int bytes);
       ]);
+  (* Topt hooks: query/set the optimization level (affects functions
+     compiled after the call), read accumulated per-pass statistics, and
+     disassemble a function's (optimized) VM code *)
+  reg tl "optlevel" (fun args ->
+      (match arg args 0 with
+      | V.Num n -> ctx.Context.opt_level <- int_of_float n
+      | _ -> ());
+      [ V.Num (float_of_int ctx.Context.opt_level) ]);
+  reg tl "optstats" (fun _ ->
+      let s = ctx.Context.opt_stats in
+      let t = V.new_table () in
+      V.raw_set_str t "funcs" (V.Num (float_of_int s.Topt.Stats.s_funcs));
+      V.raw_set_str t "before" (V.Num (float_of_int s.Topt.Stats.s_before));
+      V.raw_set_str t "after" (V.Num (float_of_int s.Topt.Stats.s_after));
+      List.iter
+        (fun name ->
+          let p = Hashtbl.find s.Topt.Stats.passes name in
+          let pt = V.new_table () in
+          V.raw_set_str pt "events" (V.Num (float_of_int p.Topt.Stats.p_events));
+          V.raw_set_str pt "time_ms" (V.Num (p.Topt.Stats.p_time *. 1000.0));
+          V.raw_set_str t name (V.Table pt))
+        (Topt.Stats.order s);
+      [ V.Table t ]);
+  reg tl "disas" (fun args ->
+      match Func.unwrap_opt (arg args 0) with
+      | Some f -> [ V.Str (Jit.disas f) ]
+      | None -> V.error_str "disas expects a terra function");
   reg tl "typeof" (fun args ->
       match arg args 0 with
       | V.Userdata { u = Func.Ufunc f; _ } -> [ Types.wrap (Func.type_of f) ]

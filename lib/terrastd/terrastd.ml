@@ -11,10 +11,10 @@ let install (e : Terra.Engine.t) =
   | None -> invalid_arg "engine has no globals"
 
 let create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps ?checked
-    ?faults () =
+    ?faults ?opt_level ?dump_ir () =
   let e =
     Terra.Engine.create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps
-      ?checked ?faults ()
+      ?checked ?faults ?opt_level ?dump_ir ()
   in
   install e;
   e

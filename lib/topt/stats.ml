@@ -1,0 +1,65 @@
+(** Per-pass optimizer statistics, accumulated across every function
+    compiled in a context.  Reachable from [terralib.optstats()] and
+    printed by [terra_run --dump-opt-stats]. *)
+
+type pass = {
+  mutable p_events : int;  (** instructions folded/rewritten/hoisted/deleted *)
+  mutable p_time : float;  (** seconds spent in the pass *)
+}
+
+type t = {
+  mutable s_funcs : int;  (** functions run through the pipeline *)
+  mutable s_before : int;  (** total instructions entering the pipeline *)
+  mutable s_after : int;  (** total instructions leaving the pipeline *)
+  mutable s_order : string list;  (** pass names, reverse first-seen order *)
+  passes : (string, pass) Hashtbl.t;
+}
+
+let create () =
+  { s_funcs = 0; s_before = 0; s_after = 0; s_order = []; passes = Hashtbl.create 8 }
+
+let reset t =
+  t.s_funcs <- 0;
+  t.s_before <- 0;
+  t.s_after <- 0;
+  t.s_order <- [];
+  Hashtbl.reset t.passes
+
+let pass t name =
+  match Hashtbl.find_opt t.passes name with
+  | Some p -> p
+  | None ->
+      let p = { p_events = 0; p_time = 0.0 } in
+      Hashtbl.replace t.passes name p;
+      t.s_order <- name :: t.s_order;
+      p
+
+let note t name events time =
+  let p = pass t name in
+  p.p_events <- p.p_events + events;
+  p.p_time <- p.p_time +. time
+
+(** Pass names in first-seen (pipeline) order. *)
+let order t = List.rev t.s_order
+
+let total_events t = Hashtbl.fold (fun _ p acc -> acc + p.p_events) t.passes 0
+
+let pp ppf t =
+  let saved = t.s_before - t.s_after in
+  let pct =
+    if t.s_before = 0 then 0.0
+    else 100.0 *. float_of_int saved /. float_of_int t.s_before
+  in
+  Format.fprintf ppf "@[<v>optimizer: %d function%s, %d -> %d instrs (-%.1f%%)@,"
+    t.s_funcs
+    (if t.s_funcs = 1 then "" else "s")
+    t.s_before t.s_after pct;
+  List.iter
+    (fun name ->
+      let p = Hashtbl.find t.passes name in
+      Format.fprintf ppf "  %-10s %6d events  %8.3f ms@," name p.p_events
+        (p.p_time *. 1000.0))
+    (order t);
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -34,7 +34,10 @@ let create ?mem_bytes ?(checked = false) ?faults machine =
     mem;
     alloc = Alloc.create ~checked mem;
     machine;
-    funcs = Array.make 16 { Ir.fname = ""; nparams = 0; nregs = 0; frame_bytes = 0; code = [||] };
+    funcs =
+      Array.init 16 (fun i ->
+          { Ir.fname = Printf.sprintf "<unset:%d>" i; nparams = 0; nregs = 0;
+            frame_bytes = 0; code = [||] });
     nfuncs = 0;
     imports = Array.make 16 "";
     nimports = 0;
@@ -69,10 +72,12 @@ let register_builtin t name fn = Hashtbl.replace t.builtins name fn
 let undefined_func name =
   { Ir.fname = name; nparams = 0; nregs = 0; frame_bytes = 0; code = [||] }
 
-let grow arr n filler =
+(* [mk] receives the slot index and is called once per fresh slot, so
+   unset entries never alias a shared record. *)
+let grow arr n mk =
   if n < Array.length arr then arr
   else begin
-    let bigger = Array.make (max 16 (2 * n)) filler in
+    let bigger = Array.init (max 16 (2 * n)) mk in
     Array.blit arr 0 bigger 0 (Array.length arr);
     bigger
   end
@@ -81,7 +86,9 @@ let grow arr n filler =
     {!set_func}. Calling it before definition traps — the paper's link
     error for declared-but-undefined functions. *)
 let declare_func t name =
-  t.funcs <- grow t.funcs t.nfuncs (undefined_func "");
+  t.funcs <-
+    grow t.funcs t.nfuncs (fun i ->
+        undefined_func (Printf.sprintf "<unset:%d>" i));
   let id = t.nfuncs in
   t.funcs.(id) <- undefined_func name;
   t.nfuncs <- t.nfuncs + 1;
@@ -105,7 +112,7 @@ let import t name =
   match find 0 with
   | Some i -> i
   | None ->
-      t.imports <- grow t.imports t.nimports "";
+      t.imports <- grow t.imports t.nimports (fun _ -> "");
       t.imports.(t.nimports) <- name;
       t.nimports <- t.nimports + 1;
       t.nimports - 1
@@ -251,6 +258,8 @@ exception Return_value of value
 let align_down n a = n / a * a
 
 let rec call t fidx (args : value array) : value =
+  if fidx < 0 || fidx >= t.nfuncs then
+    raise (Trap (Printf.sprintf "call to unset function slot %d" fidx));
   let f = t.funcs.(fidx) in
   if Array.length f.Ir.code = 0 then
     raise (Trap (Printf.sprintf "call to undefined function '%s'" f.Ir.fname));

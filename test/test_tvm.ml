@@ -509,6 +509,74 @@ let test_unresolved_import_traps () =
   checkb "traps" true
     (match Vm.call vm id [||] with exception Vm.Trap _ -> true | _ -> false)
 
+let test_unset_slot_traps () =
+  let vm = new_vm () in
+  (* calling a slot that was never declared must be a clear diagnostic,
+     not an index error or a confusing empty-name link failure *)
+  checkb "trap names the slot" true
+    (match Vm.call vm 7 [||] with
+    | exception Vm.Trap msg -> msg = "call to unset function slot 7"
+    | _ -> false);
+  checkb "negative slot traps too" true
+    (match Vm.call vm (-1) [||] with
+    | exception Vm.Trap _ -> true
+    | _ -> false)
+
+let test_unset_slots_distinct () =
+  let vm = new_vm () in
+  (* the funcs array must not alias one shared placeholder record *)
+  checkb "fresh slots are distinct records" true
+    (vm.Vm.funcs.(0) != vm.Vm.funcs.(1));
+  let _ = Vm.declare_func vm "a" in
+  (* force a grow past the initial 16 slots *)
+  for i = 0 to 20 do
+    ignore (Vm.declare_func vm (Printf.sprintf "f%d" i))
+  done;
+  checkb "grown slots are distinct records" true
+    (vm.Vm.funcs.(30) != vm.Vm.funcs.(31))
+
+(* golden output for the IR pretty-printers (satellite of --dump-ir) *)
+let test_pp_instr_golden () =
+  let checks = Alcotest.(check string) in
+  let pp i = Format.asprintf "%a" Ir.pp_instr i in
+  checks "mov" "r1 := 42" (pp (Ir.Mov (1, Ir.Ki 42L)));
+  checks "ibin" "r2 := add r0 r1" (pp (Ir.Ibin (Ir.Add, 2, Ir.R 0, Ir.R 1)));
+  checks "fbin" "r3 := fmul r1 2.5" (pp (Ir.Fbin (Ir.Fk64, Ir.FMul, 3, Ir.R 1, Ir.Kf 2.5)));
+  checks "lea" "r4 := lea r0 + r1*8 + 16" (pp (Ir.Lea (4, Ir.R 0, Ir.R 1, 8, 16)));
+  checks "load" "r5 := load.f64 [r4]" (pp (Ir.Load (Ir.F64, 5, Ir.R 4)));
+  checks "store" "store.i32 [r4] r5" (pp (Ir.Store (Ir.I32, Ir.R 4, Ir.R 5)));
+  checks "vload" "r6 := vload.4 [r4]" (pp (Ir.Vload (Ir.Fk64, 4, 6, Ir.R 4)));
+  checks "cvt" "r7 := cvt.i64->f64 r0" (pp (Ir.Cvt (Ir.I64, Ir.F64, 7, Ir.R 0)));
+  checks "call" "r8 := call f3(r0, 1)"
+    (pp (Ir.Call (Some 8, 3, [ Ir.R 0; Ir.Ki 1L ])));
+  checks "void call" "_ := call f3()" (pp (Ir.Call (None, 3, [])));
+  checks "br" "br r0 3 7" (pp (Ir.Br (Ir.R 0, 3, 7)));
+  checks "ret" "ret r0" (pp (Ir.Ret (Some (Ir.R 0))));
+  checks "frameaddr" "r9 := sp + 24" (pp (Ir.FrameAddr (9, 24)))
+
+let test_pp_func_golden () =
+  let f =
+    {
+      Ir.fname = "axpy";
+      nparams = 2;
+      nregs = 3;
+      frame_bytes = 0;
+      code =
+        [|
+          Ir.Fbin (Ir.Fk64, Ir.FMul, 2, Ir.R 0, Ir.Kf 2.0);
+          Ir.Fbin (Ir.Fk64, Ir.FAdd, 2, Ir.R 2, Ir.R 1);
+          Ir.Ret (Some (Ir.R 2));
+        |];
+    }
+  in
+  Alcotest.(check string)
+    "pp_func"
+    "func axpy(2 params, 3 regs, frame 0):\n\
+    \    0: r2 := fmul r0 2\n\
+    \    1: r2 := fadd r2 r1\n\
+    \    2: ret r2\n"
+    (Format.asprintf "%a" Ir.pp_func f)
+
 let prop_cvt_int_widths =
   QCheck.Test.make ~count:200 ~name:"cvt to i8/i16/i32 wraps like C"
     QCheck.int64 (fun x ->
@@ -593,6 +661,11 @@ let () =
             test_indirect_bad_address_traps;
           Alcotest.test_case "undefined function traps" `Quick
             test_undefined_function_traps;
+          Alcotest.test_case "unset slot traps" `Quick test_unset_slot_traps;
+          Alcotest.test_case "unset slots are distinct" `Quick
+            test_unset_slots_distinct;
+          Alcotest.test_case "pp_instr golden" `Quick test_pp_instr_golden;
+          Alcotest.test_case "pp_func golden" `Quick test_pp_func_golden;
           Alcotest.test_case "frame and stack" `Quick test_frame_addr_and_stack;
           Alcotest.test_case "fuel stops infinite loop" `Quick
             test_fuel_stops_infinite_loop;
