@@ -692,6 +692,121 @@ let topt () =
     (if e0 < 1e-9 && e2 < 1e-9 then "[ok]" else "[WRONG]");
   Format.printf "%a@." Topt.Stats.pp stats
 
+(* ------------------------------------------------------------------ *)
+(* Supervise: what does transactional execution (page-granular write
+   journaling + allocator/shadow snapshots) cost?  Modeled cycles cannot
+   see it — journaling is host-side work, like TerraSan — so this
+   measures host CPU time, plus retired instructions to show the
+   instruction stream is untouched. *)
+
+let mandelbrot_src =
+  {|
+    local W, H = 64, 24
+    local MAXIT = 48
+    terra escape_time(cr : double, ci : double) : int
+      var zr, zi = 0.0, 0.0
+      var it = 0
+      while it < MAXIT and zr * zr + zi * zi < 4.0 do
+        zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
+        it = it + 1
+      end
+      return it
+    end
+    local acc = 0
+    for y = 0, H - 1 do
+      for x = 0, W - 1 do
+        acc = acc + escape_time(-2.2 + 3.0 * x / W, -1.2 + 2.4 * y / H)
+      end
+    end
+    print(acc)
+  |}
+
+let supervise_bench () =
+  section "Supervise: transactional snapshot overhead (DGEMM + mandelbrot)";
+  (* DGEMM: one committed transaction around the whole multiplication *)
+  let elem = Types.double in
+  let n = 192 in
+  let ctx, _ = fresh_ctx () in
+  let m = Tuner.Gemm.alloc_matrices ctx ~elem n in
+  Tuner.Gemm.fill_matrices ctx ~elem m;
+  let kernel =
+    Tuner.Gemm.genkernel ctx ~elem { Tuner.Gemm.nb = 48; rm = 4; rn = 2; v = 4 }
+  in
+  let driver = Tuner.Gemm.blocked_driver ctx ~elem ~kernel ~nb:48 in
+  Jit.ensure_compiled driver;
+  ignore (Tuner.Gemm.run_gemm ctx driver m) (* warm *);
+  let reps = 3 in
+  let time f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int reps *. 1000.0
+  in
+  let fuel_of f =
+    let s0 = Tvm.Vm.steps ctx.Context.vm in
+    f ();
+    Tvm.Vm.steps ctx.Context.vm - s0
+  in
+  let plain () = ignore (Tuner.Gemm.run_gemm ctx driver m) in
+  let txn () =
+    match Context.transact ctx (fun () -> Tuner.Gemm.run_gemm ctx driver m) with
+    | Ok _ -> ()
+    | Error d -> failwith (Diag.to_string d)
+  in
+  let fuel_plain = fuel_of plain and fuel_txn = fuel_of txn in
+  let ms_plain = time plain in
+  let ms_txn = time txn in
+  Printf.printf "DGEMM n=%d (NB=48 RM=4 RN=2 V=4), %d reps:\n" n reps;
+  Printf.printf "  %-26s %10.1f ms/run %14d retired\n" "plain call" ms_plain
+    fuel_plain;
+  Printf.printf "  %-26s %10.1f ms/run %14d retired\n"
+    "transactional (commit)" ms_txn fuel_txn;
+  Printf.printf "  snapshot overhead: %+.1f%% host time, %s instruction stream\n"
+    (100.0 *. ((ms_txn /. ms_plain) -. 1.0))
+    (if fuel_plain = fuel_txn then "identical" else "DIFFERENT");
+  record ~experiment:"supervise" ~series:"dgemm-plain" ~n ~fuel:fuel_plain ();
+  record ~experiment:"supervise" ~series:"dgemm-txn" ~n ~fuel:fuel_txn ();
+  Tuner.Gemm.free_matrices ctx m;
+  (* mandelbrot: whole-script transactions through the engine, including
+     a rolled-back run (fault injected mid-kernel) *)
+  let e = Engine.create ~mem_bytes:(64 * 1024 * 1024) () in
+  let script_plain () =
+    Engine.reset_scope e;
+    match Engine.run_capture_protected e mandelbrot_src with
+    | _, Ok _ -> ()
+    | _, Error d -> failwith (Diag.to_string d)
+  in
+  let script_txn () =
+    Engine.reset_scope e;
+    match Engine.run_capture_transactional e mandelbrot_src with
+    | _, Ok _ -> ()
+    | _, Error d -> failwith (Diag.to_string d)
+  in
+  let script_rollback () =
+    Engine.reset_scope e;
+    Engine.inject e
+      (Tvm.Fault.Trap_at_step (Tvm.Vm.steps e.Engine.ctx.Context.vm + 50_000));
+    match Engine.run_capture_transactional e mandelbrot_src with
+    | _, Ok _ -> failwith "expected the injected trap"
+    | _, Error _ -> ()
+  in
+  script_plain () (* warm *);
+  let ms_sp = time script_plain in
+  let ms_st = time script_txn in
+  let ms_sr = time script_rollback in
+  Printf.printf "mandelbrot 64x24 script (compile + run each rep), %d reps:\n"
+    reps;
+  Printf.printf "  %-26s %10.1f ms/run\n" "plain run" ms_sp;
+  Printf.printf "  %-26s %10.1f ms/run (%+.1f%%)\n" "transactional (commit)"
+    ms_st
+    (100.0 *. ((ms_st /. ms_sp) -. 1.0));
+  Printf.printf "  %-26s %10.1f ms/run (fault at +50k steps, session restored)\n"
+    "transactional (rollback)" ms_sr;
+  record ~experiment:"supervise" ~series:"mandelbrot-plain" ();
+  record ~experiment:"supervise" ~series:"mandelbrot-txn" ();
+  record ~experiment:"supervise" ~series:"mandelbrot-rollback" ()
+
 let experiments =
   [
     ("dgemm", dgemm);
@@ -704,6 +819,7 @@ let experiments =
     ("classes", classes);
     ("ablation", ablation);
     ("topt", topt);
+    ("supervise", supervise_bench);
     ("bechamel", bechamel);
   ]
 

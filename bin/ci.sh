@@ -67,4 +67,39 @@ timeout 120 dune exec bin/terra_run.exe -- --checked --fuel $((3 * base)) \
   examples/programs/mandelbrot.t > /dev/null
 echo "checked mandelbrot within 3x fuel budget"
 
+echo "== transactional parity (golden buggy programs) =="
+# Running a program inside a supervised transaction must not change what
+# the program reports: same exit code as the plain checked run.  The
+# --verify-rollback flag additionally asserts the session fingerprint
+# (heap bytes + allocator + sanitizer shadow state, i.e. including the
+# leak ledger) is byte-identical after a rolled-back failure — a
+# mismatch exits 3 and breaks parity below.
+for prog in test/programs/*.t; do
+  echo "-- $prog [transact-parity]"
+  rc_plain=0
+  timeout 120 dune exec bin/terra_run.exe -- --checked --fuel 2000000000 \
+    "$prog" > /dev/null 2>&1 || rc_plain=$?
+  rc_txn=0
+  timeout 120 dune exec bin/terra_run.exe -- --checked --transact \
+    --verify-rollback --fuel 2000000000 "$prog" > /dev/null 2>&1 \
+    || rc_txn=$?
+  if [ "$rc_plain" -ne "$rc_txn" ]; then
+    echo "exit-code divergence for $prog: plain=$rc_plain transact=$rc_txn" >&2
+    exit 1
+  fi
+done
+
+echo "== batch runner smoke =="
+batch_out=$(mktemp)
+timeout 240 dune exec bin/terra_run.exe -- --batch examples/batch.manifest \
+  > "$batch_out"
+python3 - "$batch_out" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+assert rows, "batch report is empty"
+assert all(r["status"] == "ok" for r in rows), rows
+print("batch report: %d requests, all ok" % len(rows))
+PY
+rm -f "$batch_out"
+
 echo "CI OK"

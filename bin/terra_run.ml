@@ -3,16 +3,58 @@
 
    Exit codes: 0 = success, 1 = diagnostic (compile/eval error),
    2 = runtime fault (resource trap, TerraSan violation, injected
-   fault, or a leak under --checked). *)
+   fault, or a leak under --checked), 3 = --verify-rollback found the
+   session changed after a rolled-back transactional run. *)
 
-let run_file path stats fuel max_steps max_depth checked no_leak_check
-    fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats =
-  let src =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Exit code for a protected/supervised run result, shared by the plain
+   and transactional paths. *)
+let code_of_result engine ~checked ~no_leak_check = function
+  | Ok _ -> (
+      if not (checked && not no_leak_check) then 0
+      else
+        match Terra.Engine.leak_diag engine with
+        | None -> 0
+        | Some d ->
+            Printf.eprintf "%s\n" (Terra.Diag.to_string d);
+            2)
+  | Error d ->
+      Printf.eprintf "%s\n" (Terra.Diag.to_string d);
+      if Terra.Diag.is_runtime_fault d then 2 else 1
+
+let rec run_file path stats fuel max_steps max_depth checked no_leak_check
+    fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
+    verify_rollback retries batch =
+  match (batch, path) with
+  | Some manifest, _ ->
+      (* Batch mode: many scripts, one shared engine, supervised runs,
+         JSON report on stdout. *)
+      let engine =
+        Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
+          ~checked ~opt_level:opt ()
+      in
+      let config =
+        { Supervise.Supervisor.default_config with max_retries = retries }
+      in
+      let json, code = Supervise.Batch.run_manifest ~config engine manifest in
+      print_string json;
+      code
+  | None, None ->
+      prerr_endline "terra_run: expected PROGRAM.t or --batch MANIFEST";
+      1
+  | None, Some path -> run_one path stats fuel max_steps max_depth checked
+      no_leak_check fail_alloc_at trap_at_step report_fuel opt dump_ir
+      dump_opt_stats transact verify_rollback retries
+
+and run_one path stats fuel max_steps max_depth checked no_leak_check
+    fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
+    verify_rollback retries =
+  let src = read_file path in
   let faults =
     List.filter_map
       (fun x -> x)
@@ -32,19 +74,51 @@ let run_file path stats fuel max_steps max_depth checked no_leak_check
       ~checked ~faults ~opt_level:opt ~dump_ir ()
   in
   let code =
-    match Terra.Engine.run_protected engine ~file:path src with
-    | Ok _ -> (
-        (* leak accounting: still-live heap blocks are a san.leak fault *)
-        if not (checked && not no_leak_check) then 0
-        else
-          match Terra.Engine.leak_diag engine with
-          | None -> 0
-          | Some d ->
-              Printf.eprintf "%s\n" (Terra.Diag.to_string d);
-              2)
-    | Error d ->
-        Printf.eprintf "%s\n" (Terra.Diag.to_string d);
-        if Terra.Diag.is_runtime_fault d then 2 else 1
+    if not transact then
+      match Terra.Engine.run_protected engine ~file:path src with
+      | r -> code_of_result engine ~checked ~no_leak_check r
+      | exception ((Out_of_memory | Assert_failure _) as e) -> raise e
+    else begin
+      (* Supervised transactional run: journal the session, retry
+         transient faults, degrade to opt 0 on runtime faults, and roll
+         the session back byte-for-byte on failure. *)
+      let mark = Terra.Engine.statics_mark engine in
+      let fp_before =
+        if verify_rollback then
+          Some (Terra.Engine.fingerprint ~statics_upto:mark engine)
+        else None
+      in
+      Supervise.Supervisor.log_sink := prerr_endline;
+      let config =
+        { Supervise.Supervisor.default_config with max_retries = retries }
+      in
+      let o = Supervise.Supervisor.run_script ~config ~file:path engine src in
+      print_string o.Supervise.Supervisor.output;
+      (match o.Supervise.Supervisor.divergence with
+      | Some d -> Printf.eprintf "%s\n" (Terra.Diag.to_string d)
+      | None -> ());
+      let code =
+        code_of_result engine ~checked ~no_leak_check
+          o.Supervise.Supervisor.result
+      in
+      match (fp_before, o.Supervise.Supervisor.result) with
+      | Some before, Error _ ->
+          (* The run failed, so the rollback must have restored the
+             session byte-for-byte. *)
+          let after = Terra.Engine.fingerprint ~statics_upto:mark engine in
+          if String.equal before after then begin
+            Printf.eprintf "rollback: verified (session fingerprint %s)\n"
+              before;
+            code
+          end
+          else begin
+            Printf.eprintf
+              "rollback: FAILED (fingerprint %s before, %s after)\n" before
+              after;
+            3
+          end
+      | _ -> code
+    end
   in
   if report_fuel then
     Printf.eprintf "fuel: %d\n" (Terra.Engine.fuel_used engine);
@@ -58,7 +132,7 @@ let run_file path stats fuel max_steps max_depth checked no_leak_check
 let () =
   let open Cmdliner in
   let path =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.t")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM.t")
   in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"print machine-model counters")
@@ -156,12 +230,54 @@ let () =
             "print accumulated per-pass optimizer statistics (instructions \
              folded/hoisted/deleted, pass times) to stderr at exit.")
   in
+  let transact =
+    Arg.(
+      value & flag
+      & info [ "transact" ]
+          ~doc:
+            "run the program as a supervised transaction: the VM session is \
+             journaled, transient injected faults are retried with \
+             deterministic backoff, runtime faults in an optimized build \
+             are retried once at $(b,--opt=0), and any failure rolls the \
+             session back byte-for-byte before the diagnostic is reported.")
+  in
+  let verify_rollback =
+    Arg.(
+      value & flag
+      & info [ "verify-rollback" ]
+          ~doc:
+            "with $(b,--transact): fingerprint the session (heap bytes, \
+             allocator bookkeeping, shadow map) before the run and verify \
+             the fingerprint is unchanged after a rolled-back failure; a \
+             mismatch exits 3.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "with $(b,--transact)/$(b,--batch): maximum retries for \
+             transient (fault.*) diagnostics (default 2).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "batch" ] ~docv:"MANIFEST"
+          ~doc:
+            "batch mode: run every script listed in $(docv) (one per line, \
+             with optional $(b,fuel=N) and $(b,retries=N) budgets) against \
+             one shared engine under the supervisor, and print a \
+             per-request JSON report to stdout.  Exits 0 only if every \
+             request succeeded.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
       Term.(
         const run_file $ path $ stats $ fuel $ max_steps $ max_depth $ checked
         $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel $ opt
-        $ dump_ir $ dump_opt_stats)
+        $ dump_ir $ dump_opt_stats $ transact $ verify_rollback $ retries
+        $ batch)
   in
   exit (Cmd.eval' cmd)

@@ -1,0 +1,218 @@
+(** Batch front end: run many Lua–Terra scripts against one shared
+    engine, each under the supervisor with its own budgets, and emit a
+    per-request JSON report.
+
+    Manifest format, one request per line:
+    {v
+    # comment
+    path/to/script.t [fuel=N] [retries=N]
+    v}
+    Relative paths resolve against the manifest's directory.  Because
+    every request runs transactionally, a faulting script cannot corrupt
+    the shared session: the next request starts from the state the
+    previous successful request committed. *)
+
+type request = {
+  req_file : string;
+  req_fuel : int option;  (** per-attempt fuel budget override *)
+  req_retries : int option;  (** max-retries override *)
+}
+
+type entry = {
+  e_file : string;
+  e_status : string;  (** "ok" or "error" *)
+  e_code : string option;  (** diagnostic code on error *)
+  e_message : string option;  (** diagnostic message on error *)
+  e_attempts : int;
+  e_retries : int;
+  e_backoff : int;
+  e_fuel : int;
+  e_fallback : bool;
+  e_divergence : string option;  (** opt-divergence code when detected *)
+  e_output : string;  (** captured output of the final attempt *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Manifest parsing *)
+
+let parse_line ~dir line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | path :: opts ->
+      let req =
+        ref
+          {
+            req_file =
+              (if Filename.is_relative path then Filename.concat dir path
+               else path);
+            req_fuel = None;
+            req_retries = None;
+          }
+      in
+      List.iter
+        (fun opt ->
+          match String.index_opt opt '=' with
+          | Some i -> (
+              let k = String.sub opt 0 i in
+              let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+              match (k, int_of_string_opt v) with
+              | "fuel", Some n -> req := { !req with req_fuel = Some n }
+              | "retries", Some n -> req := { !req with req_retries = Some n }
+              | _ ->
+                  invalid_arg
+                    (Printf.sprintf "batch manifest: unknown option '%s'" opt))
+          | None ->
+              invalid_arg
+                (Printf.sprintf "batch manifest: malformed option '%s'" opt))
+        opts;
+      Some !req
+
+(** Parse a manifest file into requests. *)
+let parse_manifest path =
+  let ic = open_in path in
+  let dir = Filename.dirname path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> (
+            match parse_line ~dir line with
+            | Some r -> loop (r :: acc)
+            | None -> loop acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Run [reqs] in order against [eng], each under the supervisor.  All
+    requests share one circuit breaker (from [config], or a fresh one),
+    so a script that keeps faulting across requests eventually gets
+    rejected outright. *)
+let run_requests ?(config = Supervisor.default_config)
+    (eng : Terra.Engine.t) (reqs : request list) : entry list =
+  let breaker =
+    match config.Supervisor.breaker with
+    | Some b -> b
+    | None -> Policy.breaker ()
+  in
+  List.map
+    (fun req ->
+      let file = req.req_file in
+      match read_file file with
+      | exception Sys_error msg ->
+          {
+            e_file = file;
+            e_status = "error";
+            e_code = Some "batch.io";
+            e_message = Some msg;
+            e_attempts = 0;
+            e_retries = 0;
+            e_backoff = 0;
+            e_fuel = 0;
+            e_fallback = false;
+            e_divergence = None;
+            e_output = "";
+          }
+      | src ->
+          let cfg =
+            {
+              config with
+              Supervisor.breaker = Some breaker;
+              call_fuel =
+                (match req.req_fuel with
+                | Some _ as f -> f
+                | None -> config.Supervisor.call_fuel);
+              max_retries =
+                (match req.req_retries with
+                | Some n -> n
+                | None -> config.Supervisor.max_retries);
+            }
+          in
+          let o = Supervisor.run_script ~config:cfg ~file eng src in
+          let code, message =
+            match o.Supervisor.result with
+            | Ok _ -> (None, None)
+            | Error d -> (Some d.Terra.Diag.code, Some d.Terra.Diag.message)
+          in
+          {
+            e_file = file;
+            e_status =
+              (if Result.is_ok o.Supervisor.result then "ok" else "error");
+            e_code = code;
+            e_message = message;
+            e_attempts = o.Supervisor.attempts;
+            e_retries = o.Supervisor.retries;
+            e_backoff = o.Supervisor.backoff_total;
+            e_fuel = o.Supervisor.fuel_used;
+            e_fallback = o.Supervisor.fallback;
+            e_divergence =
+              Option.map
+                (fun d -> d.Terra.Diag.code)
+                o.Supervisor.divergence;
+            e_output = o.Supervisor.output;
+          })
+    reqs
+
+(* ------------------------------------------------------------------ *)
+(* JSON report *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_opt = function Some s -> json_str s | None -> "null"
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"file\": %s, \"status\": %s, \"code\": %s, \"message\": %s, \
+     \"attempts\": %d, \"retries\": %d, \"backoff\": %d, \"fuel\": %d, \
+     \"fallback\": %b, \"divergence\": %s, \"output\": %s}"
+    (json_str e.e_file) (json_str e.e_status) (json_opt e.e_code)
+    (json_opt e.e_message) e.e_attempts e.e_retries e.e_backoff e.e_fuel
+    e.e_fallback (json_opt e.e_divergence) (json_str e.e_output)
+
+(** Render the whole report as a JSON array. *)
+let to_json entries =
+  "[\n  " ^ String.concat ",\n  " (List.map entry_to_json entries) ^ "\n]\n"
+
+(** Did every request succeed? *)
+let all_ok entries = List.for_all (fun e -> e.e_status = "ok") entries
+
+(** Run a manifest end to end: parse, execute against [eng], render.
+    Returns the JSON report and the suggested exit code (0 if every
+    request succeeded, 1 otherwise). *)
+let run_manifest ?config eng manifest_path : string * int =
+  let reqs = parse_manifest manifest_path in
+  let entries = run_requests ?config eng reqs in
+  (to_json entries, if all_ok entries then 0 else 1)

@@ -1,0 +1,112 @@
+(** Supervision policies: deterministic retry backoff, per-function
+    circuit breakers, and retryability classification.
+
+    Everything here is deliberately free of wall-clock time and real
+    randomness: delays are *virtual ticks* charged against a request's
+    budget and recorded in reports, jitter is a hash of the (key,
+    attempt) pair, and the circuit breaker runs on a logical clock that
+    advances once per admission decision.  The same fault history
+    therefore always produces the same supervision trace, which is what
+    lets the policy tests assert exact schedules. *)
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff *)
+
+type backoff = {
+  bo_base : int;  (** delay before the first retry, in virtual ticks *)
+  bo_factor : int;  (** exponential growth factor between retries *)
+  bo_cap : int;  (** upper bound on the un-jittered delay *)
+  bo_jitter : int;  (** jitter modulus; 0 disables jitter *)
+}
+
+let default_backoff =
+  { bo_base = 10; bo_factor = 2; bo_cap = 1000; bo_jitter = 7 }
+
+(** The delay scheduled before retry [attempt] (1-based) of the request
+    identified by [seed].  Exponential with a deterministic per-request
+    jitter so a fleet of identical requests does not retry in lockstep. *)
+let delay b ~seed ~attempt =
+  let attempt = max 1 attempt in
+  let rec grow raw n =
+    if n <= 1 || raw >= b.bo_cap then raw else grow (raw * b.bo_factor) (n - 1)
+  in
+  let raw = min b.bo_cap (grow b.bo_base attempt) in
+  let jitter =
+    if b.bo_jitter <= 0 then 0 else Hashtbl.hash (seed, attempt) mod b.bo_jitter
+  in
+  raw + jitter
+
+(* ------------------------------------------------------------------ *)
+(* Retryability *)
+
+let has_prefix pre s =
+  String.length s >= String.length pre
+  && String.sub s 0 (String.length pre) = pre
+
+(** Default transience classification: injected faults ([fault.*]) model
+    environmental failures (allocation pressure, flipped bits, spurious
+    machine traps) and are worth retrying; [san.*] violations and
+    [trap.*] resource exhaustion are deterministic program bugs and are
+    not. *)
+let default_retryable (d : Terra.Diag.t) = has_prefix "fault." d.Terra.Diag.code
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+type breaker_config = {
+  cb_threshold : int;  (** consecutive failures that open the circuit *)
+  cb_cooldown : int;  (** logical ticks the circuit stays open *)
+}
+
+let default_breaker_config = { cb_threshold = 3; cb_cooldown = 8 }
+
+type breaker_state =
+  | Closed of int  (** consecutive failures so far *)
+  | Open of int  (** logical tick at which the circuit opened *)
+  | Half_open  (** cooldown expired; one probe call is in flight *)
+
+type breaker = {
+  bcfg : breaker_config;
+  mutable clock : int;  (** advances once per admission decision *)
+  states : (string, breaker_state) Hashtbl.t;
+}
+
+let breaker ?(config = default_breaker_config) () =
+  { bcfg = config; clock = 0; states = Hashtbl.create 8 }
+
+let breaker_state b key =
+  match Hashtbl.find_opt b.states key with
+  | Some s -> s
+  | None -> Closed 0
+
+(** Ask to run [key].  [`Allow] admits the call (possibly as the
+    half-open probe); [`Reject n] means the circuit is open for [n] more
+    ticks.  Each admission decision advances the logical clock. *)
+let admit b key =
+  b.clock <- b.clock + 1;
+  match breaker_state b key with
+  | Closed _ | Half_open -> `Allow
+  | Open since ->
+      if b.clock - since >= b.bcfg.cb_cooldown then begin
+        Hashtbl.replace b.states key Half_open;
+        `Allow
+      end
+      else `Reject (b.bcfg.cb_cooldown - (b.clock - since))
+
+(** Record the outcome of an admitted call. *)
+let record b key ~ok =
+  match (breaker_state b key, ok) with
+  | (Closed _ | Half_open), true -> Hashtbl.replace b.states key (Closed 0)
+  | Closed n, false ->
+      Hashtbl.replace b.states key
+        (if n + 1 >= b.bcfg.cb_threshold then Open b.clock else Closed (n + 1))
+  | Half_open, false -> Hashtbl.replace b.states key (Open b.clock)
+  | Open _, _ -> ()
+
+(** The [cb.open] diagnostic returned for a rejected call. *)
+let open_diag key remaining =
+  Terra.Diag.make ~phase:Terra.Diag.Run ~code:"cb.open"
+    (Printf.sprintf
+       "circuit breaker open for '%s' (cooldown: %d ticks remaining); call \
+        rejected without execution"
+       key remaining)

@@ -39,6 +39,42 @@ let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults
 (** Is TerraSan checked execution on for this context? *)
 let checked t = Tvm.Vm.checked t.vm
 
+(* ------------------------------------------------------------------ *)
+(* Transactional execution: run [f] with the VM session journaled, and
+   roll the session back to a byte-identical state if it fails.  The
+   paper's separation claim (§2.4) says Terra execution cannot corrupt
+   the Lua staging session; this makes the claim hold even for runs that
+   die halfway through mutating the heap. *)
+
+(** Run [f] inside a VM transaction.  On success the writes are kept and
+    [Ok v] returned; on any failure in the diagnostic model the session
+    (heap bytes, allocator bookkeeping, shadow map, VM globals) is
+    restored and [Error diag] returned.  Control-flow exceptions
+    ([break]/[return] unwinding, the global Lua step budget) and
+    host-level failures still propagate, after the rollback.
+    Transactions do not nest: an inner [transact] returns a [txn.nested]
+    diagnostic without touching the session. *)
+let transact t (f : unit -> 'a) : ('a, Diag.t) result =
+  if Tvm.Vm.in_txn t.vm then
+    Error
+      (Diag.make ~phase:Diag.Run ~code:"txn.nested"
+         "transaction already active (transactions do not nest)")
+  else begin
+    let tx = Tvm.Vm.begin_txn t.vm in
+    match f () with
+    | v ->
+        Tvm.Vm.commit t.vm tx;
+        Ok v
+    | exception e -> (
+        Tvm.Vm.rollback t.vm tx;
+        match e with
+        | Stdlib.Out_of_memory | Assert_failure _ | Mlua.Interp.Break_exc
+        | Mlua.Interp.Return_exc _ | Mlua.Interp.Step_limit ->
+            raise e
+        | e -> (
+            match Diag.of_exn e with Some d -> Error d | None -> raise e))
+  end
+
 (** Live heap blocks, for leak accounting at shutdown. *)
 let leaks t = Tvm.Alloc.leaks t.vm.Tvm.Vm.alloc
 

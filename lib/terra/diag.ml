@@ -58,6 +58,17 @@ let begin_run ?file () =
   hint_line := None;
   Mlua.Interp.clear_traceback ()
 
+(** Opaque snapshot of the global span-hint state, so nested or
+    interleaved engines can restore the outer run's attribution after an
+    inner run finishes (see [Engine.run]). *)
+type run_state = string option * int option
+
+let save_run_state () : run_state = (!hint_file, !hint_line)
+
+let restore_run_state ((f, l) : run_state) =
+  hint_file := f;
+  hint_line := l
+
 (* ------------------------------------------------------------------ *)
 
 let make ?span ?(traceback = []) ~phase ~code message =
@@ -72,12 +83,14 @@ let has_prefix pre s =
 
 let is_trap d = d.phase = Run && has_prefix "trap." d.code
 
-(** Runtime faults — resource traps, TerraSan violations ([san.*]), and
-    injected faults ([fault.*]) — all exit 2 from [terra_run]. *)
+(** Runtime faults — resource traps, TerraSan violations ([san.*]),
+    injected faults ([fault.*]), and supervision rejections ([cb.*]) —
+    all exit 2 from [terra_run]. *)
 let is_runtime_fault d =
   d.phase = Run
   && (has_prefix "trap." d.code || has_prefix "san." d.code
-     || has_prefix "fault." d.code || has_prefix "call." d.code)
+     || has_prefix "fault." d.code || has_prefix "call." d.code
+     || has_prefix "cb." d.code)
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing *)

@@ -12,7 +12,11 @@ module V = Mlua.Value
 
 type t = {
   ctx : Context.t;
-  scope : V.scope;
+  mutable scope : V.scope;
+  mutable installers : (V.table -> unit) list;
+      (** applied, in order, to the globals of every scope this engine
+          creates — [create] seeds it with the terralib API; DSL layers
+          (Orion, classes, layouts) append theirs *)
   lua_depth : int;  (** Lua call-depth bound, applied at each run *)
   lua_steps : int;  (** Lua statement budget per run *)
 }
@@ -36,17 +40,67 @@ let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
   {
     ctx;
     scope;
+    installers = [ (fun g -> Terralib.install ctx g) ];
     lua_depth = max_call_depth;
     lua_steps = (match lua_steps with Some n -> n | None -> max_int);
   }
 
+(** Register an extra API installer (a DSL layer): applied to the
+    current scope immediately and to every scope [reset_scope] creates. *)
+let add_installer t f =
+  t.installers <- t.installers @ [ f ];
+  match V.scope_globals t.scope with
+  | Some g -> f g
+  | None -> assert false
+
+(** Replace the engine's Lua scope with a brand-new one (globals rebuilt
+    by the registered installers), keeping the Terra context — VM heap,
+    compiled functions, interned constants — intact.  The supervisor
+    resets the scope before each script attempt: the VM session is
+    transactional, but Lua globals are not, so a retry must start from a
+    fresh Lua namespace or re-evaluating [terra f ...] would trip the
+    immutable-definition check. *)
+let reset_scope t =
+  let scope = Mlua.Driver.make_scope () in
+  (match V.scope_globals scope with
+  | Some g -> List.iter (fun f -> f g) t.installers
+  | None -> assert false);
+  t.scope <- scope
+
+(* The interpreter's call-depth/step budgets and the diagnostic span
+   hints are process globals; save and restore them around every run so
+   two live engines (or a run nested inside a host callback of another
+   run) cannot clobber each other's limits or error attribution.  A
+   failing run's exception is converted to a structured [Diag.Error]
+   *before* the outer state is restored, so spans and tracebacks are
+   attributed against this run's state, not the outer engine's. *)
 let run ?file t src =
+  let saved_depth = !Mlua.Interp.max_call_depth in
+  let saved_steps = !Mlua.Interp.steps in
+  let saved_diag = Diag.save_run_state () in
+  let restore () =
+    Mlua.Interp.max_call_depth := saved_depth;
+    Mlua.Interp.steps := saved_steps;
+    Diag.restore_run_state saved_diag
+  in
   Diag.begin_run ?file ();
   Mlua.Interp.max_call_depth := t.lua_depth;
   Mlua.Interp.steps := t.lua_steps;
   let ext_expr, ext_stat = Frontend.hooks t.ctx in
   let chunkname = match file with Some f -> f | None -> "main chunk" in
-  Mlua.Driver.run_in ~ext_expr ~ext_stat ~chunkname t.scope src
+  match Mlua.Driver.run_in ~ext_expr ~ext_stat ~chunkname t.scope src with
+  | vs ->
+      restore ();
+      vs
+  | exception ((Out_of_memory | Assert_failure _) as e) ->
+      restore ();
+      raise e
+  | exception e ->
+      let e =
+        match Diag.of_exn e with Some d -> Diag.Error d | None -> e
+      in
+      restore ();
+      raise e
 
 (** Run and capture printed output (tests). *)
 let run_capture ?file t src =
@@ -95,6 +149,46 @@ let run_capture_protected (t : t) ?file src :
       let r = run_protected t ?file src in
       (Buffer.contents buf, r))
 
+(* ------------------------------------------------------------------ *)
+(* Transactional execution (the supervised-execution substrate).  See
+   [Context.transact] for the rollback model. *)
+
+(** Run a thunk inside a VM transaction; on failure the Terra session is
+    rolled back to a byte-identical state. *)
+let transact (t : t) f = Context.transact t.ctx f
+
+(** [run] inside a transaction: a failing script leaves the Terra
+    session byte-identical to its state before the run. *)
+let run_transactional ?file (t : t) src : (V.t list, Diag.t) result =
+  transact t (fun () -> run ?file t src)
+
+(** [run_transactional] + output capture: [(output, result)].  The
+    supervisor uses this so each retry attempt reports only its own
+    output, not the half-printed output of the attempts it rolled back. *)
+let run_capture_transactional ?file (t : t) src :
+    string * (V.t list, Diag.t) result =
+  let buf = Buffer.create 256 in
+  let saved_lua = !Mlua.Lualib.output_sink in
+  let saved_vm = !Tvm.Builtins.print_sink in
+  Mlua.Lualib.output_sink := Buffer.add_string buf;
+  Tvm.Builtins.print_sink := Buffer.add_string buf;
+  Fun.protect
+    ~finally:(fun () ->
+      Mlua.Lualib.output_sink := saved_lua;
+      Tvm.Builtins.print_sink := saved_vm)
+    (fun () ->
+      let r = run_transactional ?file t src in
+      (Buffer.contents buf, r))
+
+(** Current statics bump pointer; capture before a transaction to
+    fingerprint exactly the state a rollback restores. *)
+let statics_mark t = Tvm.Mem.statics_mark t.ctx.Context.vm.Tvm.Vm.mem
+
+(** Hex digest of the whole transactional session state (arena bytes,
+    allocator bookkeeping, shadow map). *)
+let fingerprint ?statics_upto t =
+  Tvm.Vm.fingerprint ?statics_upto t.ctx.Context.vm
+
 (** Look up a global by name. *)
 let get_global t name = V.scope_lookup t.scope name
 
@@ -107,6 +201,40 @@ let get_func t name =
         "%s is not a terra function" name
 
 let call_func t name args = Jit.call (get_func t name) args
+
+(** Call a Terra function transactionally: on any failure in the
+    diagnostic model — resource traps, sanitizer violations, injected
+    faults — the session is rolled back and the structured diagnostic
+    returned, with the heap, allocator, shadow map, and Terra globals
+    provably unchanged. *)
+let call_transactional t name args : (V.t list, Diag.t) result =
+  transact t (fun () -> call_func t name args)
+
+(** Recompile [name] (and its transitive Terra callees) at [opt_level],
+    leaving the engine's own opt level untouched.  The supervisor's
+    graceful-degradation path uses this to rebuild a faulting function
+    at opt 0 before its final retry. *)
+let recompile_at t ~opt_level name =
+  let f = get_func t name in
+  let saved = t.ctx.Context.opt_level in
+  t.ctx.Context.opt_level <- opt_level;
+  Fun.protect
+    ~finally:(fun () -> t.ctx.Context.opt_level <- saved)
+    (fun () ->
+      let seen = ref [] in
+      let rec clear (g : Func.t) =
+        if not (List.memq g !seen) then begin
+          seen := g :: !seen;
+          if g.Func.extern_name = None then begin
+            g.Func.compiled <- false;
+            match g.Func.typed with
+            | Some ty -> List.iter clear ty.Func.trefs
+            | None -> ()
+          end
+        end
+      in
+      clear f;
+      Jit.ensure_compiled f)
 
 let report t = Tmachine.Machine.report t.ctx.Context.machine
 let machine t = t.ctx.Context.machine

@@ -104,6 +104,29 @@ let install ctx (globals : V.table) =
           in
           [ Func.wrap f ]
       | _ -> V.error_str "terralib.cast(fntype, luafunction)");
+  (* Transactional calls: terralib.transact(fn, ...) runs fn inside a VM
+     transaction.  Success returns `true, results...`; any failure in the
+     diagnostic model rolls the Terra session back byte-for-byte and
+     returns `false, diagnostic` — pcall semantics, but with the paper's
+     separation claim enforced on the heap as well as on control flow. *)
+  reg tl "transact" (fun args ->
+      match args with
+      | f :: rest -> (
+          match
+            Context.transact ctx (fun () -> Mlua.Interp.call_value f rest)
+          with
+          | Ok vs ->
+              Mlua.Interp.clear_traceback ();
+              V.Bool true :: vs
+          | Error d ->
+              Mlua.Interp.clear_traceback ();
+              [ V.Bool false; Diag.wrap d ])
+      | [] -> V.error_str "transact(fn, ...) expects a function");
+  (* Hex digest of the transactional session state (heap, allocator,
+     shadow map, pre-existing statics) — lets scripts and CI assert that
+     a rolled-back transaction really left the session unchanged. *)
+  reg tl "fingerprint" (fun _ ->
+      [ V.Str (Tvm.Vm.fingerprint ctx.Context.vm) ]);
   (* TerraSan hooks: is checked execution on, and what is still live on
      the Terra heap (count, bytes) — Lua-side leak accounting *)
   reg tl "issanitized" (fun _ -> [ V.Bool (Context.checked ctx) ]);

@@ -3,12 +3,13 @@
     programs, as in the paper's full system. *)
 
 let install (e : Terra.Engine.t) =
-  match Mlua.Value.scope_globals e.Terra.Engine.scope with
-  | Some g ->
-      Orion.Lua_api.install e.Terra.Engine.ctx g;
-      Javalike.Lua_api.install e.Terra.Engine.ctx g;
-      Datalayout.Lua_api.install e.Terra.Engine.ctx g
-  | None -> invalid_arg "engine has no globals"
+  (* registered (not applied directly) so supervised script retries,
+     which rebuild the Lua scope, get the DSLs again *)
+  let ctx = e.Terra.Engine.ctx in
+  Terra.Engine.add_installer e (fun g ->
+      Orion.Lua_api.install ctx g;
+      Javalike.Lua_api.install ctx g;
+      Datalayout.Lua_api.install ctx g)
 
 let create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps ?checked
     ?faults ?opt_level ?dump_ir () =

@@ -15,6 +15,22 @@ type t = {
   mutable quarantine_bytes : int;
   quarantine_limit : int;
   mutable live_bytes : int;
+  mutable jitter : int;
+      (** allocation-size jitter counter — per-allocator, so two engines
+          in one process cannot perturb each other's heap layouts *)
+}
+
+(** A full snapshot of the allocator's bookkeeping; the backing heap
+    bytes are journaled separately by {!Mem.txn}. *)
+type txn = {
+  tx_free_list : (int * int) list;
+  tx_live : (int, int) Hashtbl.t;
+  tx_starts : (int, int) Hashtbl.t;
+  tx_req : (int, int) Hashtbl.t;
+  tx_quarantine : (int * int * int) Queue.t;
+  tx_quarantine_bytes : int;
+  tx_live_bytes : int;
+  tx_jitter : int;
 }
 
 let align = 16
@@ -45,16 +61,73 @@ let create ?(checked = false) ?(quarantine = default_quarantine) mem =
     quarantine_bytes = 0;
     quarantine_limit = quarantine;
     live_bytes = 0;
+    jitter = 0;
   }
 
 let checked t = t.shadow <> None
 let shadow t = t.shadow
 let round n = (n + align - 1) / align * align
 
-(* Allocation-size jitter: vary block offsets so same-sized buffers do not
-   land at identical cache-set alignments (as real malloc headers and ASLR
-   do). Deterministic. *)
-let jitter = ref 0
+(* ------------------------------------------------------------------ *)
+(* Transactions *)
+
+let begin_txn t =
+  {
+    tx_free_list = t.free_list;
+    tx_live = Hashtbl.copy t.live;
+    tx_starts = Hashtbl.copy t.starts;
+    tx_req = Hashtbl.copy t.req;
+    tx_quarantine = Queue.copy t.quarantine;
+    tx_quarantine_bytes = t.quarantine_bytes;
+    tx_live_bytes = t.live_bytes;
+    tx_jitter = t.jitter;
+  }
+
+let restore_tbl dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (Hashtbl.replace dst) src
+
+let rollback t tx =
+  t.free_list <- tx.tx_free_list;
+  restore_tbl t.live tx.tx_live;
+  restore_tbl t.starts tx.tx_starts;
+  restore_tbl t.req tx.tx_req;
+  Queue.clear t.quarantine;
+  Queue.iter (fun b -> Queue.add b t.quarantine) tx.tx_quarantine;
+  t.quarantine_bytes <- tx.tx_quarantine_bytes;
+  t.live_bytes <- tx.tx_live_bytes;
+  t.jitter <- tx.tx_jitter
+
+let commit (_ : t) (_ : txn) = ()
+
+(** Hex digest of all allocator bookkeeping: sorted block tables, the
+    free list, the quarantine, and the jitter phase. *)
+let fingerprint t =
+  let tbl name tbl =
+    let rows =
+      Hashtbl.fold
+        (fun k v acc -> Printf.sprintf "%s:%d:%d" name k v :: acc)
+        tbl []
+    in
+    String.concat ";" (List.sort compare rows)
+  in
+  let fl =
+    String.concat ";"
+      (List.map (fun (a, s) -> Printf.sprintf "%d:%d" a s) t.free_list)
+  in
+  let q =
+    Queue.fold
+      (fun acc (a, s, p) -> Printf.sprintf "%s;%d:%d:%d" acc a s p)
+      "" t.quarantine
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            tbl "L" t.live; tbl "S" t.starts; tbl "R" t.req; fl; q;
+            string_of_int t.quarantine_bytes; string_of_int t.live_bytes;
+            string_of_int t.jitter;
+          ]))
 
 let rec take n = function
   | [] -> raise (Out_of_memory n)
@@ -65,10 +138,13 @@ let rec take n = function
       let addr, rest' = take n rest in
       (addr, blk :: rest')
 
+(* Allocation-size jitter: vary block offsets so same-sized buffers do not
+   land at identical cache-set alignments (as real malloc headers and ASLR
+   do). Deterministic, and per-allocator (see the [jitter] field). *)
 let malloc t n =
   if n < 0 || n > 1 lsl 48 then raise (Out_of_memory n);
-  jitter := (!jitter + 1) land 7;
-  let inner = max align (round n) + (!jitter * 64) in
+  t.jitter <- (t.jitter + 1) land 7;
+  let inner = max align (round n) + (t.jitter * 64) in
   let rz = match t.shadow with Some _ -> redzone | None -> 0 in
   let total = inner + (2 * rz) in
   let start, fl = take total t.free_list in

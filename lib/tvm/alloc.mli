@@ -17,7 +17,19 @@ exception Invalid_realloc of int
 
 type t
 
+(** A full snapshot of the allocator's bookkeeping (free list, block
+    tables, quarantine, jitter phase); heap bytes are journaled by
+    {!Mem.txn}. *)
+type txn
+
 val create : ?checked:bool -> ?quarantine:int -> Mem.t -> t
+
+val begin_txn : t -> txn
+val rollback : t -> txn -> unit
+val commit : t -> txn -> unit
+
+(** Hex digest of all allocator bookkeeping, for rollback verification. *)
+val fingerprint : t -> string
 val checked : t -> bool
 val shadow : t -> Shadow.t option
 

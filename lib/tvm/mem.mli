@@ -8,8 +8,37 @@ exception Fault of int * string
 
 type t
 
+(** An open transaction: page-granular copy-on-write pre-images of every
+    mutated page, begun with {!begin_txn} and finished with exactly one
+    of {!rollback} or {!commit}. *)
+type txn
+
 val create : ?bytes:int -> unit -> t
 val size : t -> int
+
+(** Start journaling writes. Raises [Invalid_argument] if a transaction
+    is already active (transactions do not nest). *)
+val begin_txn : t -> txn
+
+val in_txn : t -> bool
+
+(** Restore every journaled page to its pre-transaction image.  Statics
+    bump-allocated during the transaction are kept (compile-time
+    artifacts — interned strings, vtables — are monotone, like compiled
+    code); everything else, including pre-existing statics such as Terra
+    globals, is restored byte-for-byte. *)
+val rollback : t -> txn -> unit
+
+(** Discard the journal, keeping all writes. *)
+val commit : t -> txn -> unit
+
+(** Current statics bump pointer — capture before a transaction to later
+    fingerprint exactly the state that a rollback restores. *)
+val statics_mark : t -> int
+
+(** Hex digest of the transactional portion of the arena (statics below
+    [statics_upto], the heap, and the stack). *)
+val fingerprint : ?statics_upto:int -> t -> string
 
 (** Attach a TerraSan shadow map; every subsequent access is checked
     against it in addition to the arena bounds. *)

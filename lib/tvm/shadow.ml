@@ -42,6 +42,16 @@ let state_of_chr = function
   | '\003' -> Redzone
   | _ -> Unaddressable
 
+(* Shadow-map transaction: page-CoW pre-images of mutated shadow pages
+   plus full copies of the (small) block registries, mirroring
+   {!Mem.txn} so a rollback restores the sanitizer's view of the heap
+   exactly alongside the heap bytes themselves. *)
+type txn = {
+  tx_pages : (int, Bytes.t) Hashtbl.t;  (** map page index -> pre-image *)
+  tx_live : (int, int * int * int) Hashtbl.t;
+  tx_freed : (int, int * int * int) Hashtbl.t;
+}
+
 type t = {
   base : int;
   limit : int;
@@ -49,6 +59,7 @@ type t = {
   live : (int, int * int * int) Hashtbl.t;
       (** payload -> (requested size, block lo, block hi) *)
   freed : (int, int * int * int) Hashtbl.t;  (** quarantined blocks *)
+  mutable txn : txn option;
 }
 
 let create ~base ~limit =
@@ -58,6 +69,7 @@ let create ~base ~limit =
     map = Bytes.make (limit - base) chr_unaddressable;
     live = Hashtbl.create 64;
     freed = Hashtbl.create 64;
+    txn = None;
   }
 
 let base t = t.base
@@ -68,10 +80,76 @@ let state_at t addr =
   if covers t addr then state_of_chr (Bytes.get t.map (addr - t.base))
   else Addressable
 
+(* ------------------------------------------------------------------ *)
+(* Transactions *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+(* [lo, hi) are map offsets (address - base). *)
+let note t lo hi =
+  match t.txn with
+  | None -> ()
+  | Some tx ->
+      if hi > lo then
+        for p = lo lsr page_bits to (hi - 1) lsr page_bits do
+          if not (Hashtbl.mem tx.tx_pages p) then begin
+            let page_start = p lsl page_bits in
+            let plen = min page_size (Bytes.length t.map - page_start) in
+            Hashtbl.add tx.tx_pages p (Bytes.sub t.map page_start plen)
+          end
+        done
+
+let begin_txn t =
+  if t.txn <> None then
+    invalid_arg "Shadow.begin_txn: transaction already active";
+  let tx =
+    {
+      tx_pages = Hashtbl.create 64;
+      tx_live = Hashtbl.copy t.live;
+      tx_freed = Hashtbl.copy t.freed;
+    }
+  in
+  t.txn <- Some tx;
+  tx
+
+let restore_tbl dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (Hashtbl.replace dst) src
+
+let rollback t tx =
+  Hashtbl.iter
+    (fun p img -> Bytes.blit img 0 t.map (p lsl page_bits) (Bytes.length img))
+    tx.tx_pages;
+  restore_tbl t.live tx.tx_live;
+  restore_tbl t.freed tx.tx_freed;
+  t.txn <- None
+
+let commit t (_ : txn) = t.txn <- None
+
+(** Hex digest of the whole sanitizer state: the per-byte map plus the
+    sorted live and quarantined block registries. *)
+let fingerprint t =
+  let tbl name tbl =
+    let rows =
+      Hashtbl.fold
+        (fun p (sz, lo, hi) acc ->
+          Printf.sprintf "%s:%d:%d:%d:%d" name p sz lo hi :: acc)
+        tbl []
+    in
+    String.concat ";" (List.sort compare rows)
+  in
+  Digest.to_hex
+    (Digest.string
+       (Digest.bytes t.map ^ tbl "L" t.live ^ tbl "F" t.freed))
+
 let mark t ~addr ~len st =
   if len > 0 then begin
     let lo = max addr t.base and hi = min (addr + len) t.limit in
-    if hi > lo then Bytes.fill t.map (lo - t.base) (hi - lo) (chr_of_state st)
+    if hi > lo then begin
+      note t (lo - t.base) (hi - t.base);
+      Bytes.fill t.map (lo - t.base) (hi - lo) (chr_of_state st)
+    end
   end
 
 (** Fault-injection entry: make one byte unaddressable so the next

@@ -25,8 +25,24 @@ exception Violation of violation
 
 type t
 
+(** An open shadow-state transaction (see {!Mem.txn}): page-CoW
+    pre-images of the per-byte map plus copies of the block registries. *)
+type txn
+
 (** Shadow the heap region [\[base, limit)]. *)
 val create : base:int -> limit:int -> t
+
+(** Start journaling shadow mutations; does not nest. *)
+val begin_txn : t -> txn
+
+(** Restore the map and both block registries to their pre-transaction
+    state. *)
+val rollback : t -> txn -> unit
+
+val commit : t -> txn -> unit
+
+(** Hex digest of the map plus the sorted block registries. *)
+val fingerprint : t -> string
 
 val base : t -> int
 val limit : t -> int

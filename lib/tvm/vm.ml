@@ -57,6 +57,67 @@ let create ?mem_bytes ?(checked = false) ?faults machine =
 let checked t = Mem.checked t.mem
 let steps t = t.steps
 
+(* ------------------------------------------------------------------ *)
+(* Transactions: crash-consistent Terra calls.  A transaction journals
+   heap/statics/stack writes (Mem), allocator bookkeeping (Alloc), and
+   sanitizer state (Shadow), and saves the VM's own stack registers, so
+   a trap anywhere inside a call can be rolled back to a byte-identical
+   session.  Compiled code, fuel accounting, and armed fault specs are
+   deliberately NOT rolled back: code is monotone, fuel is a consumed
+   resource, and one-shot faults must stay consumed so a retry observes
+   the fault as transient. *)
+
+type txn = {
+  tx_mem : Mem.txn;
+  tx_alloc : Alloc.txn;
+  tx_shadow : Shadow.txn option;
+  tx_sp : int;
+  tx_depth : int;
+}
+
+let in_txn t = Mem.in_txn t.mem
+
+let begin_txn t =
+  let tx_mem = Mem.begin_txn t.mem in
+  {
+    tx_mem;
+    tx_alloc = Alloc.begin_txn t.alloc;
+    tx_shadow = Option.map Shadow.begin_txn (Mem.shadow t.mem);
+    tx_sp = t.sp;
+    tx_depth = t.depth;
+  }
+
+let rollback t tx =
+  Mem.rollback t.mem tx.tx_mem;
+  Alloc.rollback t.alloc tx.tx_alloc;
+  (match (tx.tx_shadow, Mem.shadow t.mem) with
+  | Some stx, Some sh -> Shadow.rollback sh stx
+  | _ -> ());
+  t.sp <- tx.tx_sp;
+  t.depth <- tx.tx_depth
+
+let commit t tx =
+  Mem.commit t.mem tx.tx_mem;
+  Alloc.commit t.alloc tx.tx_alloc;
+  match (tx.tx_shadow, Mem.shadow t.mem) with
+  | Some stx, Some sh -> Shadow.commit sh stx
+  | _ -> ()
+
+(** Hex digest of the whole transactional session state: arena bytes
+    (statics below [statics_upto], heap, stack), allocator bookkeeping,
+    and sanitizer shadow state.  Equal fingerprints before a call and
+    after its rollback prove the session is unchanged. *)
+let fingerprint ?statics_upto t =
+  let sh =
+    match Mem.shadow t.mem with
+    | Some sh -> Shadow.fingerprint sh
+    | None -> "-"
+  in
+  Digest.to_hex
+    (Digest.string
+       (Mem.fingerprint ?statics_upto t.mem
+       ^ Alloc.fingerprint t.alloc ^ sh ^ string_of_int t.sp))
+
 (** Install a fault spec after creation (tests inject mid-run). *)
 let add_fault t spec =
   match t.faults with

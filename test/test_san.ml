@@ -522,6 +522,80 @@ let prop_checked_traffic =
       (* the model and the allocator agree about what is live *)
       List.length !live = Alloc.live_blocks a)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz: crash consistency of transactional calls.  Inject a fault at a
+   randomized point inside Engine.call_transactional and require the
+   rollback to restore the session exactly: heap bytes, allocator
+   bookkeeping, shadow map, and leak accounting all fingerprint-equal to
+   the pre-call snapshot, and the engine still works afterwards. *)
+
+let txn_churn_src =
+  {|
+    local std = terralib.includec("stdlib.h")
+    terra churn(n : int32)
+      var acc : int32 = 0
+      for i = 0, n do
+        var p = [&int32](std.malloc(24 + 8 * (i % 7)))
+        p[0] = i
+        acc = acc + p[0]
+        if i % 3 == 0 then
+          std.free([&uint8](p))
+        end
+      end
+      return acc
+    end
+  |}
+
+let gen_inject =
+  QCheck.Gen.(pair bool (int_range 1 60))
+
+let pp_inject (alloc_fault, k) =
+  Printf.sprintf "%s@%d" (if alloc_fault then "fail-alloc" else "trap-at-step") k
+
+let prop_txn_crash_consistency =
+  QCheck.Test.make ~count:40
+    ~name:"transactional call: fault at a random point rolls back exactly"
+    (QCheck.make ~print:pp_inject gen_inject) (fun (alloc_fault, k) ->
+      let e = engine ~checked:true () in
+      (match Engine.run_capture_protected e txn_churn_src with
+      | _, Ok _ -> ()
+      | _, Error d -> QCheck.Test.fail_reportf "setup: %s" (Diag.to_string d));
+      (* warm up outside the transaction: compiles churn and commits a
+         baseline of leaked blocks *)
+      (match Engine.call_transactional e "churn" [ Mlua.Value.Num 4. ] with
+      | Ok _ -> ()
+      | Error d -> QCheck.Test.fail_reportf "warmup: %s" (Diag.to_string d));
+      let vm = e.Engine.ctx.Context.vm in
+      let mark = Engine.statics_mark e in
+      let fp0 = Engine.fingerprint ~statics_upto:mark e in
+      let leaks0 = Engine.leak_report e in
+      Engine.inject e
+        (if alloc_fault then Fault.Fail_alloc (1 + (k mod 20))
+         else Fault.Trap_at_step (Tvm.Vm.steps vm + k));
+      match Engine.call_transactional e "churn" [ Mlua.Value.Num 40. ] with
+      | Ok _ ->
+          (* the fault landed beyond the call; the txn legitimately
+             committed, so there is nothing to compare *)
+          true
+      | Error d ->
+          if not (Diag.is_runtime_fault d) then
+            QCheck.Test.fail_reportf "unexpected diagnostic: %s"
+              (Diag.to_string d);
+          let fp1 = Engine.fingerprint ~statics_upto:mark e in
+          if fp0 <> fp1 then
+            QCheck.Test.fail_reportf
+              "rollback changed the session: %s -> %s (fault %s)" fp0 fp1
+              (pp_inject (alloc_fault, k));
+          if leaks0 <> Engine.leak_report e then
+            QCheck.Test.fail_reportf "leak accounting changed after rollback";
+          (* the session survives: the same call succeeds afterwards *)
+          (match Engine.call_transactional e "churn" [ Mlua.Value.Num 4. ] with
+          | Ok _ -> ()
+          | Error d ->
+              QCheck.Test.fail_reportf "post-rollback call failed: %s"
+                (Diag.to_string d));
+          true)
+
 let () =
   Alcotest.run "san"
     [
@@ -530,4 +604,5 @@ let () =
       ("mem+fault", mem_fault_tests);
       ("golden", golden_tests);
       ("isolation", isolation_tests @ [ QCheck_alcotest.to_alcotest prop_checked_traffic ]);
+      ("txn-fuzz", [ QCheck_alcotest.to_alcotest prop_txn_crash_consistency ]);
     ]
