@@ -50,12 +50,43 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Every context made by [fresh_ctx] runs with its Tprof probe on and is
+   registered under the experiment that created it; --json emits one
+   profile per experiment so each benchmark row can be traced back to
+   where its instructions were spent. *)
+let current_experiment = ref ""
+let profiled_ctxs : (string * Context.t) list ref = ref []
+
+let register_profile ctx =
+  if !current_experiment <> "" then
+    profiled_ctxs := (!current_experiment, ctx) :: !profiled_ctxs
+
+let profiles_json () =
+  (* first-registered context per experiment, in registration order *)
+  let seen = Hashtbl.create 8 in
+  let ordered =
+    List.fold_left
+      (fun acc (name, ctx) ->
+        if Hashtbl.mem seen name then acc
+        else begin
+          Hashtbl.replace seen name ();
+          (name, ctx) :: acc
+        end)
+      []
+      (List.rev !profiled_ctxs)
+  in
+  List.rev_map
+    (fun (name, ctx) ->
+      Printf.sprintf "    \"%s\": %s" (json_escape name)
+        (Tprof.Report.to_json (Context.profile ctx)))
+    ordered
+
 let write_json path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "{\n  \"schema\": \"terra-bench-1\",\n  \"results\": [\n";
+      output_string oc "{\n  \"schema\": \"terra-bench-2\",\n  \"results\": [\n";
       let rows = List.rev !json_rows in
       List.iteri
         (fun i r ->
@@ -77,15 +108,24 @@ let write_json path =
             (String.concat ", " fields)
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      output_string oc "  ]\n}\n");
+      output_string oc "  ],\n  \"profiles\": {\n";
+      output_string oc (String.concat ",\n" (profiles_json ()));
+      output_string oc "\n  }\n}\n");
   Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
 
-let fresh_ctx () =
+let fresh_ctx ?opt_level () =
   let machine =
     Tmachine.Machine.create
       (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
   in
-  (Context.create ~mem_bytes:(420 * 1024 * 1024) ~machine (), machine)
+  let ctx =
+    Context.create ~mem_bytes:(420 * 1024 * 1024) ~machine ?opt_level ()
+  in
+  (* profile every benchmark context: counters are virtual-tick, so this
+     cannot change the modeled GFLOPS/fuel numbers *)
+  Tprof.Probe.set_on (Context.probe ctx) true;
+  register_profile ctx;
+  (ctx, machine)
 
 (* ------------------------------------------------------------------ *)
 (* E1/E2/E3: Figure 6 — GEMM GFLOPS vs matrix size *)
@@ -655,13 +695,7 @@ let topt () =
   let n = 192 in
   let params = { Tuner.Gemm.nb = 48; rm = 4; rn = 2; v = 4 } in
   let run level =
-    let machine =
-      Tmachine.Machine.create
-        (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
-    in
-    let ctx =
-      Context.create ~mem_bytes:(420 * 1024 * 1024) ~machine ~opt_level:level ()
-    in
+    let ctx, _ = fresh_ctx ~opt_level:level () in
     let m = Tuner.Gemm.alloc_matrices ctx ~elem n in
     Tuner.Gemm.fill_matrices ctx ~elem m;
     let reference = Tuner.Gemm.reference ctx ~elem m in
@@ -844,7 +878,9 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+          current_experiment := name;
+          Fun.protect ~finally:(fun () -> current_experiment := "") f
       | None ->
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat " " (List.map fst experiments)))

@@ -95,11 +95,60 @@ timeout 240 dune exec bin/terra_run.exe -- --batch examples/batch.manifest \
   > "$batch_out"
 python3 - "$batch_out" <<'PY'
 import json, sys
-rows = json.load(open(sys.argv[1]))
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "terra-batch-2", report.get("schema")
+rows = report["requests"]
 assert rows, "batch report is empty"
 assert all(r["status"] == "ok" for r in rows), rows
-print("batch report: %d requests, all ok" % len(rows))
+prof = report["profile"]
+assert prof["schema"] == "terra-prof-1", prof.get("schema")
+assert prof["total_retired"] > 0, prof
+print("batch report: %d requests, all ok (profile: %d instructions)"
+      % (len(rows), prof["total_retired"]))
 PY
 rm -f "$batch_out"
+
+echo "== profiler gate =="
+# Tprof must (a) emit valid terra-prof-1 JSON whose totals tie out,
+# (b) cost zero modeled instructions when off, and (c) render
+# byte-identical deterministic text profiles across runs.
+prof_out=$(mktemp) prof_a=$(mktemp) prof_b=$(mktemp)
+for prog in examples/programs/*.t; do
+  echo "-- $prog [profile-json]"
+  timeout 120 dune exec bin/terra_run.exe -- --profile=json --report-fuel \
+    --fuel 2000000000 "$prog" > /dev/null 2> "$prof_out"
+  python3 - "$prof_out" <<'PY'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+fuel = next(int(l.split()[1]) for l in lines if l.startswith("fuel:"))
+prof = json.loads(next(l for l in lines if l.startswith("{")))
+assert prof["schema"] == "terra-prof-1", prof.get("schema")
+assert prof["total_retired"] == fuel, (prof["total_retired"], fuel)
+assert isinstance(prof["functions"], list) and prof["functions"]
+for f in prof["functions"]:
+    assert 0 <= f["self"] <= f["total"] <= prof["total_retired"], f
+assert sum(f["self"] for f in prof["functions"]) <= prof["total_retired"]
+print("profile ok: %d instructions, %d functions"
+      % (fuel, len(prof["functions"])))
+PY
+done
+echo "-- zero overhead when off (mandelbrot)"
+f_off=$(dune exec bin/terra_run.exe -- --report-fuel \
+  examples/programs/mandelbrot.t 2>&1 >/dev/null | sed -n 's/^fuel: //p')
+f_on=$(dune exec bin/terra_run.exe -- --profile=json --report-fuel \
+  examples/programs/mandelbrot.t 2>&1 >/dev/null | sed -n 's/^fuel: //p')
+echo "fuel off=$f_off on=$f_on"
+if [ "$f_off" -ne "$f_on" ]; then
+  echo "profiling changed the modeled instruction stream" >&2
+  exit 1
+fi
+echo "-- deterministic text profile (mandelbrot)"
+dune exec bin/terra_run.exe -- --profile=text \
+  examples/programs/mandelbrot.t 2> "$prof_a" > /dev/null
+dune exec bin/terra_run.exe -- --profile=text \
+  examples/programs/mandelbrot.t 2> "$prof_b" > /dev/null
+diff "$prof_a" "$prof_b"
+echo "profiles byte-identical across runs"
+rm -f "$prof_out" "$prof_a" "$prof_b"
 
 echo "CI OK"

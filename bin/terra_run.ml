@@ -27,33 +27,41 @@ let code_of_result engine ~checked ~no_leak_check = function
       Printf.eprintf "%s\n" (Terra.Diag.to_string d);
       if Terra.Diag.is_runtime_fault d then 2 else 1
 
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
 let rec run_file path stats fuel max_steps max_depth checked no_leak_check
     fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
-    verify_rollback retries batch =
+    verify_rollback retries batch profile trace =
   match (batch, path) with
   | Some manifest, _ ->
       (* Batch mode: many scripts, one shared engine, supervised runs,
-         JSON report on stdout. *)
+         JSON report on stdout.  Profiling is always on so the report
+         carries instruction/alloc attribution across all requests. *)
       let engine =
         Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
-          ~checked ~opt_level:opt ()
+          ~checked ~opt_level:opt ~profile:true ~trace:(trace <> None) ()
       in
       let config =
         { Supervise.Supervisor.default_config with max_retries = retries }
       in
       let json, code = Supervise.Batch.run_manifest ~config engine manifest in
       print_string json;
+      (match trace with
+      | Some f -> write_file f (Terra.Engine.trace_chrome engine)
+      | None -> ());
       code
   | None, None ->
       prerr_endline "terra_run: expected PROGRAM.t or --batch MANIFEST";
       1
   | None, Some path -> run_one path stats fuel max_steps max_depth checked
       no_leak_check fail_alloc_at trap_at_step report_fuel opt dump_ir
-      dump_opt_stats transact verify_rollback retries
+      dump_opt_stats transact verify_rollback retries profile trace
 
 and run_one path stats fuel max_steps max_depth checked no_leak_check
     fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
-    verify_rollback retries =
+    verify_rollback retries profile trace =
   let src = read_file path in
   let faults =
     List.filter_map
@@ -71,7 +79,8 @@ and run_one path stats fuel max_steps max_depth checked no_leak_check
   in
   let engine =
     Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
-      ~checked ~faults ~opt_level:opt ~dump_ir ()
+      ~checked ~faults ~opt_level:opt ~dump_ir ~profile:(profile <> None)
+      ~trace:(trace <> None) ()
   in
   let code =
     if not transact then
@@ -122,6 +131,14 @@ and run_one path stats fuel max_steps max_depth checked no_leak_check
   in
   if report_fuel then
     Printf.eprintf "fuel: %d\n" (Terra.Engine.fuel_used engine);
+  (* profile/trace go to stderr and files: stdout is the program's *)
+  (match profile with
+  | Some `Text -> Printf.eprintf "%s" (Terra.Engine.profile_text engine)
+  | Some `Json -> Printf.eprintf "%s\n" (Terra.Engine.profile_json engine)
+  | None -> ());
+  (match trace with
+  | Some f -> write_file f (Terra.Engine.trace_chrome engine)
+  | None -> ());
   if dump_opt_stats then
     Format.eprintf "%a@." Topt.Stats.pp (Terra.Engine.opt_stats engine);
   if stats then
@@ -271,6 +288,33 @@ let () =
              per-request JSON report to stdout.  Exits 0 only if every \
              request succeeded.")
   in
+  let profile =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("text", `Text); ("json", `Json) ]))
+          None ~vopt:(Some `Text)
+      & info [ "profile" ] ~docv:"FORMAT"
+          ~doc:
+            "collect a deterministic instruction/allocation profile and \
+             print it to stderr at exit: $(b,text) (default; flat + \
+             call-graph tables, byte-identical across runs of the same \
+             program) or $(b,json) (schema terra-prof-1, adds compile-phase \
+             wall times).  The profile's total retired-instruction count \
+             equals $(b,--report-fuel).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "record VM events (call/return, alloc/free, transactions, \
+             faults, breaker transitions) and write them to $(docv) as \
+             Chrome trace_event JSON (load in chrome://tracing or \
+             Perfetto).  Timestamps are virtual ticks, so traces are \
+             deterministic.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
@@ -278,6 +322,6 @@ let () =
         const run_file $ path $ stats $ fuel $ max_steps $ max_depth $ checked
         $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel $ opt
         $ dump_ir $ dump_opt_stats $ transact $ verify_rollback $ retries
-        $ batch)
+        $ batch $ profile $ trace)
   in
   exit (Cmd.eval' cmd)

@@ -202,17 +202,32 @@ let entry_to_json e =
     (json_opt e.e_message) e.e_attempts e.e_retries e.e_backoff e.e_fuel
     e.e_fallback (json_opt e.e_divergence) (json_str e.e_output)
 
-(** Render the whole report as a JSON array. *)
-let to_json entries =
-  "[\n  " ^ String.concat ",\n  " (List.map entry_to_json entries) ^ "\n]\n"
+(** Render the whole report: schema header, per-request rows, and the
+    engine-wide profile accumulated across all requests. *)
+let to_json ?profile entries =
+  let requests =
+    "[\n    " ^ String.concat ",\n    " (List.map entry_to_json entries) ^ "\n  ]"
+  in
+  let profile_field =
+    match profile with
+    | Some p -> ",\n  \"profile\": " ^ p
+    | None -> ""
+  in
+  "{\n  \"schema\": \"terra-batch-2\",\n  \"requests\": " ^ requests
+  ^ profile_field ^ "\n}\n"
 
 (** Did every request succeed? *)
 let all_ok entries = List.for_all (fun e -> e.e_status = "ok") entries
 
 (** Run a manifest end to end: parse, execute against [eng], render.
-    Returns the JSON report and the suggested exit code (0 if every
+    The report carries the engine's profile when its probe has profiling
+    on.  Returns the JSON report and the suggested exit code (0 if every
     request succeeded, 1 otherwise). *)
 let run_manifest ?config eng manifest_path : string * int =
   let reqs = parse_manifest manifest_path in
   let entries = run_requests ?config eng reqs in
-  (to_json entries, if all_ok entries then 0 else 1)
+  let probe = Terra.Context.probe eng.Terra.Engine.ctx in
+  let profile =
+    if probe.Tprof.Probe.on then Some (Terra.Engine.profile_json eng) else None
+  in
+  (to_json ?profile entries, if all_ok entries then 0 else 1)

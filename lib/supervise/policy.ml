@@ -103,6 +103,12 @@ let record b key ~ok =
   | Half_open, false -> Hashtbl.replace b.states key (Open b.clock)
   | Open _, _ -> ()
 
+(** Stable name of a breaker state, for logs and trace events. *)
+let state_name = function
+  | Closed _ -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"
+
 (** The [cb.open] diagnostic returned for a rejected call. *)
 let open_diag key remaining =
   Terra.Diag.make ~phase:Terra.Diag.Run ~code:"cb.open"

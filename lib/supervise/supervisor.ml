@@ -60,14 +60,30 @@ let logf fmt = Printf.ksprintf (fun s -> !log_sink s) fmt
 let with_call_fuel (vm : Tvm.Vm.t) budget f =
   let saved_fuel = vm.Tvm.Vm.fuel and saved_limit = vm.Tvm.Vm.fuel_limit in
   let b = max 1 (min budget saved_fuel) in
+  let steps0 = vm.Tvm.Vm.steps in
   vm.Tvm.Vm.fuel <- b;
   vm.Tvm.Vm.fuel_limit <- b;
   Fun.protect
     ~finally:(fun () ->
-      let used = b - vm.Tvm.Vm.fuel in
+      (* charge by retired instructions — the same counter Tprof and
+         --report-fuel read — so the watchdog cannot drift from them *)
+      let used = vm.Tvm.Vm.steps - steps0 in
       vm.Tvm.Vm.fuel <- saved_fuel - used;
       vm.Tvm.Vm.fuel_limit <- saved_limit)
     f
+
+(* Emit a breaker-transition trace event when [f] changes [key]'s state. *)
+let with_breaker_event (vm : Tvm.Vm.t) breaker key f =
+  match breaker with
+  | None -> f ()
+  | Some b ->
+      let before = Policy.state_name (Policy.breaker_state b key) in
+      let r = f () in
+      let after = Policy.state_name (Policy.breaker_state b key) in
+      let probe = vm.Tvm.Vm.probe in
+      if after <> before && probe.Tprof.Probe.active then
+        Tprof.Probe.breaker probe ~key ~state:after;
+      r
 
 let opt_divergence key =
   Diag.make ~phase:Diag.Run ~code:"supervise.opt-divergence"
@@ -97,7 +113,7 @@ let supervise ~(config : config) ~key ~(vm : Tvm.Vm.t)
   let admit =
     match config.breaker with
     | None -> `Allow
-    | Some b -> Policy.admit b key
+    | Some b -> with_breaker_event vm config.breaker key (fun () -> Policy.admit b key)
   in
   match admit with
   | `Reject remaining ->
@@ -105,7 +121,7 @@ let supervise ~(config : config) ~key ~(vm : Tvm.Vm.t)
         remaining;
       rejected remaining
   | `Allow ->
-      let fuel_before = vm.Tvm.Vm.fuel in
+      let steps_before = vm.Tvm.Vm.steps in
       let attempts = ref 0 in
       let retries = ref 0 in
       let backoff_total = ref 0 in
@@ -151,13 +167,15 @@ let supervise ~(config : config) ~key ~(vm : Tvm.Vm.t)
       in
       let output, result = go () in
       (match config.breaker with
-      | Some b -> Policy.record b key ~ok:(Result.is_ok result)
+      | Some b ->
+          with_breaker_event vm config.breaker key (fun () ->
+              Policy.record b key ~ok:(Result.is_ok result))
       | None -> ());
       {
         result;
         attempts = !attempts;
         retries = !retries;
-        fuel_used = fuel_before - vm.Tvm.Vm.fuel;
+        fuel_used = vm.Tvm.Vm.steps - steps_before;
         backoff_total = !backoff_total;
         fallback = !fallback;
         divergence = !divergence;

@@ -40,6 +40,27 @@ let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults
 let checked t = Tvm.Vm.checked t.vm
 
 (* ------------------------------------------------------------------ *)
+(* Profiling: the VM's Tprof probe, plus report assembly that folds the
+   context's Topt pass statistics into the compile-phase table. *)
+
+let probe t = t.vm.Tvm.Vm.probe
+
+(** Snapshot the probe as a {!Tprof.Report.t}, with one extra
+    [opt.<pass>] phase row per Topt pass that ran in this context. *)
+let profile t =
+  let extra =
+    List.map
+      (fun (name, events, secs) ->
+        {
+          Tprof.Report.p_name = "opt." ^ name;
+          p_count = events;
+          p_ms = secs *. 1000.0;
+        })
+      (Topt.Stats.entries t.opt_stats)
+  in
+  Tprof.Report.of_probe ~extra ~name_of:(Tvm.Vm.func_name t.vm) (probe t)
+
+(* ------------------------------------------------------------------ *)
 (* Transactional execution: run [f] with the VM session journaled, and
    roll the session back to a byte-identical state if it fails.  The
    paper's separation claim (§2.4) says Terra execution cannot corrupt

@@ -28,9 +28,13 @@ let () =
   Mlua.Lualib.exn_to_value := fun e -> Option.map Diag.wrap (Diag.of_exn e)
 
 let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
-    ?checked ?faults ?opt_level ?dump_ir () =
+    ?checked ?faults ?opt_level ?dump_ir ?(profile = false) ?(trace = false)
+    () =
   let ctx = Context.create ?machine ?mem_bytes ?checked ?faults ?opt_level () in
   (match dump_ir with Some d -> ctx.Context.dump_ir <- d | None -> ());
+  let probe = Context.probe ctx in
+  if profile then Tprof.Probe.set_on probe true;
+  if trace then Tprof.Probe.set_tracing probe true;
   (match fuel with Some n -> Tvm.Vm.set_fuel ctx.Context.vm n | None -> ());
   Tvm.Vm.set_max_depth ctx.Context.vm max_call_depth;
   let scope = Mlua.Driver.make_scope () in
@@ -242,6 +246,34 @@ let checked t = Context.checked t.ctx
 let fuel_used t = Tvm.Vm.fuel_used t.ctx.Context.vm
 let opt_level t = t.ctx.Context.opt_level
 let opt_stats t = t.ctx.Context.opt_stats
+
+(* ------------------------------------------------------------------ *)
+(* Profiling & tracing *)
+
+let probe t = Context.probe t.ctx
+
+(** Toggle instruction/alloc profiling ({!profile} reads the counters). *)
+let set_profiling t b = Tprof.Probe.set_on (probe t) b
+
+(** Toggle event tracing (ring buffer; {!trace_text}/{!trace_chrome}). *)
+let set_tracing t b = Tprof.Probe.set_tracing (probe t) b
+
+(** Snapshot the profile collected so far (flat + call-graph + phases). *)
+let profile t = Context.profile t.ctx
+
+(** Deterministic text rendering of {!profile}. *)
+let profile_text t = Tprof.Report.to_text (profile t)
+
+(** JSON rendering of {!profile} (schema [terra-prof-1]). *)
+let profile_json t = Tprof.Report.to_json (profile t)
+
+let name_of t = Tvm.Vm.func_name t.ctx.Context.vm
+
+(** Deterministic text dump of the trace ring buffer. *)
+let trace_text t = Tprof.Trace.to_text ~name_of:(name_of t) (probe t)
+
+(** Chrome [trace_event] JSON of the trace ring buffer. *)
+let trace_chrome t = Tprof.Trace.to_chrome ~name_of:(name_of t) (probe t)
 
 (** Install a fault spec into the running VM (tests inject mid-session). *)
 let inject t spec = Tvm.Vm.add_fault t.ctx.Context.vm spec

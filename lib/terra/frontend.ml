@@ -444,9 +444,11 @@ let parse_func_tail p =
 
 (* Specialize and fill in a function object (eager specialization). *)
 let define_function ctx (f : Func.t) scope ~params ~ret ~body =
-  let sparams, sret, sbody = Specialize.func scope ~params ~rettype:ret ~body in
-  Func.define f ~params:sparams ~ret:sret ~body:sbody;
-  ignore ctx
+  let sparams, sret, sbody =
+    Tprof.Probe.time ctx.Context.vm.Tvm.Vm.probe "frontend.specialize"
+      (fun () -> Specialize.func scope ~params ~rettype:ret ~body)
+  in
+  Func.define f ~params:sparams ~ret:sret ~body:sbody
 
 (* Resolve the variable a named terra/struct definition binds to: an
    existing local/global of that name, or a fresh global. *)

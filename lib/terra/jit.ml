@@ -16,16 +16,23 @@ let () =
     function is declared but not defined. *)
 let ensure_compiled (f : Func.t) =
   let visited : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let probe (g : Func.t) = g.Func.ctx.Context.vm.Tvm.Vm.probe in
   let rec visit (g : Func.t) =
     if not (Hashtbl.mem visited g.Func.fid) then begin
       Hashtbl.replace visited g.Func.fid ();
       if g.Func.extern_name = None then begin
-        let typed = Typecheck.typecheck g in
+        if g.Func.compiled then
+          Tprof.Probe.phase_count (probe g) "jit.codecache.hit";
+        let typed =
+          Tprof.Probe.time (probe g) "jit.typecheck" (fun () ->
+              Typecheck.typecheck g)
+        in
         if not g.Func.compiled then begin
           let ctx = g.Func.ctx in
           let result =
-            Compile.compile_func ~no_spill:g.Func.no_spill ctx
-              ~name:g.Func.name typed
+            Tprof.Probe.time (probe g) "jit.compile" (fun () ->
+                Compile.compile_func ~no_spill:g.Func.no_spill ctx
+                  ~name:g.Func.name typed)
           in
           let dump tag fn =
             Format.eprintf "; %s (opt=%d)@.%a@." tag ctx.Context.opt_level
@@ -36,9 +43,10 @@ let ensure_compiled (f : Func.t) =
           (* the Topt pipeline sits between lowering and the VM; checked
              contexts keep every memory access for the sanitizer *)
           let optimized =
-            Topt.Pipeline.optimize ~level:ctx.Context.opt_level
-              ~checked:(Context.checked ctx) ~stats:ctx.Context.opt_stats
-              result.Compile.func
+            Tprof.Probe.time (probe g) "jit.optimize" (fun () ->
+                Topt.Pipeline.optimize ~level:ctx.Context.opt_level
+                  ~checked:(Context.checked ctx) ~stats:ctx.Context.opt_stats
+                  result.Compile.func)
           in
           if ctx.Context.dump_ir = Context.Dump_after then
             dump "after optimization" optimized;

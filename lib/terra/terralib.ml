@@ -164,6 +164,61 @@ let install ctx (globals : V.table) =
       match Func.unwrap_opt (arg args 0) with
       | Some f -> [ V.Str (Jit.disas f) ]
       | None -> V.error_str "disas expects a terra function");
+  (* Tprof hooks: toggle profiling/tracing, read the profile as a Lua
+     table, and render the deterministic text forms.  profileon() also
+     returns the previous state so scripts can save/restore it. *)
+  let probe = Context.probe ctx in
+  reg tl "profileon" (fun _ ->
+      let was = probe.Tprof.Probe.on in
+      Tprof.Probe.set_on probe true;
+      [ V.Bool was ]);
+  reg tl "profileoff" (fun _ ->
+      let was = probe.Tprof.Probe.on in
+      Tprof.Probe.set_on probe false;
+      [ V.Bool was ]);
+  reg tl "traceon" (fun _ ->
+      let was = probe.Tprof.Probe.tracing in
+      Tprof.Probe.set_tracing probe true;
+      [ V.Bool was ]);
+  reg tl "traceoff" (fun _ ->
+      let was = probe.Tprof.Probe.tracing in
+      Tprof.Probe.set_tracing probe false;
+      [ V.Bool was ]);
+  reg tl "profilereset" (fun _ ->
+      Tprof.Probe.reset probe;
+      []);
+  reg tl "profile" (fun _ ->
+      let r = Context.profile ctx in
+      let t = V.new_table () in
+      V.raw_set_str t "total" (V.Num (float_of_int r.Tprof.Report.total));
+      V.raw_set_str t "allocs" (V.Num (float_of_int r.Tprof.Report.allocs));
+      V.raw_set_str t "alloc_bytes"
+        (V.Num (float_of_int r.Tprof.Report.alloc_bytes));
+      V.raw_set_str t "frees" (V.Num (float_of_int r.Tprof.Report.frees));
+      V.raw_set_str t "redzone_checks"
+        (V.Num (float_of_int r.Tprof.Report.redzone));
+      let funcs = V.new_table () in
+      List.iter
+        (fun (f : Tprof.Report.frow) ->
+          let ft = V.new_table () in
+          V.raw_set_str ft "calls" (V.Num (float_of_int f.f_calls));
+          V.raw_set_str ft "self" (V.Num (float_of_int f.f_self));
+          V.raw_set_str ft "total" (V.Num (float_of_int f.f_total));
+          V.raw_set_str ft "branches" (V.Num (float_of_int f.f_branches));
+          V.raw_set_str ft "allocs" (V.Num (float_of_int f.f_allocs));
+          V.raw_set_str funcs f.f_name (V.Table ft))
+        r.Tprof.Report.funcs;
+      V.raw_set_str t "functions" (V.Table funcs);
+      [ V.Table t ]);
+  reg tl "profiletext" (fun _ ->
+      [ V.Str (Tprof.Report.to_text (Context.profile ctx)) ]);
+  reg tl "tracedump" (fun _ ->
+      [
+        V.Str
+          (Tprof.Trace.to_text
+             ~name_of:(Tvm.Vm.func_name ctx.Context.vm)
+             probe);
+      ]);
   reg tl "typeof" (fun args ->
       match arg args 0 with
       | V.Userdata { u = Func.Ufunc f; _ } -> [ Types.wrap (Func.type_of f) ]

@@ -44,6 +44,15 @@ let order t = List.rev t.s_order
 
 let total_events t = Hashtbl.fold (fun _ p acc -> acc + p.p_events) t.passes 0
 
+(** Per-pass rows in pipeline order: [(name, events, seconds)].  The
+    profiler folds these into its compile-phase table. *)
+let entries t =
+  List.map
+    (fun name ->
+      let p = Hashtbl.find t.passes name in
+      (name, p.p_events, p.p_time))
+    (order t)
+
 let pp ppf t =
   let saved = t.s_before - t.s_after in
   let pct =

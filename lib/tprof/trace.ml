@@ -1,0 +1,110 @@
+(** Trace exports: the probe's event ring rendered as Chrome
+    [trace_event] JSON (loadable in chrome://tracing / Perfetto) or as a
+    deterministic text dump.
+
+    Timestamps are the probe's virtual clock (one microsecond per
+    retired VM instruction in the Chrome view), so traces of the same
+    program are byte-identical across runs.
+
+    The ring buffer may have dropped the oldest events, leaving orphan
+    returns at the front and unclosed calls at the end; the Chrome
+    exporter repairs both (skips returns with no matching begin, closes
+    still-open begins at the final tick) so the resulting JSON always
+    has balanced B/E pairs. *)
+
+let kind_label ~name_of (k : Probe.event_kind) =
+  match k with
+  | Probe.Ev_call id -> Printf.sprintf "call %s" (name_of id)
+  | Probe.Ev_ret id -> Printf.sprintf "ret %s" (name_of id)
+  | Probe.Ev_alloc { addr; bytes } ->
+      Printf.sprintf "alloc %d bytes @0x%x" bytes addr
+  | Probe.Ev_free { addr } -> Printf.sprintf "free @0x%x" addr
+  | Probe.Ev_txn_begin -> "txn begin"
+  | Probe.Ev_txn_commit -> "txn commit"
+  | Probe.Ev_txn_rollback -> "txn rollback"
+  | Probe.Ev_fault code -> Printf.sprintf "fault %s" code
+  | Probe.Ev_breaker { key; state } ->
+      Printf.sprintf "breaker %s -> %s" key state
+  | Probe.Ev_mark label -> Printf.sprintf "mark %s" label
+
+(** Deterministic text dump, one event per line: [tick  description]. *)
+let to_text ~name_of (p : Probe.t) =
+  let b = Buffer.create 1024 in
+  let dropped = Probe.dropped_events p in
+  if dropped > 0 then
+    Buffer.add_string b (Printf.sprintf "# %d oldest events dropped\n" dropped);
+  List.iter
+    (fun (e : Probe.event) ->
+      Buffer.add_string b
+        (Printf.sprintf "%10d  %s\n" e.Probe.ev_tick
+           (kind_label ~name_of e.Probe.ev_kind)))
+    (Probe.events p);
+  Buffer.contents b
+
+let chrome_event ~ph ~name ~ts ?(args = []) () =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str ph);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+(** Chrome [trace_event] JSON (the "JSON array format"): calls/returns
+    become B/E duration events, everything else instant ([i]) events. *)
+let to_chrome_value ~name_of (p : Probe.t) =
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let open_stack = ref [] in
+  let last_tick = ref 0 in
+  List.iter
+    (fun (e : Probe.event) ->
+      let ts = e.Probe.ev_tick in
+      last_tick := max !last_tick ts;
+      match e.Probe.ev_kind with
+      | Probe.Ev_call id ->
+          open_stack := id :: !open_stack;
+          emit (chrome_event ~ph:"B" ~name:(name_of id) ~ts ())
+      | Probe.Ev_ret id -> (
+          match !open_stack with
+          | top :: rest when top = id ->
+              open_stack := rest;
+              emit (chrome_event ~ph:"E" ~name:(name_of id) ~ts ())
+          | _ -> () (* orphan return: its begin fell off the ring *))
+      | Probe.Ev_alloc { addr; bytes } ->
+          emit
+            (chrome_event ~ph:"i" ~name:"alloc" ~ts
+               ~args:[ ("addr", Json.Int addr); ("bytes", Json.Int bytes) ]
+               ())
+      | Probe.Ev_free { addr } ->
+          emit
+            (chrome_event ~ph:"i" ~name:"free" ~ts
+               ~args:[ ("addr", Json.Int addr) ]
+               ())
+      | Probe.Ev_txn_begin -> emit (chrome_event ~ph:"i" ~name:"txn.begin" ~ts ())
+      | Probe.Ev_txn_commit ->
+          emit (chrome_event ~ph:"i" ~name:"txn.commit" ~ts ())
+      | Probe.Ev_txn_rollback ->
+          emit (chrome_event ~ph:"i" ~name:"txn.rollback" ~ts ())
+      | Probe.Ev_fault code ->
+          emit
+            (chrome_event ~ph:"i" ~name:"fault" ~ts
+               ~args:[ ("code", Json.Str code) ]
+               ())
+      | Probe.Ev_breaker { key; state } ->
+          emit
+            (chrome_event ~ph:"i" ~name:"breaker" ~ts
+               ~args:[ ("key", Json.Str key); ("state", Json.Str state) ]
+               ())
+      | Probe.Ev_mark label ->
+          emit (chrome_event ~ph:"i" ~name:label ~ts ()))
+    (Probe.events p);
+  (* close calls still open when the trace ended *)
+  List.iter
+    (fun id -> emit (chrome_event ~ph:"E" ~name:(name_of id) ~ts:!last_tick ()))
+    !open_stack;
+  Json.List (List.rev !out)
+
+let to_chrome ~name_of p = Json.to_string (to_chrome_value ~name_of p)

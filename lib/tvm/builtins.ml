@@ -44,31 +44,49 @@ let take_output () =
 
 let emit s = !print_sink s
 
+(* Report a completed heap allocation/free to the profiler.  These run
+   after the allocator call so failed (trapping) allocations are never
+   counted as live heap traffic. *)
+let probe_alloc (vm : Vm.t) addr bytes =
+  if vm.probe.Tprof.Probe.active then
+    Tprof.Probe.alloc vm.probe ~addr ~bytes
+
+let probe_free (vm : Vm.t) addr =
+  if vm.probe.Tprof.Probe.active then Tprof.Probe.free vm.probe ~addr
+
 let all : (string * Vm.builtin) list =
   [
     ( "malloc",
       fun vm args ->
         Machine.count vm.machine Cost.Call;
         Vm.note_alloc vm;
-        Vm.VI (Int64.of_int (Alloc.malloc vm.alloc (Int64.to_int (iarg args 0)))) );
+        let n = Int64.to_int (iarg args 0) in
+        let p = Alloc.malloc vm.alloc n in
+        probe_alloc vm p n;
+        Vm.VI (Int64.of_int p) );
     ( "calloc",
       fun vm args ->
         Vm.note_alloc vm;
         let n = Int64.to_int (iarg args 0) * Int64.to_int (iarg args 1) in
         let p = Alloc.malloc vm.alloc n in
         Mem.fill vm.mem p n '\000';
+        probe_alloc vm p n;
         Vm.VI (Int64.of_int p) );
     ( "free",
       fun vm args ->
-        Alloc.free vm.alloc (addr_arg args 0);
+        let a = addr_arg args 0 in
+        Alloc.free vm.alloc a;
+        probe_free vm a;
         Vm.VUnit );
     ( "realloc",
       fun vm args ->
         Vm.note_alloc vm;
-        Vm.VI
-          (Int64.of_int
-             (Alloc.realloc vm.alloc (addr_arg args 0)
-                (Int64.to_int (iarg args 1)))) );
+        let old = addr_arg args 0 in
+        let n = Int64.to_int (iarg args 1) in
+        let p = Alloc.realloc vm.alloc old n in
+        if p <> old then probe_free vm old;
+        probe_alloc vm p n;
+        Vm.VI (Int64.of_int p) );
     ( "memcpy",
       fun vm args ->
         let dst = addr_arg args 0 and src = addr_arg args 1 in

@@ -20,6 +20,7 @@ type t = {
   stack_top : int;
   mutable shadow : Shadow.t option;  (** present iff checked mode is on *)
   mutable txn : txn option;  (** active transaction, if any *)
+  mutable probe : Tprof.Probe.t option;  (** profiler, if attached *)
 }
 
 let statics_base = 4096
@@ -37,6 +38,7 @@ let create ?(bytes = default_bytes) () =
     stack_top = bytes;
     shadow = None;
     txn = None;
+    probe = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -116,6 +118,7 @@ let fingerprint ?statics_upto t =
 let attach_shadow t sh = t.shadow <- Some sh
 let shadow t = t.shadow
 let checked t = t.shadow <> None
+let set_probe t p = t.probe <- Some p
 
 let size t = Bytes.length t.bytes
 let heap_base t = t.heap_base
@@ -139,7 +142,11 @@ let check t addr len what =
     raise (Fault (addr, what));
   match t.shadow with
   | None -> ()
-  | Some sh -> Shadow.check sh ~what ~addr ~len
+  | Some sh ->
+      (match t.probe with
+      | Some p when p.Tprof.Probe.active -> Tprof.Probe.redzone_check p
+      | _ -> ());
+      Shadow.check sh ~what ~addr ~len
 
 let get_u8 t a =
   check t a 1 "load u8";

@@ -46,6 +46,10 @@ val attach_shadow : t -> Shadow.t -> unit
 
 val shadow : t -> Shadow.t option
 val checked : t -> bool
+
+(** Attach a Tprof probe; sanitizer shadow checks are counted against it
+    when profiling is on (the probe never alters the access itself). *)
+val set_probe : t -> Tprof.Probe.t -> unit
 val statics_base : int
 val heap_base : t -> int
 val heap_limit : t -> int

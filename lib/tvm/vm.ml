@@ -23,13 +23,17 @@ type t = {
   mutable depth : int;
   mutable max_depth : int;
   mutable steps : int;  (** retired instructions, for fault injection *)
+  mutable fuel_mark : int;  (** [steps] at the last {!set_fuel} *)
   mutable faults : Fault.t option;
+  probe : Tprof.Probe.t;  (** tracing/profiling probe; off by default *)
 }
 
 and builtin = t -> value array -> value
 
 let create ?mem_bytes ?(checked = false) ?faults machine =
   let mem = Mem.create ?bytes:mem_bytes () in
+  let probe = Tprof.Probe.create () in
+  Mem.set_probe mem probe;
   {
     mem;
     alloc = Alloc.create ~checked mem;
@@ -48,14 +52,22 @@ let create ?mem_bytes ?(checked = false) ?faults machine =
     depth = 0;
     max_depth = 10_000;
     steps = 0;
+    fuel_mark = 0;
     faults =
       (match faults with
       | None | Some [] -> None
       | Some specs -> Some (Fault.create specs));
+    probe;
   }
 
 let checked t = Mem.checked t.mem
 let steps t = t.steps
+let probe t = t.probe
+
+(** Resolve a VM function id to its name, for profile reports. *)
+let func_name t id =
+  if id >= 0 && id < t.nfuncs then t.funcs.(id).Ir.fname
+  else Printf.sprintf "<fn:%d>" id
 
 (* ------------------------------------------------------------------ *)
 (* Transactions: crash-consistent Terra calls.  A transaction journals
@@ -78,6 +90,7 @@ type txn = {
 let in_txn t = Mem.in_txn t.mem
 
 let begin_txn t =
+  if t.probe.Tprof.Probe.active then Tprof.Probe.txn_begin t.probe;
   let tx_mem = Mem.begin_txn t.mem in
   {
     tx_mem;
@@ -88,6 +101,7 @@ let begin_txn t =
   }
 
 let rollback t tx =
+  if t.probe.Tprof.Probe.active then Tprof.Probe.txn_rollback t.probe;
   Mem.rollback t.mem tx.tx_mem;
   Alloc.rollback t.alloc tx.tx_alloc;
   (match (tx.tx_shadow, Mem.shadow t.mem) with
@@ -97,6 +111,7 @@ let rollback t tx =
   t.depth <- tx.tx_depth
 
 let commit t tx =
+  if t.probe.Tprof.Probe.active then Tprof.Probe.txn_commit t.probe;
   Mem.commit t.mem tx.tx_mem;
   Alloc.commit t.alloc tx.tx_alloc;
   match (tx.tx_shadow, Mem.shadow t.mem) with
@@ -126,7 +141,14 @@ let add_fault t spec =
 
 (** Called by builtins on every program heap allocation. *)
 let note_alloc t =
-  match t.faults with Some f -> Fault.on_alloc f | None -> ()
+  match t.faults with
+  | None -> ()
+  | Some f -> (
+      try Fault.on_alloc f
+      with Fault.Injected (spec, _) as e ->
+        if t.probe.Tprof.Probe.active then
+          Tprof.Probe.fault t.probe (Fault.code spec);
+        raise e)
 
 let register_builtin t name fn = Hashtbl.replace t.builtins name fn
 
@@ -342,6 +364,11 @@ let rec call t fidx (args : value array) : value =
     raise (Trap (Printf.sprintf "stack overflow (call depth exceeds %d)" t.max_depth))
   end;
   t.depth <- t.depth + 1;
+  let pushed =
+    if t.probe.Tprof.Probe.active then
+      Tprof.Probe.enter t.probe ~id:fidx ~name:f.Ir.fname
+    else false
+  in
   let frame = t.sp in
   let m = t.machine in
   let code = f.code in
@@ -357,9 +384,14 @@ let rec call t fidx (args : value array) : value =
         if t.fuel <= 0 then raise (Trap "fuel exhausted");
         t.fuel <- t.fuel - 1;
         t.steps <- t.steps + 1;
+        if t.probe.Tprof.Probe.active then Tprof.Probe.retire t.probe;
         (match t.faults with
-        | Some f when t.steps >= Fault.next_step f ->
-            Fault.fire_step f t.mem t.steps
+        | Some f when t.steps >= Fault.next_step f -> (
+            try Fault.fire_step f t.mem t.steps
+            with Fault.Injected (spec, _) as e ->
+              if t.probe.Tprof.Probe.active then
+                Tprof.Probe.fault t.probe (Fault.code spec);
+              raise e)
         | _ -> ());
         (match Array.unsafe_get code !pc with
         | Mov (d, a) ->
@@ -482,9 +514,11 @@ let rec call t fidx (args : value array) : value =
             Machine.load m (frame + off) 8
         | Jmp l ->
             Machine.count m Cost.Branch;
+            if t.probe.Tprof.Probe.active then Tprof.Probe.branch t.probe;
             pc := l - 1
         | Br (c, lt, lf) ->
             Machine.count m Cost.Branch;
+            if t.probe.Tprof.Probe.active then Tprof.Probe.branch t.probe;
             pc := (if truthy (operand c) then lt else lf) - 1
         | Ret None -> raise (Return_value VUnit)
         | Ret (Some a) -> raise (Return_value (operand a)));
@@ -495,10 +529,14 @@ let rec call t fidx (args : value array) : value =
     | Return_value v ->
         t.sp <- saved_sp;
         t.depth <- t.depth - 1;
+        if pushed || t.probe.Tprof.Probe.active then
+          Tprof.Probe.leave t.probe ~id:fidx ~pushed;
         v
     | e ->
         t.sp <- saved_sp;
         t.depth <- t.depth - 1;
+        if pushed || t.probe.Tprof.Probe.active then
+          Tprof.Probe.leave t.probe ~id:fidx ~pushed;
         raise e
   in
   result
@@ -507,10 +545,15 @@ let call_by_id = call
 
 let set_fuel t n =
   t.fuel <- n;
-  t.fuel_limit <- n
+  t.fuel_limit <- n;
+  t.fuel_mark <- t.steps
 
-(** Instructions retired since the last {!set_fuel} — the checked-mode
-    overhead measurement in CI relies on this counter. *)
-let fuel_used t = t.fuel_limit - t.fuel
+(** Instructions retired since the last {!set_fuel}.  Derived from the
+    single [steps] counter (the same one Tprof's virtual clock and fault
+    injection observe) so `--report-fuel`, the supervise fuel watchdog,
+    and profile totals can never drift apart.  Since [fuel] decrements
+    exactly once per retired instruction this equals the historical
+    [fuel_limit - fuel] on every path that does not reset fuel mid-run. *)
+let fuel_used t = t.steps - t.fuel_mark
 
 let set_max_depth t n = t.max_depth <- n

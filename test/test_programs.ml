@@ -3,33 +3,15 @@
    the demos stay working. (They were previously mangled by dune's cram
    runner and never actually run.) *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* cwd at test time is _build/default/test; (deps ...) in test/dune stages
-   the sources into the build tree at their original relative paths *)
-let program name = Filename.concat "../examples/programs" name
-let expected name = Filename.concat "expected" name
-
-let check_program src_file expected_file () =
-  let src = read_file (program src_file) in
-  let e = Terrastd.create ~mem_bytes:(64 * 1024 * 1024) () in
-  match Terra.Engine.run_capture_protected e ~file:src_file src with
-  | out, Ok _ ->
-      Alcotest.(check string) src_file (read_file (expected expected_file)) out
-  | _, Error d -> Alcotest.failf "%s: %s" src_file (Terra.Diag.to_string d)
-
 let () =
   Alcotest.run "programs"
     [
       ( "examples",
         [
           Alcotest.test_case "mandelbrot.t" `Quick
-            (check_program "mandelbrot.t" "mandelbrot.expected");
+            (Harness.run_expect_file "mandelbrot.t" "mandelbrot.expected");
           Alcotest.test_case "paper_surface.t" `Quick
-            (check_program "paper_surface.t" "paper_surface.expected");
+            (Harness.run_expect_file "paper_surface.t"
+               "paper_surface.expected");
         ] );
     ]

@@ -16,16 +16,7 @@ open Terra
 let checks = Alcotest.(check string)
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
-let quick name f = Alcotest.test_case name `Quick f
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* cwd at test time is _build/default/test; test/dune stages programs/ *)
-let golden name = Filename.concat "programs" name
+let quick = Harness.quick
 
 let checked_alloc ?quarantine () =
   let mem = Mem.create () in
@@ -229,14 +220,8 @@ let mem_fault_tests =
 (* ------------------------------------------------------------------ *)
 (* Golden buggy programs through the engine *)
 
-let engine ?(checked = false) ?faults () =
-  Terrastd.create ~mem_bytes:(32 * 1024 * 1024) ~checked ?faults ()
-
-let run_golden ~checked name =
-  let src = read_file (golden name) in
-  let e = engine ~checked () in
-  let _, r = Engine.run_capture_protected e ~file:name src in
-  (e, r)
+let engine = Harness.engine
+let run_golden = Harness.run_golden
 
 (* checked run must fail with exactly this san.* code, and the code must
    be in the exit-2 (runtime fault) class *)

@@ -17,21 +17,10 @@ open Terra
 let checks = Alcotest.(check string)
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
-let quick name f = Alcotest.test_case name `Quick f
-
-let engine ?(checked = false) ?faults ?opt_level () =
-  Terrastd.create ~mem_bytes:(32 * 1024 * 1024) ~checked ?faults ?opt_level ()
-
-let run_ok e src =
-  match Engine.run_capture_protected e src with
-  | out, Ok _ -> out
-  | _, Error d -> Alcotest.failf "setup run failed: %s" (Diag.to_string d)
-
-let contains_sub ~sub s =
-  let n = String.length sub and m = String.length s in
-  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
-  at 0
-
+let quick = Harness.quick
+let engine = Harness.engine
+let run_ok e src = Harness.run_ok e src
+let contains_sub = Harness.contains_sub
 let vm_of e = e.Engine.ctx.Context.vm
 
 (* ------------------------------------------------------------------ *)
