@@ -108,6 +108,33 @@ print("batch report: %d requests, all ok (profile: %d instructions)"
 PY
 rm -f "$batch_out"
 
+echo "== serve smoke =="
+# The daemon front end: pipe the example session through terra_serve and
+# check every response parses, failed requests roll back verified, and
+# the drain is clean (the daemon's own exit code is 0 iff the pool held
+# no leaked blocks at shutdown — set -eu turns a leak into a CI failure).
+serve_out=$(mktemp)
+timeout 240 dune exec bin/terra_serve.exe -- --quiet \
+  < examples/serve_session.jsonl > "$serve_out"
+python3 - "$serve_out" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+runs = [l for l in lines if l.get("schema") == "terra-batch-2"]
+assert runs, "no run responses"
+for r in runs:
+    assert r["status"] in ("ok", "error"), r
+    if r["status"] == "error":
+        assert r["rollback"] == "verified", r
+oks = [r for r in runs if r["status"] == "ok"]
+assert oks and all(r["exit"] == 0 for r in oks), oks
+assert any(r["retries"] > 0 for r in runs), "injected fault was not retried"
+drain = lines[-1]
+assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
+print("serve smoke: %d responses (%d runs), drain clean"
+      % (len(lines), len(runs)))
+PY
+rm -f "$serve_out"
+
 echo "== profiler gate =="
 # Tprof must (a) emit valid terra-prof-1 JSON whose totals tie out,
 # (b) cost zero modeled instructions when off, and (c) render

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Short terra_serve soak for CI: 200 mixed requests (a well-behaved
+# tenant interleaved with a hostile one) through a single daemon with a
+# small recycle limit, then a graceful drain.  Asserts the well-behaved
+# tenant is byte-stable and untouched, every hostile failure rolls back
+# verified, the hostile tenant's breaker opens, and the pool drains
+# clean (the daemon exits 0 only on a leak-free drain).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bin/terra_serve.exe
+
+soak_in=$(mktemp) soak_out=$(mktemp)
+trap 'rm -f "$soak_in" "$soak_out"' EXIT
+
+python3 - "$soak_in" <<'PY'
+import json, sys
+good = "terra f() return 40 + 2 end print(f())"
+div = "terra d(n : int32) return 10 / n end print(d(0))"
+leak = ("local std = terralib.includec(\"stdlib.h\") "
+        "terra l() var p = [&int32](std.malloc(64)) p[0] = 1 return p[0] end "
+        "print(l())")
+with open(sys.argv[1], "w") as f:
+    for i in range(200):
+        if i % 5 == 4:
+            f.write(json.dumps({"src": div, "retries": 0,
+                                "tenant": "mallory"}) + "\n")
+        elif i % 31 == 17:
+            f.write(json.dumps({"src": leak, "tenant": "frank"}) + "\n")
+        else:
+            f.write(json.dumps({"src": good, "tenant": "alice"}) + "\n")
+    f.write(json.dumps({"op": "status"}) + "\n")
+    f.write(json.dumps({"op": "shutdown"}) + "\n")
+PY
+
+timeout 300 dune exec bin/terra_serve.exe -- --quiet --recycle-after 32 \
+  < "$soak_in" > "$soak_out"
+
+python3 - "$soak_out" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+runs = [l for l in lines if l.get("schema") == "terra-batch-2"]
+assert len(runs) == 200, len(runs)
+good = [r for r in runs if r["tenant"] == "alice"]
+assert good and all(r["status"] == "ok" and r["output"] == "42\n"
+                    and r["exit"] == 0 and r["leaked_bytes"] == 0
+                    for r in good), "alice must be untouched by her neighbors"
+bad = [r for r in runs if r["tenant"] == "mallory"]
+assert bad and all(r["status"] == "error" and r["exit"] == 2
+                   and r["rollback"] == "verified" for r in bad), \
+    "mallory must fail contained and rolled back"
+assert any(r["code"] == "cb.open" for r in bad), "breaker never opened"
+assert any(r["code"] == "trap.divzero" for r in bad), "no real fault ran"
+leaky = [r for r in runs if r["tenant"] == "frank"]
+assert leaky and all(r["leaked_bytes"] > 0 and r["recycled"]
+                     for r in leaky), "leaks must be reported and contained"
+status = [l for l in lines if l.get("op") == "status"][-1]
+assert status["live_bytes"] == 0, status
+drain = lines[-1]
+assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
+print("serve soak: %d requests (%d hostile, %d leaky), zero leak growth, "
+      "drain clean" % (len(runs), len(bad), len(leaky)))
+PY
+echo "SOAK OK"

@@ -1,0 +1,182 @@
+(* terra_serve: the long-running, fault-isolated, multi-tenant front
+   end.  Speaks line-delimited JSON (or batch-manifest lines) over
+   stdin/stdout, or over a Unix domain socket with --socket.
+
+   Exit codes: 0 = clean drain, 2 = the final leak check found pooled
+   engines holding live heap blocks. *)
+
+let serve_socket server path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  prerr_endline ("terra_serve: listening on " ^ path);
+  (* one client at a time: the engine pool is single-threaded, and
+     serialized clients keep every supervision decision deterministic *)
+  let code = ref 0 in
+  (try
+     let rec accept_loop () =
+       let fd, _ = Unix.accept sock in
+       let ic = Unix.in_channel_of_descr fd in
+       let oc = Unix.out_channel_of_descr fd in
+       let rc = Serve.Server.run_channels server ic oc in
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       code := rc;
+       if Serve.Server.(server.draining) then () else accept_loop ()
+     in
+     accept_loop ()
+   with Sys.Break -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  !code
+
+let main socket pool recycle_after checked no_verify_rollback opt fuel
+    mem_bytes request_fuel tenant_fuel tenant_mem tenant_depth
+    tenant_inflight retries quiet =
+  Sys.catch_break true;
+  if not quiet then Supervise.Supervisor.log_sink := prerr_endline;
+  let budget =
+    {
+      Serve.Tenant.default_budget with
+      fuel_per_request = request_fuel;
+      fuel_total = Option.value tenant_fuel ~default:max_int;
+      mem_bytes = Option.value tenant_mem ~default:max_int;
+      max_call_depth = tenant_depth;
+      max_inflight = tenant_inflight;
+      max_retries = retries;
+    }
+  in
+  let config =
+    {
+      Serve.Server.pool_size = pool;
+      recycle_after;
+      verify_rollback = not no_verify_rollback;
+      checked;
+      opt_level = opt;
+      engine_fuel = fuel;
+      mem_bytes;
+      default_budget = budget;
+      log = (if quiet then ignore else prerr_endline);
+    }
+  in
+  let server = Serve.Server.create ~config () in
+  match socket with
+  | Some path -> serve_socket server path
+  | None -> Serve.Server.run_channels server stdin stdout
+
+let () =
+  let open Cmdliner in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "listen on a Unix domain socket instead of stdin/stdout; \
+             clients are served one at a time.")
+  in
+  let pool =
+    Arg.(
+      value & opt int 2
+      & info [ "pool" ] ~docv:"N" ~doc:"warm engines kept in the pool.")
+  in
+  let recycle_after =
+    Arg.(
+      value & opt int 64
+      & info [ "recycle-after" ] ~docv:"N"
+          ~doc:
+            "recycle an engine after serving $(docv) requests (bounds \
+             compiled-code and statics growth on shared sessions).")
+  in
+  let checked =
+    Arg.(
+      value & flag
+      & info [ "checked" ]
+          ~doc:"TerraSan checked engines (redzones, quarantine, leak check).")
+  in
+  let no_verify_rollback =
+    Arg.(
+      value & flag
+      & info [ "no-verify-rollback" ]
+          ~doc:
+            "skip the per-request fingerprint check that proves a failed \
+             request left its engine byte-identical (on by default).")
+  in
+  let opt =
+    Arg.(
+      value & opt int 2
+      & info [ "opt" ] ~docv:"LEVEL" ~doc:"Topt optimization level (0-2).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"per-engine session fuel budget.")
+  in
+  let mem_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem" ] ~docv:"BYTES" ~doc:"heap size per pooled engine.")
+  in
+  let request_fuel =
+    Arg.(
+      value
+      & opt int 2_000_000_000
+      & info [ "request-fuel" ] ~docv:"N"
+          ~doc:
+            "per-request fuel cap (watchdog); a request asking for more \
+             is rejected with serve.rejected.")
+  in
+  let tenant_fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenant-fuel" ] ~docv:"N"
+          ~doc:"cumulative per-tenant fuel budget (default: unbounded).")
+  in
+  let tenant_mem =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenant-mem" ] ~docv:"BYTES"
+          ~doc:
+            "cumulative per-tenant committed heap-growth budget (default: \
+             unbounded).")
+  in
+  let tenant_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenant-depth" ] ~docv:"N"
+          ~doc:"per-request call-depth cap applied to every tenant.")
+  in
+  let tenant_inflight =
+    Arg.(
+      value & opt int 1
+      & info [ "tenant-inflight" ] ~docv:"N"
+          ~doc:"in-flight request budget per tenant.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"default transient-fault (fault.*) retries per request.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"suppress supervision narration on stderr.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "terra_serve"
+         ~doc:
+           "fault-isolated multi-tenant Lua-Terra daemon with warm engine \
+            pools, admission control, and verified per-request rollback")
+      Term.(
+        const main $ socket $ pool $ recycle_after $ checked
+        $ no_verify_rollback $ opt $ fuel $ mem_bytes $ request_fuel
+        $ tenant_fuel $ tenant_mem $ tenant_depth $ tenant_inflight $ retries
+        $ quiet)
+  in
+  exit (Cmd.eval' cmd)

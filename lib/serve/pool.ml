@@ -1,0 +1,137 @@
+(** The warm engine pool.
+
+    Engines are expensive to build (terralib + DSL installers, shadow
+    map, machine model), so the server keeps [size] of them warm and
+    hands requests whichever is free, round-robin.  An engine is
+    *recycled* — torn down and rebuilt from the factory — when it wears
+    out ([recycle_after] requests, bounding statics/compiled-code
+    growth on a shared session) or when a request leaves it anomalous: a
+    leak the request refused to clean up, or a fingerprint that moved
+    after a rolled-back failure.  Recycling is the containment of last
+    resort: the tenant already got its diagnostic; the pool's job is to
+    make sure the *next* tenant gets a pristine engine. *)
+
+module Json = Tprof.Json
+
+type slot = {
+  id : int;
+  mutable eng : Terra.Engine.t;
+  mutable served : int;  (** requests since the last recycle *)
+  mutable total : int;  (** lifetime requests through this slot *)
+  mutable recycles : int;
+  mutable busy : bool;  (** checked out to a request right now *)
+}
+
+(** Why a slot was recycled, for ops visibility. *)
+type anomaly = Leak | Fingerprint
+
+type t = {
+  make : unit -> Terra.Engine.t;
+  slots : slot array;
+  recycle_after : int;
+  mutable cursor : int;  (** round-robin start position *)
+  mutable recycled_wear : int;
+  mutable recycled_leak : int;
+  mutable recycled_fingerprint : int;
+}
+
+let create ~make ~size ~recycle_after =
+  {
+    make;
+    slots =
+      Array.init (max 1 size) (fun id ->
+          { id; eng = make (); served = 0; total = 0; recycles = 0; busy = false });
+    recycle_after = max 1 recycle_after;
+    cursor = 0;
+    recycled_wear = 0;
+    recycled_leak = 0;
+    recycled_fingerprint = 0;
+  }
+
+let size t = Array.length t.slots
+
+(** Check out a free slot, round-robin.  The single-threaded server
+    always has one (it checks a slot back in before reading the next
+    request); a future multi-domain server would block here. *)
+let checkout t =
+  let n = size t in
+  let rec go i =
+    if i = n then invalid_arg "Pool.checkout: no free engine"
+    else
+      let s = t.slots.((t.cursor + i) mod n) in
+      if s.busy then go (i + 1)
+      else begin
+        t.cursor <- (s.id + 1) mod n;
+        s.busy <- true;
+        s
+      end
+  in
+  go 0
+
+let recycle t (s : slot) =
+  s.eng <- t.make ();
+  s.served <- 0;
+  s.recycles <- s.recycles + 1
+
+(** Return a slot after a request.  [anomaly] forces a recycle;
+    otherwise the slot is recycled only when it reaches the wear
+    limit. *)
+let checkin t (s : slot) ~(anomaly : anomaly option) =
+  s.busy <- false;
+  s.served <- s.served + 1;
+  s.total <- s.total + 1;
+  match anomaly with
+  | Some Leak ->
+      t.recycled_leak <- t.recycled_leak + 1;
+      recycle t s
+  | Some Fingerprint ->
+      t.recycled_fingerprint <- t.recycled_fingerprint + 1;
+      recycle t s
+  | None ->
+      if s.served >= t.recycle_after then begin
+        t.recycled_wear <- t.recycled_wear + 1;
+        recycle t s
+      end
+
+let slot_live_bytes (s : slot) =
+  Tvm.Alloc.live_bytes s.eng.Terra.Engine.ctx.Terra.Context.vm.Tvm.Vm.alloc
+
+(** Total live heap bytes across the pool — the soak test's leak-growth
+    gauge. *)
+let live_bytes t =
+  Array.fold_left (fun acc s -> acc + slot_live_bytes s) 0 t.slots
+
+(** Every slot's engine must be leak-free at drain; returns the
+    offending diagnostics (slot id, diag). *)
+let final_leak_check t =
+  Array.fold_left
+    (fun acc s ->
+      match Terra.Engine.leak_diag s.eng with
+      | Some d -> (s.id, d) :: acc
+      | None -> acc)
+    [] t.slots
+  |> List.rev
+
+let status_json t =
+  Json.Obj
+    [
+      ("size", Json.Int (size t));
+      ("recycle_after", Json.Int t.recycle_after);
+      ("recycled_wear", Json.Int t.recycled_wear);
+      ("recycled_leak", Json.Int t.recycled_leak);
+      ("recycled_fingerprint", Json.Int t.recycled_fingerprint);
+      ( "slots",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun s ->
+                  Json.Obj
+                    [
+                      ("id", Json.Int s.id);
+                      ("served", Json.Int s.served);
+                      ("total", Json.Int s.total);
+                      ("recycles", Json.Int s.recycles);
+                      ("live_bytes", Json.Int (slot_live_bytes s));
+                    ])
+                t.slots)) );
+    ]

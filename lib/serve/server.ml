@@ -1,0 +1,390 @@
+(** The terra_serve core: a single-threaded request loop composing the
+    pool, the tenant table, and the supervision stack into a daemon that
+    survives arbitrary tenant misbehavior.
+
+    Per request, in order:
+
+    + tenant admission (in-flight, fuel, memory budgets) — rejection is
+      a [serve.rejected] response and costs no engine time;
+    + checkout of a warm engine; a fresh observation slice on it
+      ([Engine.reset_scope ~slice:true]: per-request Tprof attribution,
+      re-armed leak check);
+    + optional relative fault injection (chaos traffic);
+    + a supervised transactional run ({!Supervise.Supervisor.run_script}
+      with the tenant's breaker, fuel watchdog, retry budget, and
+      opt2→opt0 degradation) — any failure rolls the session back;
+    + rollback verification: after a failed request the engine
+      fingerprint must be byte-identical to the pre-request one; a
+      mismatch is reported ([serve.fingerprint-mismatch], exit 3) and
+      the engine is recycled rather than trusted again;
+    + the per-request leak check; a leaky request is reported once and
+      its engine recycled;
+    + tenant settlement and pool checkin (wear-based recycling).
+
+    The loop drains gracefully on [{"op":"shutdown"}], end of input, or
+    SIGINT (with [Sys.catch_break true]): in-flight work finishes, every
+    pooled engine takes a final leak check, and the process exits 0 iff
+    the pool is clean. *)
+
+module Json = Tprof.Json
+module Diag = Terra.Diag
+module Supervisor = Supervise.Supervisor
+module Batch = Supervise.Batch
+
+type config = {
+  pool_size : int;
+  recycle_after : int;  (** wear limit per engine *)
+  verify_rollback : bool;  (** fingerprint-check every failed request *)
+  checked : bool;  (** TerraSan checked engines *)
+  opt_level : int;
+  engine_fuel : int option;  (** per-engine session fuel; None = unbounded *)
+  mem_bytes : int option;  (** heap size per engine *)
+  default_budget : Tenant.budget;
+  log : string -> unit;  (** supervision narration (stderr in the CLI) *)
+}
+
+let default_config =
+  {
+    pool_size = 2;
+    recycle_after = 64;
+    verify_rollback = true;
+    checked = false;
+    opt_level = 2;
+    engine_fuel = None;
+    mem_bytes = None;
+    default_budget = Tenant.default_budget;
+    log = ignore;
+  }
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  tenants : Tenant.table;
+  mutable served : int;  (** run requests answered (incl. rejections) *)
+  mutable draining : bool;
+}
+
+let create ?(config = default_config) () =
+  let make () =
+    Terrastd.create ?mem_bytes:config.mem_bytes ?fuel:config.engine_fuel
+      ~checked:config.checked ~opt_level:config.opt_level ~profile:true ()
+  in
+  {
+    cfg = config;
+    pool = Pool.create ~make ~size:config.pool_size
+        ~recycle_after:config.recycle_after;
+    tenants = Tenant.table ~default_budget:config.default_budget;
+    served = 0;
+    draining = false;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Run requests *)
+
+let vm_of (eng : Terra.Engine.t) = eng.Terra.Engine.ctx.Terra.Context.vm
+
+(* Arm the request's relative fault injections against the live session:
+   ordinals are offsets from the allocations/steps already retired. *)
+let arm_faults (eng : Terra.Engine.t) (r : Protocol.run_req) =
+  let vm = vm_of eng in
+  (match r.Protocol.r_fail_alloc with
+  | Some n ->
+      let base =
+        match vm.Tvm.Vm.faults with
+        | Some f -> Tvm.Fault.allocs f
+        | None -> 0
+      in
+      Terra.Engine.inject eng (Tvm.Fault.Fail_alloc (base + n))
+  | None -> ());
+  match r.Protocol.r_trap_in with
+  | Some n ->
+      Terra.Engine.inject eng (Tvm.Fault.Trap_at_step (vm.Tvm.Vm.steps + n))
+  | None -> ()
+
+let handle_run (t : t) (r : Protocol.run_req) : Json.t =
+  t.served <- t.served + 1;
+  let tenant_name =
+    Option.value r.Protocol.r_tenant ~default:Batch.default_tenant
+  in
+  let tenant = Tenant.find t.tenants tenant_name in
+  let file =
+    match (r.Protocol.r_path, r.Protocol.r_src) with
+    | Some p, _ -> p
+    | None, _ -> "<inline>"
+  in
+  match Tenant.admit tenant ~req_fuel:r.Protocol.r_fuel with
+  | Error d ->
+      t.cfg.log
+        (Printf.sprintf "serve: %s rejected for tenant '%s' (%s)" file
+           tenant_name d.Diag.code);
+      Protocol.error_json ~status:"rejected" ~tenant:tenant_name ~file
+        ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
+                 ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
+                 ("recycled", Json.Bool false) ]
+        d
+  | Ok fuel_grant -> (
+      match
+        match r.Protocol.r_src with
+        | Some src -> Ok src
+        | None -> (
+            match read_file file with
+            | src -> Ok src
+            | exception Sys_error msg ->
+                Error (Diag.make ~phase:Diag.Eval ~code:"batch.io" msg))
+      with
+      | Error d ->
+          Tenant.settle tenant ~fuel:0 ~mem_delta:0 ~leaked:0 ~ok:false;
+          Protocol.error_json ~tenant:tenant_name ~file
+            ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
+                     ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
+                     ("recycled", Json.Bool false) ]
+            d
+      | Ok src ->
+          let slot = Pool.checkout t.pool in
+          let eng = slot.Pool.eng in
+          (* fresh observation slice: per-request profile attribution and
+             a re-armed leak check *)
+          Terra.Engine.reset_scope ~slice:true eng;
+          let saved_depth = eng.Terra.Engine.lua_depth in
+          (match tenant.Tenant.budget.Tenant.max_call_depth with
+          | Some d -> Terra.Engine.set_limits ~max_call_depth:d eng
+          | None -> ());
+          arm_faults eng r;
+          let live_before = Pool.slot_live_bytes slot in
+          let mark = Terra.Engine.statics_mark eng in
+          let fp_before =
+            if t.cfg.verify_rollback then
+              Some (Terra.Engine.fingerprint ~statics_upto:mark eng)
+            else None
+          in
+          let config =
+            {
+              Supervisor.default_config with
+              breaker = Some tenant.Tenant.breaker;
+              call_fuel = Some fuel_grant;
+              max_retries =
+                Option.value r.Protocol.r_retries
+                  ~default:tenant.Tenant.budget.Tenant.max_retries;
+            }
+          in
+          let o = Supervisor.run_script ~config ~key:tenant_name ~file eng src in
+          (* rollback verification: a failed request must leave the
+             engine byte-identical *)
+          let rollback =
+            match (fp_before, o.Supervisor.result) with
+            | Some fp, Error _ ->
+                if
+                  String.equal fp
+                    (Terra.Engine.fingerprint ~statics_upto:mark eng)
+                then `Verified
+                else `Failed
+            | _ -> `NA
+          in
+          (* per-request leak check (fresh blocks only) *)
+          let leaks = Terra.Engine.leak_report eng in
+          let leaked_bytes = List.fold_left (fun a (_, s) -> a + s) 0 leaks in
+          let live_after = Pool.slot_live_bytes slot in
+          Tenant.settle tenant ~fuel:o.Supervisor.fuel_used
+            ~mem_delta:(live_after - live_before) ~leaked:leaked_bytes
+            ~ok:(Result.is_ok o.Supervisor.result);
+          let anomaly =
+            if rollback = `Failed then Some Pool.Fingerprint
+            else if leaks <> [] then Some Pool.Leak
+            else None
+          in
+          (if anomaly <> None then
+             t.cfg.log
+               (Printf.sprintf "serve: engine %d recycled after %s (%s)"
+                  slot.Pool.id file
+                  (match anomaly with
+                  | Some Pool.Fingerprint -> "fingerprint mismatch"
+                  | _ -> "leak")));
+          (* the engine object survives in [eng] even if the slot is
+             recycled; restore its budgets only when it stays pooled *)
+          Pool.checkin t.pool slot ~anomaly;
+          if slot.Pool.eng == eng then
+            Terra.Engine.set_limits ~max_call_depth:saved_depth eng;
+          let code, message =
+            match o.Supervisor.result with
+            | Ok _ -> (None, None)
+            | Error d -> (Some d.Diag.code, Some d.Diag.message)
+          in
+          let exit_code =
+            if rollback = `Failed then 3
+            else
+              Protocol.exit_code ~checked:t.cfg.checked
+                ~leaked:(leaks <> [])
+                (Result.map ignore o.Supervisor.result)
+          in
+          let leak_diag =
+            match Terra.Engine.leak_diag eng with
+            | Some d when leaks <> [] -> Json.Str d.Diag.message
+            | _ -> Json.Null
+          in
+          Protocol.entry_json
+            {
+              Batch.e_file = file;
+              e_status =
+                (if Result.is_ok o.Supervisor.result then "ok" else "error");
+              e_code =
+                (if rollback = `Failed then Some "serve.fingerprint-mismatch"
+                 else code);
+              e_message = message;
+              e_attempts = o.Supervisor.attempts;
+              e_retries = o.Supervisor.retries;
+              e_backoff = o.Supervisor.backoff_total;
+              e_fuel = o.Supervisor.fuel_used;
+              e_fallback = o.Supervisor.fallback;
+              e_divergence =
+                Option.map (fun d -> d.Diag.code) o.Supervisor.divergence;
+              e_output = o.Supervisor.output;
+              e_tenant = tenant_name;
+            }
+            ~extra:
+              [
+                ("engine", Json.Int slot.Pool.id);
+                ("exit", Json.Int exit_code);
+                ( "rollback",
+                  match rollback with
+                  | `Verified -> Json.Str "verified"
+                  | `Failed -> Json.Str "failed"
+                  | `NA -> Json.Null );
+                ("leaked_bytes", Json.Int leaked_bytes);
+                ("leak", leak_diag);
+                ("recycled", Json.Bool (anomaly <> None));
+              ])
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let status_json (t : t) =
+  Json.Obj
+    [
+      ("schema", Json.Str "terra-serve-1");
+      ("op", Json.Str "status");
+      ("served", Json.Int t.served);
+      ("draining", Json.Bool t.draining);
+      ("checked", Json.Bool t.cfg.checked);
+      ("opt_level", Json.Int t.cfg.opt_level);
+      ("verify_rollback", Json.Bool t.cfg.verify_rollback);
+      ("live_bytes", Json.Int (Pool.live_bytes t.pool));
+      ("pool", Pool.status_json t.pool);
+      ( "tenants",
+        Json.List (List.map Tenant.status_json (Tenant.all t.tenants)) );
+    ]
+
+let profile_json (t : t) =
+  let engines =
+    Array.to_list
+      (Array.map
+         (fun (s : Pool.slot) ->
+           let prof =
+             match Json.of_string (Terra.Engine.profile_json s.Pool.eng) with
+             | Ok j -> j
+             | Error msg -> Json.Str ("unparseable profile: " ^ msg)
+           in
+           Json.Obj
+             [
+               ("id", Json.Int s.Pool.id);
+               ("served", Json.Int s.Pool.served);
+               ("profile", prof);
+             ])
+         t.pool.Pool.slots)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "terra-serve-1");
+      ("op", Json.Str "profile");
+      ("engines", Json.List engines);
+    ]
+
+let breakers_json (t : t) =
+  Json.Obj
+    [
+      ("schema", Json.Str "terra-serve-1");
+      ("op", Json.Str "breakers");
+      ( "tenants",
+        Json.List (List.map Tenant.breakers_json (Tenant.all t.tenants)) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The request loop *)
+
+(** Final drain: leak-check every pooled engine.  Returns the drain
+    response and the process exit code (0 iff the pool is clean). *)
+let drain (t : t) ~reason : Json.t * int =
+  t.draining <- true;
+  let bad = Pool.final_leak_check t.pool in
+  let clean = bad = [] in
+  ( Json.Obj
+      [
+        ("schema", Json.Str "terra-serve-1");
+        ("op", Json.Str "shutdown");
+        ("reason", Json.Str reason);
+        ("served", Json.Int t.served);
+        ("status", Json.Str (if clean then "clean" else "leaky"));
+        ( "leaks",
+          Json.List
+            (List.map
+               (fun (id, d) ->
+                 Json.Obj
+                   [
+                     ("engine", Json.Int id);
+                     ("message", Json.Str d.Diag.message);
+                   ])
+               bad) );
+      ],
+    if clean then 0 else 2 )
+
+(** Handle one request line.  [None] for blank/comment lines;
+    [Some (resp, `Continue | `Shutdown)] otherwise. *)
+let handle (t : t) (line : string) :
+    (Json.t * [ `Continue | `Shutdown ]) option =
+  match Protocol.parse line with
+  | Error d ->
+      t.served <- t.served + 1;
+      Some
+        ( Protocol.error_json
+            ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
+                     ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
+                     ("recycled", Json.Bool false) ]
+            d,
+          `Continue )
+  | Ok None -> None
+  | Ok (Some Protocol.Status) -> Some (status_json t, `Continue)
+  | Ok (Some Protocol.Profile) -> Some (profile_json t, `Continue)
+  | Ok (Some Protocol.Breakers) -> Some (breakers_json t, `Continue)
+  | Ok (Some Protocol.Shutdown) -> Some (Json.Null, `Shutdown)
+  | Ok (Some (Protocol.Run r)) -> Some (handle_run t r, `Continue)
+
+(** Serve line-delimited requests from [ic] to [oc] until shutdown, end
+    of input, or [Sys.Break] (SIGINT with [Sys.catch_break true]); every
+    exit path drains gracefully.  Returns the process exit code. *)
+let run_channels (t : t) (ic : in_channel) (oc : out_channel) : int =
+  let reply j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> "eof"
+    | exception Sys.Break -> "sigint"
+    | line -> (
+        match handle t line with
+        | None -> loop ()
+        | Some (resp, `Continue) ->
+            reply resp;
+            loop ()
+        | Some (_, `Shutdown) -> "shutdown")
+  in
+  let reason = loop () in
+  let resp, code = drain t ~reason in
+  reply resp;
+  code

@@ -5,17 +5,22 @@
     Manifest format, one request per line:
     {v
     # comment
-    path/to/script.t [fuel=N] [retries=N]
+    path/to/script.t [fuel=N] [retries=N] [tenant=NAME]
     v}
     Relative paths resolve against the manifest's directory.  Because
     every request runs transactionally, a faulting script cannot corrupt
     the shared session: the next request starts from the state the
-    previous successful request committed. *)
+    previous successful request committed.
+
+    The same option grammar budgets requests for the serving layer
+    ([Serve]): a serve request line is a manifest line, parsed by
+    {!parse_line}. *)
 
 type request = {
   req_file : string;
   req_fuel : int option;  (** per-attempt fuel budget override *)
   req_retries : int option;  (** max-retries override *)
+  req_tenant : string option;  (** owning tenant (serve/breaker key) *)
 }
 
 type entry = {
@@ -30,12 +35,27 @@ type entry = {
   e_fallback : bool;
   e_divergence : string option;  (** opt-divergence code when detected *)
   e_output : string;  (** captured output of the final attempt *)
+  e_tenant : string;  (** tenant the request ran as ("default" if none) *)
 }
 
 (* ------------------------------------------------------------------ *)
-(* Manifest parsing *)
+(* Manifest parsing.  A malformed line is a structured
+   [batch.bad-manifest] diagnostic, not an exception: a daemon feeding
+   manifests into a shared engine must be able to reject one bad
+   request line and keep serving. *)
 
-let parse_line ~dir line =
+let bad_manifest ~line_no fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Terra.Diag.make ~phase:Terra.Diag.Eval ~code:"batch.bad-manifest"
+        (Printf.sprintf "manifest line %d: %s" line_no msg))
+    fmt
+
+(** Parse one manifest line.  [Ok None] for blank/comment lines,
+    [Ok (Some req)] for a request, [Error diag] ([batch.bad-manifest])
+    for a malformed one. *)
+let parse_line ~dir ?(line_no = 0) line :
+    (request option, Terra.Diag.t) result =
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -46,8 +66,8 @@ let parse_line ~dir line =
     |> List.concat_map (String.split_on_char '\t')
     |> List.filter (fun s -> s <> "")
   with
-  | [] -> None
-  | path :: opts ->
+  | [] -> Ok None
+  | path :: opts -> (
       let req =
         ref
           {
@@ -56,42 +76,66 @@ let parse_line ~dir line =
                else path);
             req_fuel = None;
             req_retries = None;
+            req_tenant = None;
           }
       in
+      let bad = ref None in
+      let fail d = if !bad = None then bad := Some d in
       List.iter
         (fun opt ->
           match String.index_opt opt '=' with
           | Some i -> (
               let k = String.sub opt 0 i in
               let v = String.sub opt (i + 1) (String.length opt - i - 1) in
-              match (k, int_of_string_opt v) with
-              | "fuel", Some n -> req := { !req with req_fuel = Some n }
-              | "retries", Some n -> req := { !req with req_retries = Some n }
-              | _ ->
-                  invalid_arg
-                    (Printf.sprintf "batch manifest: unknown option '%s'" opt))
-          | None ->
-              invalid_arg
-                (Printf.sprintf "batch manifest: malformed option '%s'" opt))
+              let int_val () =
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Some n
+                | _ ->
+                    fail
+                      (bad_manifest ~line_no
+                         "option '%s' needs a non-negative integer, got '%s'"
+                         k v);
+                    None
+              in
+              match k with
+              | "fuel" -> (
+                  match int_val () with
+                  | Some n -> req := { !req with req_fuel = Some n }
+                  | None -> ())
+              | "retries" -> (
+                  match int_val () with
+                  | Some n -> req := { !req with req_retries = Some n }
+                  | None -> ())
+              | "tenant" ->
+                  if v = "" then
+                    fail (bad_manifest ~line_no "empty tenant name")
+                  else req := { !req with req_tenant = Some v }
+              | _ -> fail (bad_manifest ~line_no "unknown option '%s'" opt))
+          | None -> fail (bad_manifest ~line_no "malformed option '%s'" opt))
         opts;
-      Some !req
+      match !bad with Some d -> Error d | None -> Ok (Some !req))
 
-(** Parse a manifest file into requests. *)
-let parse_manifest path =
-  let ic = open_in path in
-  let dir = Filename.dirname path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec loop acc =
-        match input_line ic with
-        | line -> (
-            match parse_line ~dir line with
-            | Some r -> loop (r :: acc)
-            | None -> loop acc)
-        | exception End_of_file -> List.rev acc
-      in
-      loop [])
+(** Parse a manifest file into requests; the first malformed line wins. *)
+let parse_manifest path : (request list, Terra.Diag.t) result =
+  match open_in path with
+  | exception Sys_error msg ->
+      Error
+        (Terra.Diag.make ~phase:Terra.Diag.Eval ~code:"batch.io" msg)
+  | ic ->
+      let dir = Filename.dirname path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec loop line_no acc =
+            match input_line ic with
+            | line -> (
+                match parse_line ~dir ~line_no line with
+                | Ok (Some r) -> loop (line_no + 1) (r :: acc)
+                | Ok None -> loop (line_no + 1) acc
+                | Error d -> Error d)
+            | exception End_of_file -> Ok (List.rev acc)
+          in
+          loop 1 [])
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -102,10 +146,17 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(** The tenant a request runs as when the manifest names none. *)
+let default_tenant = "default"
+
+let tenant_of req = Option.value req.req_tenant ~default:default_tenant
+
 (** Run [reqs] in order against [eng], each under the supervisor.  All
-    requests share one circuit breaker (from [config], or a fresh one),
-    so a script that keeps faulting across requests eventually gets
-    rejected outright. *)
+    requests share one circuit breaker (from [config], or a fresh one);
+    untenanted requests break per-script (key = file) as before, while a
+    [tenant=NAME] annotation pools the tenant's requests under one
+    breaker key, so one misbehaving tenant trips its own circuit without
+    touching anyone else's. *)
 let run_requests ?(config = Supervisor.default_config)
     (eng : Terra.Engine.t) (reqs : request list) : entry list =
   let breaker =
@@ -130,6 +181,7 @@ let run_requests ?(config = Supervisor.default_config)
             e_fallback = false;
             e_divergence = None;
             e_output = "";
+            e_tenant = tenant_of req;
           }
       | src ->
           let cfg =
@@ -146,7 +198,10 @@ let run_requests ?(config = Supervisor.default_config)
                 | None -> config.Supervisor.max_retries);
             }
           in
-          let o = Supervisor.run_script ~config:cfg ~file eng src in
+          let o =
+            Supervisor.run_script ~config:cfg ?key:req.req_tenant ~file eng
+              src
+          in
           let code, message =
             match o.Supervisor.result with
             | Ok _ -> (None, None)
@@ -168,6 +223,7 @@ let run_requests ?(config = Supervisor.default_config)
                 (fun d -> d.Terra.Diag.code)
                 o.Supervisor.divergence;
             e_output = o.Supervisor.output;
+            e_tenant = tenant_of req;
           })
     reqs
 
@@ -197,10 +253,11 @@ let entry_to_json e =
   Printf.sprintf
     "{\"file\": %s, \"status\": %s, \"code\": %s, \"message\": %s, \
      \"attempts\": %d, \"retries\": %d, \"backoff\": %d, \"fuel\": %d, \
-     \"fallback\": %b, \"divergence\": %s, \"output\": %s}"
+     \"fallback\": %b, \"divergence\": %s, \"output\": %s, \"tenant\": %s}"
     (json_str e.e_file) (json_str e.e_status) (json_opt e.e_code)
     (json_opt e.e_message) e.e_attempts e.e_retries e.e_backoff e.e_fuel
     e.e_fallback (json_opt e.e_divergence) (json_str e.e_output)
+    (json_str e.e_tenant)
 
 (** Render the whole report: schema header, per-request rows, and the
     engine-wide profile accumulated across all requests. *)
@@ -222,10 +279,31 @@ let all_ok entries = List.for_all (fun e -> e.e_status = "ok") entries
 (** Run a manifest end to end: parse, execute against [eng], render.
     The report carries the engine's profile when its probe has profiling
     on.  Returns the JSON report and the suggested exit code (0 if every
-    request succeeded, 1 otherwise). *)
+    request succeeded, 1 otherwise).  A malformed manifest produces a
+    report with a single [batch.bad-manifest] error row, not an
+    exception. *)
 let run_manifest ?config eng manifest_path : string * int =
-  let reqs = parse_manifest manifest_path in
-  let entries = run_requests ?config eng reqs in
+  let entries =
+    match parse_manifest manifest_path with
+    | Ok reqs -> run_requests ?config eng reqs
+    | Error d ->
+        [
+          {
+            e_file = manifest_path;
+            e_status = "error";
+            e_code = Some d.Terra.Diag.code;
+            e_message = Some d.Terra.Diag.message;
+            e_attempts = 0;
+            e_retries = 0;
+            e_backoff = 0;
+            e_fuel = 0;
+            e_fallback = false;
+            e_divergence = None;
+            e_output = "";
+            e_tenant = default_tenant;
+          };
+        ]
+  in
   let probe = Terra.Context.probe eng.Terra.Engine.ctx in
   let profile =
     if probe.Tprof.Probe.on then Some (Terra.Engine.profile_json eng) else None

@@ -206,9 +206,14 @@ let call ?(config = default_config) (eng : Terra.Engine.t) name args :
     immutable-definition check) while the Terra session — heap,
     allocator, compiled code — carries over.  The degradation path
     re-runs the whole script with the context pinned at opt 0; the
-    engine's own opt level is restored afterwards. *)
-let run_script ?(config = default_config) ?file (eng : Terra.Engine.t) src :
-    outcome =
+    engine's own opt level is restored afterwards.
+
+    [?key] overrides the breaker/backoff identity (default: the file
+    name).  The serving layer passes the tenant name, so all of a
+    tenant's requests share one circuit regardless of which scripts they
+    run. *)
+let run_script ?(config = default_config) ?key ?file
+    (eng : Terra.Engine.t) src : outcome =
   let ctx = eng.Terra.Engine.ctx in
   let saved_opt = ctx.Terra.Context.opt_level in
   let degrade =
@@ -216,7 +221,12 @@ let run_script ?(config = default_config) ?file (eng : Terra.Engine.t) src :
       Some (fun () -> ctx.Terra.Context.opt_level <- 0)
     else None
   in
-  let key = match file with Some f -> f | None -> "<script>" in
+  let key =
+    match (key, file) with
+    | Some k, _ -> k
+    | None, Some f -> f
+    | None, None -> "<script>"
+  in
   Fun.protect
     ~finally:(fun () -> ctx.Terra.Context.opt_level <- saved_opt)
     (fun () ->

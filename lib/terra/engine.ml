@@ -17,8 +17,12 @@ type t = {
       (** applied, in order, to the globals of every scope this engine
           creates — [create] seeds it with the terralib API; DSL layers
           (Orion, classes, layouts) append theirs *)
-  lua_depth : int;  (** Lua call-depth bound, applied at each run *)
-  lua_steps : int;  (** Lua statement budget per run *)
+  mutable lua_depth : int;  (** Lua call-depth bound, applied at each run *)
+  mutable lua_steps : int;  (** Lua statement budget per run *)
+  mutable leak_mark : (int * int) list;
+      (** live blocks already attributed to an earlier request; the leak
+          report only names blocks newer than this baseline, so an
+          engine serving many requests reports each leak exactly once *)
 }
 
 (* Route every host exception pcall sees through the diagnostic
@@ -47,6 +51,7 @@ let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
     installers = [ (fun g -> Terralib.install ctx g) ];
     lua_depth = max_call_depth;
     lua_steps = (match lua_steps with Some n -> n | None -> max_int);
+    leak_mark = [];
   }
 
 (** Register an extra API installer (a DSL layer): applied to the
@@ -57,19 +62,48 @@ let add_installer t f =
   | Some g -> f g
   | None -> assert false
 
+(** Re-arm the leak check: every block currently live becomes baseline,
+    so {!leak_report}/{!leak_diag} name only blocks allocated (and not
+    freed) after this point.  The serving layer calls this between
+    requests so a leaky request is reported exactly once, by the request
+    that leaked, instead of tainting every later report on the same
+    engine. *)
+let rearm_leak_check t = t.leak_mark <- Context.leaks t.ctx
+
 (** Replace the engine's Lua scope with a brand-new one (globals rebuilt
     by the registered installers), keeping the Terra context — VM heap,
     compiled functions, interned constants — intact.  The supervisor
     resets the scope before each script attempt: the VM session is
     transactional, but Lua globals are not, so a retry must start from a
     fresh Lua namespace or re-evaluating [terra f ...] would trip the
-    immutable-definition check. *)
-let reset_scope t =
+    immutable-definition check.
+
+    With [~slice:true] (the serving layer, between requests) the reset
+    also starts a fresh observation slice on the shared engine: Tprof
+    counters, shadow stack, and event ring are cleared so the next
+    profile covers exactly one request, and the leak check is re-armed
+    so each leak is attributed to the request that introduced it. *)
+let reset_scope ?(slice = false) t =
   let scope = Mlua.Driver.make_scope () in
   (match V.scope_globals scope with
   | Some g -> List.iter (fun f -> f g) t.installers
   | None -> assert false);
-  t.scope <- scope
+  t.scope <- scope;
+  if slice then begin
+    Tprof.Probe.reset (Context.probe t.ctx);
+    rearm_leak_check t
+  end
+
+(** Tighten (or relax) the engine's per-run budgets in place — the
+    serving layer applies a tenant's call-depth and Lua budgets for the
+    duration of one request and restores them afterwards. *)
+let set_limits ?max_call_depth ?lua_steps t =
+  (match max_call_depth with
+  | Some n ->
+      t.lua_depth <- n;
+      Tvm.Vm.set_max_depth t.ctx.Context.vm n
+  | None -> ());
+  match lua_steps with Some n -> t.lua_steps <- n | None -> ()
 
 (* The interpreter's call-depth/step budgets and the diagnostic span
    hints are process globals; save and restore them around every run so
@@ -281,9 +315,15 @@ let inject t spec = Tvm.Vm.add_fault t.ctx.Context.vm spec
 (* ------------------------------------------------------------------ *)
 (* Leak accounting (TerraSan shutdown report) *)
 
-(** Heap blocks still live, largest first: [(addr, size)]. *)
+(** Heap blocks still live and not part of the re-armed baseline,
+    largest first: [(addr, size)]. *)
 let leak_report t =
-  List.sort (fun (_, a) (_, b) -> compare b a) (Context.leaks t.ctx)
+  let fresh =
+    List.filter
+      (fun blk -> not (List.mem blk t.leak_mark))
+      (Context.leaks t.ctx)
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) fresh
 
 (** A [san.leak] summary diagnostic, or [None] if nothing leaked. *)
 let leak_diag t =

@@ -55,6 +55,10 @@ let add t spec =
 let next_step t = t.next_step
 let pending t = t.pending
 
+(** Heap allocations observed so far — the ordinal base for injecting a
+    relative [Fail_alloc] into an already-running session. *)
+let allocs t = t.allocs
+
 (** Called on every program heap allocation; raises {!Injected} when an
     armed [Fail_alloc] matches this ordinal. *)
 let on_alloc t =

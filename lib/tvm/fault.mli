@@ -25,6 +25,10 @@ val next_step : t -> int
 
 val pending : t -> spec list
 
+(** Heap allocations observed so far (ordinal base for relative
+    [Fail_alloc] injection into a live session). *)
+val allocs : t -> int
+
 (** Note one program heap allocation; raises {!Injected} if armed. *)
 val on_alloc : t -> unit
 

@@ -457,6 +457,12 @@ let write_file path s =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc s)
 
+(** Parse a manifest that must be well-formed. *)
+let parse_ok path =
+  match Batch.parse_manifest path with
+  | Ok reqs -> reqs
+  | Error d -> Alcotest.failf "manifest parse failed: %s" (Diag.to_string d)
+
 let batch_tests =
   [
     quick "manifest end to end: statuses, budgets, valid report" (fun () ->
@@ -477,7 +483,7 @@ let batch_tests =
         checki "a failing request fails the batch" 1 code;
         let entries =
           Batch.run_requests e
-            (Batch.parse_manifest (Filename.concat dir "batch.manifest"))
+            (parse_ok (Filename.concat dir "batch.manifest"))
         in
         (match entries with
         | [ good; bad ] ->
@@ -511,7 +517,7 @@ let batch_tests =
         let e = engine () in
         let entries =
           Batch.run_requests e
-            (Batch.parse_manifest (Filename.concat dir "m"))
+            (parse_ok (Filename.concat dir "m"))
         in
         match entries with
         | [ a; b ] ->
@@ -527,13 +533,66 @@ let batch_tests =
         let e = engine () in
         match
           Batch.run_requests e
-            (Batch.parse_manifest (Filename.concat dir "m"))
+            (parse_ok (Filename.concat dir "m"))
         with
         | [ entry ] ->
             checks "status" "error" entry.Batch.e_status;
             checks "code" "batch.io"
               (Option.value entry.Batch.e_code ~default:"<none>")
         | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l));
+    quick "a malformed manifest is a structured diagnostic" (fun () ->
+        let bad line =
+          match Batch.parse_line ~dir:"." ~line_no:7 line with
+          | Error d ->
+              checks ("code for " ^ line) "batch.bad-manifest" d.Diag.code;
+              checkb "names the line" true
+                (contains_sub ~sub:"line 7" d.Diag.message)
+          | Ok _ -> Alcotest.failf "line %S should be rejected" line
+        in
+        bad "a.t fuel=abc";
+        bad "a.t fuel=-1";
+        bad "a.t retries=1x";
+        bad "a.t tenant=";
+        bad "a.t bogus=1";
+        bad "a.t fuel";
+        (* and through parse_manifest / run_manifest: an error report,
+           never an exception *)
+        let dir = Filename.temp_file "supervise_badmanifest" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        write_file (Filename.concat dir "m") "# ok so far\ngood.t\nbad.t fuel=abc\n";
+        (match Batch.parse_manifest (Filename.concat dir "m") with
+        | Error d ->
+            checks "manifest code" "batch.bad-manifest" d.Diag.code;
+            checkb "first bad line wins" true
+              (contains_sub ~sub:"line 3" d.Diag.message)
+        | Ok _ -> Alcotest.fail "malformed manifest accepted");
+        let e = engine () in
+        let json, code = Batch.run_manifest e (Filename.concat dir "m") in
+        checki "bad manifest fails the batch" 1 code;
+        checkb "report carries the diagnostic" true
+          (contains_sub ~sub:"batch.bad-manifest" json));
+    quick "tenant= annotations flow through to the report" (fun () ->
+        (match Batch.parse_line ~dir:"." "a.t fuel=9 tenant=alice" with
+        | Ok (Some req) ->
+            checks "tenant parsed" "alice"
+              (Option.value req.Batch.req_tenant ~default:"<none>");
+            checks "tenant_of" "alice" (Batch.tenant_of req)
+        | _ -> Alcotest.fail "tenanted line did not parse");
+        let dir = Filename.temp_file "supervise_tenant" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        write_file (Filename.concat dir "a.t")
+          "terra f() return 1 end\nprint(f())\n";
+        write_file (Filename.concat dir "m")
+          "a.t tenant=alice\na.t\n";
+        let e = engine () in
+        match Batch.run_requests e (parse_ok (Filename.concat dir "m")) with
+        | [ a; b ] ->
+            checks "annotated entry" "alice" a.Batch.e_tenant;
+            checks "unannotated entry defaults" Batch.default_tenant
+              b.Batch.e_tenant
+        | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
   ]
 
 (* ------------------------------------------------------------------ *)
