@@ -62,4 +62,80 @@ assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
 print("serve soak: %d requests (%d hostile, %d leaky), zero leak growth, "
       "drain clean" % (len(runs), len(bad), len(leaky)))
 PY
+
+# ------------------------------------------------------------------
+# Kill/recover/zero-loss phase: the same 200-request mix through a
+# durable session, uninterrupted, as the reference; then killed at a
+# mid-soak durability event, recovered (twice — the second recovery
+# also proves recover-after-recover), and driven through the remaining
+# workload.  The resumed session's final status must be byte-identical
+# to the uninterrupted one (modulo the "durable" block): no committed
+# request lost, no uncommitted request replayed.
+
+dur_flags="--quiet --recycle-after 32 --mem 16000000 --ckpt-interval 16"
+dur_root=$(mktemp -d)
+dur_ref=$(mktemp) dur_probe=$(mktemp) dur_rest=$(mktemp) dur_out=$(mktemp)
+trap 'rm -f "$soak_in" "$soak_out" "$dur_ref" "$dur_probe" "$dur_rest" \
+  "$dur_out"; rm -rf "$dur_root"' EXIT
+
+echo "-- durable reference run"
+timeout 300 dune exec bin/terra_serve.exe -- $dur_flags \
+  --durable "$dur_root/ref" < "$soak_in" > "$dur_ref"
+
+echo "-- kill at durability event 217"
+rc=0
+timeout 300 dune exec bin/terra_serve.exe -- $dur_flags \
+  --durable "$dur_root/crash" --crash-at 217 < "$soak_in" \
+  > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "durable soak: crash run exited $rc, expected 137" >&2
+  exit 1
+fi
+
+echo "-- first recovery (probe for the committed seq)"
+printf '{"op":"shutdown"}\n' | timeout 300 dune exec bin/terra_serve.exe -- \
+  $dur_flags --recover "$dur_root/crash" > "$dur_probe"
+
+# the remaining workload: every line after the last committed request
+python3 - "$dur_probe" "$soak_in" "$dur_rest" <<'PY'
+import json, sys
+report = json.loads(open(sys.argv[1]).readline())
+assert report["op"] == "recover", report
+assert report["discarded"] in (0, 1), report
+k = report["seq"]
+lines = open(sys.argv[2]).read().splitlines()
+requests = [l for l in lines if l.strip() and "\"op\"" not in l]
+assert 0 < k < len(requests), (k, len(requests))
+with open(sys.argv[3], "w") as f:
+    for l in requests[k:]:
+        f.write(l + "\n")
+    f.write(json.dumps({"op": "status"}) + "\n")
+    f.write(json.dumps({"op": "shutdown"}) + "\n")
+print("recovered to committed seq %d; %d requests remain"
+      % (k, len(requests) - k))
+PY
+
+echo "-- second recovery, resuming the remaining workload"
+timeout 300 dune exec bin/terra_serve.exe -- $dur_flags \
+  --recover "$dur_root/crash" < "$dur_rest" > "$dur_out"
+
+python3 - "$dur_ref" "$dur_out" <<'PY'
+import json, sys
+ref = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+out = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+ref_status = [l for l in ref if l.get("op") == "status"][-1]
+out_status = [l for l in out if l.get("op") == "status"][-1]
+for s in (ref_status, out_status):
+    s.pop("durable")
+assert out_status == ref_status, (out_status, ref_status)
+report = out[0]
+assert report["op"] == "recover" and report["torn"] is None, report
+drain = out[-1]
+assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
+runs = [l for l in out if l.get("schema") == "terra-batch-2"]
+assert ref_status["served"] == 200, ref_status
+print("kill/recover soak: resumed %d requests, final status byte-identical "
+      "to the uninterrupted run (served=%d), zero committed requests lost"
+      % (len(runs), out_status["served"]))
+PY
 echo "SOAK OK"

@@ -31,7 +31,8 @@ let serve_socket server path =
 
 let main socket pool recycle_after checked no_verify_rollback opt fuel
     mem_bytes request_fuel tenant_fuel tenant_mem tenant_depth
-    tenant_inflight retries quiet =
+    tenant_inflight retries max_line durable recover ckpt_interval crash_at
+    quiet =
   Sys.catch_break true;
   if not quiet then Supervise.Supervisor.log_sink := prerr_endline;
   let budget =
@@ -55,13 +56,51 @@ let main socket pool recycle_after checked no_verify_rollback opt fuel
       engine_fuel = fuel;
       mem_bytes;
       default_budget = budget;
+      max_line_bytes = max_line;
       log = (if quiet then ignore else prerr_endline);
     }
   in
-  let server = Serve.Server.create ~config () in
-  match socket with
-  | Some path -> serve_socket server path
-  | None -> Serve.Server.run_channels server stdin stdout
+  let run server =
+    match socket with
+    | Some path -> serve_socket server path
+    | None -> Serve.Server.run_channels server stdin stdout
+  in
+  let fail (d : Terra.Diag.t) =
+    Printf.eprintf "terra_serve: %s: %s\n%!" d.Terra.Diag.code
+      d.Terra.Diag.message;
+    1
+  in
+  try
+    match recover with
+    | Some dir -> (
+        match
+          Serve.Server.recover ~config ~dir ~interval:ckpt_interval ?crash_at
+            ()
+        with
+        | Ok (server, report) ->
+            (* the recovery report is the first response line, so a
+               driving client learns where to resume the workload *)
+            print_endline (Tprof.Json.to_string report);
+            flush stdout;
+            run server
+        | Error d -> fail d)
+    | None -> (
+        let server = Serve.Server.create ~config () in
+        match durable with
+        | None -> run server
+        | Some dir -> (
+            match
+              Serve.Server.enable_durability server ~dir
+                ~interval:ckpt_interval ?crash_at ()
+            with
+            | Ok () -> run server
+            | Error d -> fail d))
+  with Serve.Durable.Crashed n ->
+    (* simulated kill -9: no drain, no flush beyond what the journal
+       already forced *)
+    Printf.eprintf "terra_serve: simulated crash at durability event %d\n%!"
+      n;
+    137
 
 let () =
   let open Cmdliner in
@@ -162,6 +201,50 @@ let () =
       & info [ "retries" ] ~docv:"N"
           ~doc:"default transient-fault (fault.*) retries per request.")
   in
+  let max_line =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:
+            "request-line length cap; longer lines are drained and \
+             rejected with serve.bad-request.")
+  in
+  let durable =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "durable" ] ~docv:"DIR"
+          ~doc:
+            "write-ahead journal and periodic checkpoints in $(docv); a \
+             crashed session is recoverable with $(b,--recover).")
+  in
+  let recover =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recover" ] ~docv:"DIR"
+          ~doc:
+            "recover a durable session from $(docv): load the newest valid \
+             checkpoint, replay the committed journal suffix, verify \
+             fingerprints, then keep serving durably.")
+  in
+  let ckpt_interval =
+    Arg.(
+      value & opt int 32
+      & info [ "ckpt-interval" ] ~docv:"N"
+          ~doc:"checkpoint the pool every $(docv) committed requests.")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at" ] ~docv:"N"
+          ~doc:
+            "abort the process (exit 137, no drain) before the $(docv)th \
+             durability event — deterministic kill-point chaos for \
+             recovery testing.")
+  in
   let quiet =
     Arg.(
       value & flag
@@ -172,11 +255,12 @@ let () =
       (Cmd.info "terra_serve"
          ~doc:
            "fault-isolated multi-tenant Lua-Terra daemon with warm engine \
-            pools, admission control, and verified per-request rollback")
+            pools, admission control, verified per-request rollback, and \
+            durable crash-recoverable sessions")
       Term.(
         const main $ socket $ pool $ recycle_after $ checked
         $ no_verify_rollback $ opt $ fuel $ mem_bytes $ request_fuel
         $ tenant_fuel $ tenant_mem $ tenant_depth $ tenant_inflight $ retries
-        $ quiet)
+        $ max_line $ durable $ recover $ ckpt_interval $ crash_at $ quiet)
   in
   exit (Cmd.eval' cmd)

@@ -3,7 +3,12 @@
    evaluation, demonstrated (Section 4.1 / terralib.saveobj). *)
 
 let run path fname args =
-  let obj = Terra.Objfile.load_file path in
+  let obj =
+    try Terra.Objfile.load_file path
+    with Terra.Diag.Error d ->
+      Printf.eprintf "%s\n" (Terra.Diag.to_string d);
+      exit 1
+  in
   let vm, exports = Terra.Objfile.instantiate obj in
   match List.assoc_opt fname exports with
   | None ->

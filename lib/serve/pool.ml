@@ -132,6 +132,71 @@ let status_json t =
                       ("total", Json.Int s.total);
                       ("recycles", Json.Int s.recycles);
                       ("live_bytes", Json.Int (slot_live_bytes s));
+                      ( "fingerprint",
+                        Json.Str (Terra.Engine.fingerprint s.eng) );
                     ])
                 t.slots)) );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+(** Marshalable per-slot counters; the engine itself is checkpointed by
+    the server as an {!Terra.Engine.snapshot}. *)
+type slot_meta = {
+  sm_id : int;
+  sm_served : int;
+  sm_total : int;
+  sm_recycles : int;
+}
+
+type meta = {
+  pm_cursor : int;
+  pm_recycled_wear : int;
+  pm_recycled_leak : int;
+  pm_recycled_fingerprint : int;
+  pm_slots : slot_meta array;
+}
+
+let meta t =
+  {
+    pm_cursor = t.cursor;
+    pm_recycled_wear = t.recycled_wear;
+    pm_recycled_leak = t.recycled_leak;
+    pm_recycled_fingerprint = t.recycled_fingerprint;
+    pm_slots =
+      Array.map
+        (fun s ->
+          {
+            sm_id = s.id;
+            sm_served = s.served;
+            sm_total = s.total;
+            sm_recycles = s.recycles;
+          })
+        t.slots;
+  }
+
+(** Rebuild a pool from checkpointed counters and already-restored
+    engines (one per slot, in slot order). *)
+let restore ~make ~recycle_after (m : meta) (engines : Terra.Engine.t array)
+    =
+  {
+    make;
+    slots =
+      Array.mapi
+        (fun i (sm : slot_meta) ->
+          {
+            id = sm.sm_id;
+            eng = engines.(i);
+            served = sm.sm_served;
+            total = sm.sm_total;
+            recycles = sm.sm_recycles;
+            busy = false;
+          })
+        m.pm_slots;
+    recycle_after = max 1 recycle_after;
+    cursor = m.pm_cursor;
+    recycled_wear = m.pm_recycled_wear;
+    recycled_leak = m.pm_recycled_leak;
+    recycled_fingerprint = m.pm_recycled_fingerprint;
+  }

@@ -40,6 +40,7 @@ type config = {
   engine_fuel : int option;  (** per-engine session fuel; None = unbounded *)
   mem_bytes : int option;  (** heap size per engine *)
   default_budget : Tenant.budget;
+  max_line_bytes : int;  (** request-line cap; longer lines are rejected *)
   log : string -> unit;  (** supervision narration (stderr in the CLI) *)
 }
 
@@ -53,6 +54,7 @@ let default_config =
     engine_fuel = None;
     mem_bytes = None;
     default_budget = Tenant.default_budget;
+    max_line_bytes = 1 lsl 20;
     log = ignore;
   }
 
@@ -62,20 +64,24 @@ type t = {
   tenants : Tenant.table;
   mutable served : int;  (** run requests answered (incl. rejections) *)
   mutable draining : bool;
+  mutable journal : Durable.t option;  (** WAL, when running --durable *)
+  mutable replaying : bool;  (** recovery replay in progress *)
 }
 
+let make_engine config () =
+  Terrastd.create ?mem_bytes:config.mem_bytes ?fuel:config.engine_fuel
+    ~checked:config.checked ~opt_level:config.opt_level ~profile:true ()
+
 let create ?(config = default_config) () =
-  let make () =
-    Terrastd.create ?mem_bytes:config.mem_bytes ?fuel:config.engine_fuel
-      ~checked:config.checked ~opt_level:config.opt_level ~profile:true ()
-  in
   {
     cfg = config;
-    pool = Pool.create ~make ~size:config.pool_size
+    pool = Pool.create ~make:(make_engine config) ~size:config.pool_size
         ~recycle_after:config.recycle_after;
     tenants = Tenant.table ~default_budget:config.default_budget;
     served = 0;
     draining = false;
+    journal = None;
+    replaying = false;
   }
 
 let read_file path =
@@ -158,8 +164,11 @@ let handle_run (t : t) (r : Protocol.run_req) : Json.t =
           arm_faults eng r;
           let live_before = Pool.slot_live_bytes slot in
           let mark = Terra.Engine.statics_mark eng in
+          (* fingerprints are read-only, so skipping verification during
+             recovery replay cannot diverge the replayed state — and the
+             final per-slot tie-out still catches any corruption *)
           let fp_before =
-            if t.cfg.verify_rollback then
+            if t.cfg.verify_rollback && not t.replaying then
               Some (Terra.Engine.fingerprint ~statics_upto:mark eng)
             else None
           in
@@ -277,6 +286,10 @@ let status_json (t : t) =
       ("pool", Pool.status_json t.pool);
       ( "tenants",
         Json.List (List.map Tenant.status_json (Tenant.all t.tenants)) );
+      ( "durable",
+        match t.journal with
+        | Some j -> Durable.status_json j
+        | None -> Json.Null );
     ]
 
 let profile_json (t : t) =
@@ -314,6 +327,76 @@ let breakers_json (t : t) =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Durability *)
+
+(** The marshaled checkpoint payload: every piece of server state a
+    recovered process needs beyond what the config rebuilds. *)
+type persisted = {
+  p_config : string;  (** digest of the behavior-relevant config *)
+  p_served : int;
+  p_pool : Pool.meta;
+  p_tenants : Tenant.snapshot list;  (** first-seen order *)
+  p_engines : Terra.Engine.snapshot array;  (** one per slot, in order *)
+}
+
+(* Replay is only exact under the same knobs (engine sizing, budgets,
+   breaker thresholds, pool shape), so the checkpoint embeds a digest
+   of everything behavior-relevant and recovery refuses a mismatch. *)
+let config_digest (c : config) =
+  let b = c.default_budget in
+  let opt = function Some n -> string_of_int n | None -> "-" in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "pool=%d;recycle=%d;verify=%b;checked=%b;opt=%d;fuel=%s;mem=%s;\
+           budget=%d,%d,%d,%s,%d,%d;cb=%d,%d;line=%d"
+          c.pool_size c.recycle_after c.verify_rollback c.checked c.opt_level
+          (opt c.engine_fuel) (opt c.mem_bytes) b.Tenant.fuel_per_request
+          b.Tenant.fuel_total b.Tenant.mem_bytes
+          (opt b.Tenant.max_call_depth)
+          b.Tenant.max_inflight b.Tenant.max_retries
+          b.Tenant.breaker.Supervise.Policy.cb_threshold
+          b.Tenant.breaker.Supervise.Policy.cb_cooldown c.max_line_bytes))
+
+let persist (t : t) : string =
+  Marshal.to_string
+    {
+      p_config = config_digest t.cfg;
+      p_served = t.served;
+      p_pool = Pool.meta t.pool;
+      p_tenants = List.map Tenant.snapshot (Tenant.all t.tenants);
+      p_engines =
+        Array.map
+          (fun (s : Pool.slot) -> Terra.Engine.snap s.Pool.eng)
+          t.pool.Pool.slots;
+    }
+    []
+
+let journal_begin t input =
+  match t.journal with
+  | Some j when not t.replaying -> Durable.begin_request j input
+  | _ -> 0
+
+let journal_end t ~seq (resp : Json.t) =
+  match t.journal with
+  | Some j when not t.replaying ->
+      let slot = Json.to_int_opt (Json.member "engine" resp) in
+      let fp =
+        Option.map
+          (fun id ->
+            Terra.Engine.fingerprint t.pool.Pool.slots.(id).Pool.eng)
+          slot
+      in
+      let outcome =
+        Option.value
+          (Json.to_string_opt (Json.member "status" resp))
+          ~default:"error"
+      in
+      Durable.end_request j ~seq ~outcome ~slot ~fp ~state:(fun () ->
+          persist t)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* The request loop *)
 
 (** Final drain: leak-check every pooled engine.  Returns the drain
@@ -343,25 +426,207 @@ let drain (t : t) ~reason : Json.t * int =
     if clean then 0 else 2 )
 
 (** Handle one request line.  [None] for blank/comment lines;
-    [Some (resp, `Continue | `Shutdown)] otherwise. *)
+    [Some (resp, `Continue | `Shutdown)] otherwise.  Run requests and
+    parse-error lines mutate server state, so both go through the WAL
+    (begin before execution, commit after); introspection ops do not. *)
 let handle (t : t) (line : string) :
     (Json.t * [ `Continue | `Shutdown ]) option =
   match Protocol.parse line with
-  | Error d ->
-      t.served <- t.served + 1;
-      Some
-        ( Protocol.error_json
-            ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
-                     ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
-                     ("recycled", Json.Bool false) ]
-            d,
-          `Continue )
   | Ok None -> None
   | Ok (Some Protocol.Status) -> Some (status_json t, `Continue)
   | Ok (Some Protocol.Profile) -> Some (profile_json t, `Continue)
   | Ok (Some Protocol.Breakers) -> Some (breakers_json t, `Continue)
   | Ok (Some Protocol.Shutdown) -> Some (Json.Null, `Shutdown)
-  | Ok (Some (Protocol.Run r)) -> Some (handle_run t r, `Continue)
+  | (Error _ | Ok (Some (Protocol.Run _))) as parsed ->
+      let seq = journal_begin t (Durable.Line line) in
+      let resp =
+        match parsed with
+        | Ok (Some (Protocol.Run r)) -> handle_run t r
+        | Error d ->
+            t.served <- t.served + 1;
+            Protocol.error_json
+              ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
+                       ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
+                       ("recycled", Json.Bool false) ]
+              d
+        | Ok _ -> assert false
+      in
+      journal_end t ~seq resp;
+      Some (resp, `Continue)
+
+(** An over-long request line was drained without buffering: reject it
+    (journaled — the rejection moves [served]). *)
+let handle_oversize (t : t) (len : int) : Json.t =
+  let seq = journal_begin t (Durable.Oversize len) in
+  t.served <- t.served + 1;
+  let resp =
+    Protocol.error_json
+      ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
+               ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
+               ("recycled", Json.Bool false) ]
+      (Protocol.bad_request
+         "request line of %d bytes exceeds the %d-byte cap" len
+         t.cfg.max_line_bytes)
+  in
+  journal_end t ~seq resp;
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Durability: session setup and recovery *)
+
+(** Turn on the write-ahead journal for a fresh server. *)
+let enable_durability (t : t) ~dir ?interval ?crash_at ?on_event () :
+    (unit, Diag.t) result =
+  let cfg = Durable.config ?interval ?crash_at ?on_event dir in
+  match Durable.create cfg ~state:(fun () -> persist t) with
+  | Ok j ->
+      t.journal <- Some j;
+      Ok ()
+  | Error d -> Error d
+
+(** Recover a durable session from [dir]: load the newest valid
+    checkpoint, rebuild the pool and tenant table, replay the committed
+    WAL suffix (responses discarded — they were already delivered), and
+    verify every slot's fingerprint against the one recorded at commit
+    time.  On success the returned server has a live journal again and
+    the report describes what recovery did (including any torn tail it
+    degraded around). *)
+let recover ?(config = default_config) ~dir ?interval ?crash_at ?on_event ()
+    : (t * Json.t, Diag.t) result =
+  match Durable.recover_scan ~dir with
+  | Error d -> Error d
+  | Ok rc -> (
+      match (Marshal.from_string rc.Durable.rc_state 0 : persisted) with
+      | exception _ ->
+          Error
+            (Diag.make ~phase:Diag.Run ~code:"recover.bad-checkpoint"
+               "checkpoint payload does not parse")
+      | p ->
+          if not (String.equal p.p_config (config_digest config)) then
+            Error
+              (Diag.make ~phase:Diag.Run ~code:"recover.config-mismatch"
+                 "server configuration differs from the checkpointed \
+                  session; recovery would not replay exactly")
+          else begin
+            match
+              let make = make_engine config in
+              let engines =
+                Array.map
+                  (fun snap ->
+                    let e = make () in
+                    Terra.Engine.restore_snap e snap;
+                    e)
+                  p.p_engines
+              in
+              let t =
+                {
+                  cfg = config;
+                  pool =
+                    Pool.restore ~make ~recycle_after:config.recycle_after
+                      p.p_pool engines;
+                  tenants =
+                    Tenant.table ~default_budget:config.default_budget;
+                  served = p.p_served;
+                  draining = false;
+                  journal = None;
+                  replaying = true;
+                }
+              in
+              List.iter (Tenant.restore t.tenants) p.p_tenants;
+              (* deterministic replay of the committed suffix *)
+              List.iter
+                (fun (e : Durable.committed_entry) ->
+                  match e.Durable.ce_input with
+                  | Durable.Line l -> ignore (handle t l)
+                  | Durable.Oversize n -> ignore (handle_oversize t n))
+                rc.Durable.rc_entries;
+              t.replaying <- false;
+              (* fingerprint tie-out: for every slot, the recovered
+                 engine must match the last fingerprint committed for
+                 it (or be untouched since the checkpoint) *)
+              let expected = Array.make (Pool.size t.pool) None in
+              List.iter
+                (fun (e : Durable.committed_entry) ->
+                  match (e.Durable.ce_slot, e.Durable.ce_fp) with
+                  | Some id, Some fp when id >= 0 && id < Array.length expected
+                    ->
+                      expected.(id) <- Some fp
+                  | _ -> ())
+                rc.Durable.rc_entries;
+              Array.iteri
+                (fun id exp ->
+                  match exp with
+                  | Some fp ->
+                      let now =
+                        Terra.Engine.fingerprint t.pool.Pool.slots.(id).Pool.eng
+                      in
+                      if not (String.equal now fp) then
+                        Diag.error ~phase:Diag.Run
+                          ~code:"recover.fingerprint-mismatch"
+                          "engine %d replayed to fingerprint %s but %s was \
+                           committed"
+                          id now fp
+                  | None -> ())
+                expected;
+              let j =
+                Durable.resume
+                  (Durable.config ?interval ?crash_at ?on_event dir)
+                  ~rc ~state:(fun () -> persist t)
+              in
+              t.journal <- Some j;
+              let report =
+                Json.Obj
+                  [
+                    ("schema", Json.Str "terra-serve-1");
+                    ("op", Json.Str "recover");
+                    ("barrier", Json.Int rc.Durable.rc_barrier);
+                    ( "replayed",
+                      Json.Int (List.length rc.Durable.rc_entries) );
+                    ("seq", Json.Int (Option.get t.journal).Durable.seq);
+                    ("discarded", Json.Int rc.Durable.rc_discarded);
+                    ( "torn",
+                      match rc.Durable.rc_torn with
+                      | Some tt -> Durable.torn_json tt
+                      | None -> Json.Null );
+                    ( "skipped_checkpoints",
+                      Json.List
+                        (List.map
+                           (fun (f, why) ->
+                             Json.Obj
+                               [
+                                 ("file", Json.Str f);
+                                 ("reason", Json.Str why);
+                               ])
+                           rc.Durable.rc_skipped) );
+                  ]
+              in
+              (t, report)
+            with
+            | result -> Ok result
+            | exception Diag.Error d -> Error d
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* The request line reader *)
+
+(** Read one newline-terminated request, bounding memory: once a line
+    exceeds [max_bytes] the rest is drained unbuffered and the line is
+    reported as oversized (its true length attached). *)
+let read_request ic ~max_bytes : [ `Line of string | `Oversize of int | `Eof ]
+    =
+  let buf = Buffer.create 256 in
+  let rec go count =
+    match input_char ic with
+    | exception End_of_file ->
+        if count = 0 then `Eof
+        else if count > max_bytes then `Oversize count
+        else `Line (Buffer.contents buf)
+    | '\n' -> if count > max_bytes then `Oversize count else `Line (Buffer.contents buf)
+    | c ->
+        if count < max_bytes then Buffer.add_char buf c;
+        go (count + 1)
+  in
+  go 0
 
 (** Serve line-delimited requests from [ic] to [oc] until shutdown, end
     of input, or [Sys.Break] (SIGINT with [Sys.catch_break true]); every
@@ -373,10 +638,13 @@ let run_channels (t : t) (ic : in_channel) (oc : out_channel) : int =
     flush oc
   in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> "eof"
+    match read_request ic ~max_bytes:t.cfg.max_line_bytes with
     | exception Sys.Break -> "sigint"
-    | line -> (
+    | `Eof -> "eof"
+    | `Oversize len ->
+        reply (handle_oversize t len);
+        loop ()
+    | `Line line -> (
         match handle t line with
         | None -> loop ()
         | Some (resp, `Continue) ->

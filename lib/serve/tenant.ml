@@ -141,6 +141,63 @@ let settle t ~fuel ~mem_delta ~leaked ~ok =
   t.leaked_bytes <- t.leaked_bytes + leaked
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+(** Marshalable image of a tenant: counters plus the breaker's logical
+    clock and per-key states (sorted, for a deterministic image).
+    Budgets are not captured — they come from the server config, which
+    recovery verifies separately. *)
+type snapshot = {
+  ts_name : string;
+  ts_admitted : int;
+  ts_rejected : int;
+  ts_completed : int;
+  ts_failed : int;
+  ts_fuel_spent : int;
+  ts_mem_used : int;
+  ts_leaked_bytes : int;
+  ts_clock : int;
+  ts_states : (string * Policy.breaker_state) list;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    ts_name = t.name;
+    ts_admitted = t.admitted;
+    ts_rejected = t.rejected;
+    ts_completed = t.completed;
+    ts_failed = t.failed;
+    ts_fuel_spent = t.fuel_spent;
+    ts_mem_used = t.mem_used;
+    ts_leaked_bytes = t.leaked_bytes;
+    ts_clock = t.breaker.Policy.clock;
+    ts_states =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k v acc -> (k, v) :: acc)
+           t.breaker.Policy.states []);
+  }
+
+(** Materialize a checkpointed tenant into [table] (preserving
+    first-seen order when applied in snapshot order).  The single-
+    threaded server checkpoints only between requests, so in-flight is
+    always zero. *)
+let restore (table : table) (s : snapshot) : unit =
+  let t = find table s.ts_name in
+  t.admitted <- s.ts_admitted;
+  t.rejected <- s.ts_rejected;
+  t.completed <- s.ts_completed;
+  t.failed <- s.ts_failed;
+  t.fuel_spent <- s.ts_fuel_spent;
+  t.mem_used <- s.ts_mem_used;
+  t.leaked_bytes <- s.ts_leaked_bytes;
+  t.breaker.Policy.clock <- s.ts_clock;
+  Hashtbl.reset t.breaker.Policy.states;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.breaker.Policy.states k v)
+    s.ts_states
+
+(* ------------------------------------------------------------------ *)
 (* Introspection *)
 
 let status_json t =

@@ -347,3 +347,85 @@ let leak_diag t =
               (List.length blocks)
               (if List.length blocks = 1 then "" else "s")
               detail more))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints *)
+
+(** A marshalable image of a full engine session: the VM session (arena,
+    allocator, shadow, function table) plus the compile-side state that
+    replay needs to be exact — the string-intern table (re-interning on
+    replay would bump the statics pointer and diverge) and the
+    function-pointer reloc list.  The capturing engine's fingerprint is
+    embedded so a restore is verified byte-exact. *)
+type snapshot = {
+  snap_session : Tvm.Session.t;
+  snap_strings : (string * int) list;  (** sorted: deterministic image *)
+  snap_relocs : (int * int) list;
+  snap_opt_level : int;
+  snap_leak_mark : (int * int) list;
+  snap_lua_depth : int;
+  snap_lua_steps : int;
+  snap_fingerprint : string;
+}
+
+let snap (t : t) : snapshot =
+  {
+    snap_session = Tvm.Session.capture t.ctx.Context.vm;
+    snap_strings =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ctx.Context.strings []);
+    snap_relocs = t.ctx.Context.funcptr_relocs;
+    snap_opt_level = t.ctx.Context.opt_level;
+    snap_leak_mark = t.leak_mark;
+    snap_lua_depth = t.lua_depth;
+    snap_lua_steps = t.lua_steps;
+    snap_fingerprint = fingerprint t;
+  }
+
+(** Restore a snapshot onto [t], which must come from the same engine
+    configuration (arena size, checkedness).  The restored session's
+    fingerprint is recomputed and checked against the one captured at
+    snapshot time; a mismatch is a hard [recover.fingerprint-mismatch].
+    The Lua scope is rebuilt fresh — scopes hold only per-request
+    bindings, all durable state lives in the VM session. *)
+let restore_snap (t : t) (s : snapshot) : unit =
+  (match Tvm.Session.restore t.ctx.Context.vm s.snap_session with
+  | () -> ()
+  | exception Invalid_argument msg ->
+      Diag.error ~phase:Diag.Run ~code:"recover.config-mismatch" "%s" msg);
+  Hashtbl.reset t.ctx.Context.strings;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.ctx.Context.strings k v)
+    s.snap_strings;
+  t.ctx.Context.funcptr_relocs <- s.snap_relocs;
+  t.ctx.Context.opt_level <- s.snap_opt_level;
+  t.leak_mark <- s.snap_leak_mark;
+  t.lua_depth <- s.snap_lua_depth;
+  t.lua_steps <- s.snap_lua_steps;
+  reset_scope t;
+  let fp = fingerprint t in
+  if not (String.equal fp s.snap_fingerprint) then
+    Diag.error ~phase:Diag.Run ~code:"recover.fingerprint-mismatch"
+      "restored session fingerprint %s does not match checkpointed %s" fp
+      s.snap_fingerprint
+
+let ckpt_magic = "TERRACKPT1\n"
+
+(** Serialize the engine's full session to a channel, digest-framed (see
+    {!Blobio}) so corruption is detected before unmarshaling. *)
+let checkpoint (t : t) (oc : out_channel) : unit =
+  Blobio.write_framed oc ~magic:ckpt_magic (Marshal.to_string (snap t) [])
+
+(** Load a checkpoint into a fresh engine built by [make] (the same
+    factory that built the captured engine).  Frame or configuration
+    damage is a structured [ckpt.bad-file]; a fingerprint mismatch after
+    restore is [recover.fingerprint-mismatch]. *)
+let restore ~(make : unit -> t) (ic : in_channel) : t =
+  match Blobio.read_framed ic ~magic:ckpt_magic with
+  | Error msg ->
+      Diag.error ~phase:Diag.Run ~code:"ckpt.bad-file" "checkpoint: %s" msg
+  | Ok blob ->
+      let s : snapshot = Marshal.from_string blob 0 in
+      let t = make () in
+      restore_snap t s;
+      t

@@ -18,7 +18,7 @@ type obj = {
           (offset into the snapshot, local function id) *)
 }
 
-let magic = "TERRAOBJ1"
+let magic = "TERRAOBJ2\n"
 
 (* Gather the transitive closure of VM functions reachable from the
    exports, through direct calls, function-address immediates, and static
@@ -133,25 +133,171 @@ let build (fns : (string * Func.t) list) : obj =
             relocs;
       }
 
+(** Write an already-built object to a channel.  Exposed (rather than
+    only [save]) so the corruption-fuzz tests can persist hand-crafted
+    hostile objects and prove {!load_file} rejects them. *)
+let write_channel oc (obj : obj) =
+  Blobio.write_framed oc ~magic (Marshal.to_string obj [])
+
 let save path fns =
   let obj = build fns in
   let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc obj [])
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc obj)
+
+let bad_file path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Diag.error ~phase:Diag.Compile ~code:"obj.bad-file" "%s: %s" path msg)
+    fmt
+
+(* Structural validation of an unmarshaled object.  The digest frame
+   already rules out accidental corruption; this pass rules out hostile
+   or buggy well-formed files whose indices would otherwise reach the
+   VM's unchecked dispatch (function ids, import ids, register numbers,
+   jump targets, reloc offsets). *)
+let validate path (obj : obj) =
+  let nfuncs = Array.length obj.o_funcs in
+  let nimports = Array.length obj.o_imports in
+  if nfuncs = 0 then bad_file path "object has no functions";
+  if obj.o_statics_len <> String.length obj.o_statics then
+    bad_file path "statics length field %d does not match snapshot size %d"
+      obj.o_statics_len
+      (String.length obj.o_statics);
+  if obj.o_statics_len > (1 lsl 20) - Tvm.Mem.statics_base then
+    bad_file path "statics snapshot of %d bytes exceeds the static region"
+      obj.o_statics_len;
+  Array.iteri
+    (fun fid (f : Ir.func) ->
+      let where fmt =
+        Printf.ksprintf (fun s -> Printf.sprintf "function %d (%s): %s" fid f.Ir.fname s) fmt
+      in
+      let len = Array.length f.Ir.code in
+      if f.Ir.nparams < 0 || f.Ir.nregs < f.Ir.nparams then
+        bad_file path "%s"
+          (where "bad register counts (%d params, %d regs)" f.Ir.nparams
+             f.Ir.nregs);
+      if f.Ir.frame_bytes < 0 || f.Ir.frame_bytes > 8 * (1 lsl 20) then
+        bad_file path "%s" (where "implausible frame size %d" f.Ir.frame_bytes);
+      if len = 0 then bad_file path "%s" (where "empty body");
+      let reg pc r =
+        if r < 0 || r >= f.Ir.nregs then
+          bad_file path "%s" (where "pc %d: register r%d out of range" pc r)
+      in
+      let dst pc = function Some r -> reg pc r | None -> () in
+      let op pc = function Ir.R r -> reg pc r | Ir.Ki _ | Ir.Kf _ -> () in
+      let ops pc l = List.iter (op pc) l in
+      let target pc l =
+        if l < 0 || l >= len then
+          bad_file path "%s" (where "pc %d: jump target %d out of range" pc l)
+      in
+      let lanes pc l =
+        if l < 1 || l > 16 then
+          bad_file path "%s" (where "pc %d: bad vector width %d" pc l)
+      in
+      Array.iteri
+        (fun pc ins ->
+          match ins with
+          | Ir.Mov (d, a) | Ir.Iun (_, d, a) | Ir.Fun (_, _, d, a) ->
+              reg pc d;
+              op pc a
+          | Ir.Ibin (_, d, a, b) | Ir.Fbin (_, _, d, a, b) ->
+              reg pc d;
+              op pc a;
+              op pc b
+          | Ir.Lea (d, b, i, _, _) ->
+              reg pc d;
+              op pc b;
+              op pc i
+          | Ir.Load (_, d, a) ->
+              reg pc d;
+              op pc a
+          | Ir.Store (_, a, v) ->
+              op pc a;
+              op pc v
+          | Ir.Vload (_, l, d, a) | Ir.Vsplat (_, l, d, a) ->
+              lanes pc l;
+              reg pc d;
+              op pc a
+          | Ir.Vstore (_, l, a, v) ->
+              lanes pc l;
+              op pc a;
+              op pc v
+          | Ir.Vbin (_, l, _, d, a, b) ->
+              lanes pc l;
+              reg pc d;
+              op pc a;
+              op pc b
+          | Ir.Vun (_, l, _, d, a) ->
+              lanes pc l;
+              reg pc d;
+              op pc a
+          | Ir.Vextract (d, a, i) ->
+              reg pc d;
+              op pc a;
+              if i < 0 || i >= 16 then
+                bad_file path "%s" (where "pc %d: bad vector lane %d" pc i)
+          | Ir.Cvt (_, _, d, a) ->
+              reg pc d;
+              op pc a
+          | Ir.Call (d, target_id, args) ->
+              dst pc d;
+              ops pc args;
+              if target_id < 0 || target_id >= nfuncs then
+                bad_file path "%s"
+                  (where "pc %d: call target %d out of range" pc target_id)
+          | Ir.Callind (d, fptr, args) ->
+              dst pc d;
+              op pc fptr;
+              ops pc args
+          | Ir.Ccall (d, i, args) ->
+              dst pc d;
+              ops pc args;
+              if i < 0 || i >= nimports then
+                bad_file path "%s"
+                  (where "pc %d: import %d out of range" pc i)
+          | Ir.Prefetch a -> op pc a
+          | Ir.FrameAddr (d, _) -> reg pc d
+          | Ir.SpillTouch _ -> ()
+          | Ir.Jmp l -> target pc l
+          | Ir.Br (c, a, b) ->
+              op pc c;
+              target pc a;
+              target pc b
+          | Ir.Ret a -> Option.iter (op pc) a)
+        f.Ir.code;
+      (* the interpreter falls off the end of a body whose last
+         instruction is not a terminator: require one *)
+      match f.Ir.code.(len - 1) with
+      | Ir.Ret _ | Ir.Jmp _ | Ir.Br _ -> ()
+      | _ -> bad_file path "%s" (where "body does not end in a terminator"))
+    obj.o_funcs;
+  List.iter
+    (fun (name, id) ->
+      if id < 0 || id >= nfuncs then
+        bad_file path "export %s: function id %d out of range" name id)
+    obj.o_exports;
+  List.iter
+    (fun (off, id) ->
+      if off < 0 || off + 8 > obj.o_statics_len then
+        bad_file path "reloc offset %d out of range" off;
+      if id < 0 || id >= nfuncs then
+        bad_file path "reloc function id %d out of range" id)
+    obj.o_relocs
 
 let load_file path : obj =
-  let ic = open_in_bin path in
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> bad_file path "cannot open (%s)" msg
+  in
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then
-        Diag.error ~phase:Diag.Compile ~code:"objfile.magic"
-          "%s: not a terra object file" path;
-      (Marshal.from_channel ic : obj))
+      match Blobio.read_framed ic ~magic with
+      | Error msg -> bad_file path "%s" msg
+      | Ok payload ->
+          let obj : obj = Marshal.from_string payload 0 in
+          validate path obj;
+          obj)
 
 (** Load an object into a fresh VM (no Lua anywhere) and return the VM
     plus export name → function id. *)

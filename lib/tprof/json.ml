@@ -73,6 +73,11 @@ let to_string j =
 
 exception Bad of string
 
+(* Nesting cap: recursive descent burns OCaml stack per level, so
+   unbounded depth turns hostile input ("[[[[...") into Stack_overflow
+   instead of a parse error.  Real requests nest a handful of levels. *)
+let max_depth = 256
+
 let of_string (s : string) : (t, string) result =
   let n = String.length s in
   let pos = ref 0 in
@@ -168,7 +173,8 @@ let of_string (s : string) : (t, string) result =
         | Some f -> Float f
         | None -> fail (Printf.sprintf "bad number '%s'" tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -185,7 +191,7 @@ let of_string (s : string) : (t, string) result =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -207,7 +213,7 @@ let of_string (s : string) : (t, string) result =
         end
         else begin
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -227,7 +233,7 @@ let of_string (s : string) : (t, string) result =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

@@ -295,3 +295,50 @@ let blocks t = Hashtbl.fold (fun a s acc -> (a, s) :: acc) t.live []
 let leaks t =
   if checked t then Hashtbl.fold (fun a n acc -> (a, n) :: acc) t.req []
   else blocks t
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+(* Unlike [txn] (an in-process snapshot sharing hashtable layout), this
+   form is canonical — tables as sorted assoc lists — so it marshals
+   deterministically and survives a process restart. *)
+type snapshot = {
+  snap_free_list : (int * int) list;
+  snap_live : (int * int) list;
+  snap_starts : (int * int) list;
+  snap_req : (int * int) list;
+  snap_quarantine : (int * int * int) list;  (** oldest first *)
+  snap_quarantine_bytes : int;
+  snap_live_bytes : int;
+  snap_jitter : int;
+}
+
+let snapshot t =
+  let dump tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    snap_free_list = t.free_list;
+    snap_live = dump t.live;
+    snap_starts = dump t.starts;
+    snap_req = dump t.req;
+    snap_quarantine = List.rev (Queue.fold (fun acc b -> b :: acc) [] t.quarantine);
+    snap_quarantine_bytes = t.quarantine_bytes;
+    snap_live_bytes = t.live_bytes;
+    snap_jitter = t.jitter;
+  }
+
+let restore_snapshot t s =
+  let refill tbl rows =
+    Hashtbl.reset tbl;
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) rows
+  in
+  t.free_list <- s.snap_free_list;
+  refill t.live s.snap_live;
+  refill t.starts s.snap_starts;
+  refill t.req s.snap_req;
+  Queue.clear t.quarantine;
+  List.iter (fun b -> Queue.add b t.quarantine) s.snap_quarantine;
+  t.quarantine_bytes <- s.snap_quarantine_bytes;
+  t.live_bytes <- s.snap_live_bytes;
+  t.jitter <- s.snap_jitter

@@ -58,3 +58,20 @@ val blocks : t -> (int * int) list
 
 (** Live blocks as [(payload, requested size)] — the leak report. *)
 val leaks : t -> (int * int) list
+
+(** Canonical, marshalable image of the allocator's bookkeeping: tables
+    as sorted assoc lists, the quarantine oldest-first.  Unlike {!txn}
+    it survives a process restart (checkpoint/recovery). *)
+type snapshot = {
+  snap_free_list : (int * int) list;
+  snap_live : (int * int) list;
+  snap_starts : (int * int) list;
+  snap_req : (int * int) list;
+  snap_quarantine : (int * int * int) list;
+  snap_quarantine_bytes : int;
+  snap_live_bytes : int;
+  snap_jitter : int;
+}
+
+val snapshot : t -> snapshot
+val restore_snapshot : t -> snapshot -> unit

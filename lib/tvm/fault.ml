@@ -97,3 +97,16 @@ let fire_step t mem step =
       | Fail_alloc _ -> ())
     due;
   match !trap with Some s -> raise (Injected (s, describe s)) | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+(* Relative Fail_alloc specs and step-based specs are armed against the
+   session's running ordinals, so both the pending plan and the
+   allocation count must survive a checkpoint/restore round trip. *)
+let snapshot t = (t.pending, t.allocs)
+
+let of_snapshot (pending, allocs) =
+  let t = { pending; allocs; next_step = max_int } in
+  recompute t;
+  t

@@ -34,3 +34,9 @@ val on_alloc : t -> unit
 
 (** Fire all step-based specs due at [step]. *)
 val fire_step : t -> Mem.t -> int -> unit
+
+(** Marshalable image (pending plan, allocations observed) for the
+    checkpoint layer. *)
+val snapshot : t -> spec list * int
+
+val of_snapshot : spec list * int -> t

@@ -244,3 +244,12 @@ let set_cstring t addr s =
   note t addr (String.length s);
   Bytes.blit_string s 0 t.bytes addr (String.length s);
   set_u8 t (addr + String.length s) 0
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+(* The checkpoint layer (Session) serializes and restores the arena
+   wholesale; it needs raw access that bypasses bounds and shadow
+   checks.  The returned bytes alias the live arena. *)
+let unsafe_bytes t = t.bytes
+let set_statics_ptr t p = t.statics_ptr <- p

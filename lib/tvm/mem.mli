@@ -87,3 +87,10 @@ val corrupt_byte : t -> int -> unit
 
 (** Write [s] plus a terminating NUL at [addr]. *)
 val set_cstring : t -> int -> string -> unit
+
+(** Raw arena access for the checkpoint layer ({!Session}) only: the
+    returned bytes alias the live arena and bypass every check. *)
+val unsafe_bytes : t -> Bytes.t
+
+(** Reset the statics bump pointer to a checkpointed position. *)
+val set_statics_ptr : t -> int -> unit

@@ -253,3 +253,22 @@ let describe v =
       Printf.sprintf
         "realloc of invalid pointer %#x: not a pointer returned by malloc%s"
         v.vaddr block
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+(* Raw access to the per-byte map for the checkpoint layer; the returned
+   bytes alias the live map. *)
+let unsafe_map t = t.map
+
+let entries t =
+  let dump tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  (dump t.live, dump t.freed)
+
+let set_entries t ~live ~freed =
+  Hashtbl.reset t.live;
+  List.iter (fun (k, v) -> Hashtbl.replace t.live k v) live;
+  Hashtbl.reset t.freed;
+  List.iter (fun (k, v) -> Hashtbl.replace t.freed k v) freed

@@ -79,3 +79,19 @@ val kind_code : kind -> string
 
 (** Human-readable one-line description of a violation. *)
 val describe : violation -> string
+
+(** Raw access to the per-byte map for the checkpoint layer ({!Session})
+    only; the returned bytes alias the live map. *)
+val unsafe_map : t -> Bytes.t
+
+(** Both block registries as sorted assoc lists
+    [(payload, (size, lo, hi))]: live first, then quarantined. *)
+val entries :
+  t -> (int * (int * int * int)) list * (int * (int * int * int)) list
+
+(** Replace both block registries from checkpointed entries. *)
+val set_entries :
+  t ->
+  live:(int * (int * int * int)) list ->
+  freed:(int * (int * int * int)) list ->
+  unit

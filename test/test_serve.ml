@@ -404,6 +404,73 @@ let serve_tests =
         match Json.of_string drain_line with
         | Ok j -> checks "reason" "eof" (jstr j "reason")
         | Error m -> Alcotest.failf "unparseable drain: %s" m);
+    quick "over-long request lines are rejected and service continues"
+      (fun () ->
+        let dir = Filename.temp_file "serve_longline" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let in_path = Filename.concat dir "in.jsonl" in
+        let out_path = Filename.concat dir "out.jsonl" in
+        let oc = open_out in_path in
+        output_string oc
+          (String.concat "\n"
+             [
+               run_line ~src:good_src ~tenant:"alice" ();
+               (* a 4000-byte line: drained unbuffered, never parsed *)
+               String.make 4000 'A';
+               run_line ~src:good_src ~tenant:"alice" ();
+             ]);
+        output_char oc '\n';
+        close_out oc;
+        let config =
+          {
+            Server.default_config with
+            pool_size = 1;
+            checked = true;
+            mem_bytes = Some (32 * 1024 * 1024);
+            max_line_bytes = 512;
+          }
+        in
+        let s = Server.create ~config () in
+        let ic = open_in in_path and oc = open_out out_path in
+        let code = Server.run_channels s ic oc in
+        close_in ic;
+        close_out oc;
+        checki "clean exit" 0 code;
+        let lines = ref [] in
+        let ic = open_in out_path in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        (match
+           List.rev_map
+             (fun l ->
+               match Json.of_string l with
+               | Ok j -> j
+               | Error m -> Alcotest.failf "unparseable response %S: %s" l m)
+             !lines
+         with
+        | [ good1; oversize; good2; drainr ] ->
+            checks "first request is fine" "ok" (jstr good1 "status");
+            checks "oversize is rejected" "serve.bad-request"
+              (jstr oversize "code");
+            checks "oversize is an error" "error" (jstr oversize "status");
+            checkb "rejection names the true length" true
+              (let m = jstr oversize "message" in
+               let has_sub sub =
+                 let ls = String.length sub and lm = String.length m in
+                 let rec go i =
+                   i + ls <= lm && (String.sub m i ls = sub || go (i + 1))
+                 in
+                 go 0
+               in
+               has_sub "4000" && has_sub "512");
+            checks "service continues afterwards" "ok" (jstr good2 "status");
+            checks "drain is clean" "clean" (jstr drainr "status")
+        | _ -> Alcotest.fail "expected three responses plus the drain");
+        checki "all three lines counted as served" 3 s.Server.served);
   ]
 
 (* ------------------------------------------------------------------ *)

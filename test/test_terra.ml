@@ -672,6 +672,137 @@ let ffi_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Object-file hardening: a .tobj from disk is hostile input.  Framing
+   damage (bit flips, truncation) and structurally invalid objects that
+   pass the framing must both surface as structured [obj.bad-file]
+   diagnostics — never an exception, never an out-of-range VM access. *)
+
+let save_tobj () =
+  let e = Engine.create () in
+  let path = Filename.temp_file "terra_fuzz" ".tobj" in
+  ignore
+    (Engine.run e
+       (Printf.sprintf
+          {|local K = 6
+            terra mulk(x : int64) : int64 return x * K end
+            terra callmulk(x : int64) : int64 return mulk(x) + 1 end
+            terralib.saveobj(%S, { mulk = mulk, callmulk = callmulk })|}
+          path));
+  let ic = open_in_bin path in
+  let blob = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  blob
+
+let expect_bad_file what data =
+  let path = Filename.temp_file "terra_fuzz" ".tobj" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      match Objfile.load_file path with
+      | _ -> Alcotest.failf "%s loaded as a valid object" what
+      | exception Diag.Error d ->
+          checks (what ^ ": code") "obj.bad-file" d.Diag.code)
+
+let hostile_obj ?(exports = [ ("f", 0) ]) ?(imports = [||]) ?(statics = "")
+    ?(relocs = []) funcs =
+  let path = Filename.temp_file "terra_fuzz" ".tobj" in
+  let oc = open_out_bin path in
+  Objfile.write_channel oc
+    {
+      Objfile.o_funcs = Array.of_list funcs;
+      o_imports = imports;
+      o_exports = exports;
+      o_statics = statics;
+      o_statics_len = String.length statics;
+      o_relocs = relocs;
+    };
+  close_out oc;
+  let ic = open_in_bin path in
+  let blob = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  blob
+
+let ret0 = { Tvm.Ir.fname = "f"; nparams = 0; nregs = 1; frame_bytes = 0;
+             code = [| Tvm.Ir.Ret None |] }
+
+let objfile_tests =
+  [
+    quick "bit flips anywhere in a .tobj are structured failures"
+      (fun () ->
+        let blob = save_tobj () in
+        let len = String.length blob in
+        checkb "the object is not trivial" true (len > 200);
+        (* deterministic sweep: ~60 positions spread over header, digest,
+           and payload; every flip must be caught by the framing *)
+        for i = 0 to 59 do
+          let off = i * len / 60 in
+          let b = Bytes.of_string blob in
+          Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+          expect_bad_file
+            (Printf.sprintf "flip at byte %d" off)
+            (Bytes.to_string b)
+        done);
+    quick "truncated .tobj prefixes are structured failures" (fun () ->
+        let blob = save_tobj () in
+        let len = String.length blob in
+        List.iter
+          (fun keep ->
+            expect_bad_file
+              (Printf.sprintf "prefix of %d bytes" keep)
+              (String.sub blob 0 keep))
+          [ 0; 1; 5; 9; 10; 14; 18; 33; 34; len / 2; len - 1 ]);
+    quick "structurally hostile objects are rejected after framing"
+      (fun () ->
+        let func code = { ret0 with Tvm.Ir.code = Array.of_list code } in
+        expect_bad_file "no functions" (hostile_obj ~exports:[] []);
+        expect_bad_file "export id out of range"
+          (hostile_obj ~exports:[ ("f", 3) ] [ ret0 ]);
+        expect_bad_file "call target out of range"
+          (hostile_obj
+             [ func [ Tvm.Ir.Call (None, 5, []); Tvm.Ir.Ret None ] ]);
+        expect_bad_file "jump past the end"
+          (hostile_obj [ func [ Tvm.Ir.Jmp 99 ] ]);
+        expect_bad_file "negative jump"
+          (hostile_obj [ func [ Tvm.Ir.Jmp (-1) ] ]);
+        expect_bad_file "body without a terminator"
+          (hostile_obj [ func [ Tvm.Ir.Mov (0, Tvm.Ir.Ki 0L) ] ]);
+        expect_bad_file "register out of range"
+          (hostile_obj [ func [ Tvm.Ir.Mov (7, Tvm.Ir.Ki 0L);
+                                Tvm.Ir.Ret None ] ]);
+        expect_bad_file "ccall import out of range"
+          (hostile_obj [ func [ Tvm.Ir.Ccall (None, 2, []);
+                                Tvm.Ir.Ret None ] ]);
+        expect_bad_file "reloc outside the statics"
+          (hostile_obj ~statics:"abcd" ~relocs:[ (100, 0) ] [ ret0 ]);
+        expect_bad_file "statics beyond the region"
+          (hostile_obj ~statics:(String.make (1 lsl 20) 'x') [ ret0 ]);
+        (* and a well-formed hand-built object still loads *)
+        let path = Filename.temp_file "terra_fuzz" ".tobj" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            Objfile.write_channel oc
+              {
+                Objfile.o_funcs = [| ret0 |];
+                o_imports = [||];
+                o_exports = [ ("f", 0) ];
+                o_statics = "";
+                o_statics_len = 0;
+                o_relocs = [];
+              };
+            close_out oc;
+            let obj = Objfile.load_file path in
+            checki "valid hand-built object loads" 1
+              (Array.length obj.Objfile.o_funcs)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties over the whole pipeline *)
 
 let prop_staged_constants =
@@ -920,6 +1051,7 @@ let () =
       ("typecheck", typecheck_tests);
       ("execute", exec_tests);
       ("ffi", ffi_tests);
+      ("objfile", objfile_tests);
       ("diagnostics", diag_tests);
       ( "properties",
         [

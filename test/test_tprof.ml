@@ -492,6 +492,112 @@ let gate_tests =
           true (reduction >= 30.0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Parser hardening: the serve front end feeds network bytes straight
+   into [Json.of_string], so hostile input must produce the documented
+   parse error — never a raw exception, never a stack overflow — and
+   printing must invert parsing. *)
+
+(* a representative report-shaped value to mutate *)
+let fuzz_base =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "terra-prof-1");
+         ("total_retired", Json.Int 1234567);
+         ("f", Json.Float (-12.5));
+         ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+         ( "funcs",
+           Json.List
+             [
+               Json.Obj
+                 [
+                   ("name", Json.Str "main \"quoted\" \\ tab\t\n");
+                   ("retired", Json.Int 99);
+                   ("nested", Json.List [ Json.Obj [ ("k", Json.Int 1) ] ]);
+                 ];
+             ] );
+       ])
+
+let parser_fuzz_tests =
+  [
+    quick "deep nesting is a parse error, not a stack overflow" (fun () ->
+        let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+        (match Json.of_string (deep 50_000) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted 50k-deep nesting");
+        (match Json.of_string (String.make 200_000 '[') with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted an unclosed '[' run");
+        (match Json.of_string (String.make 200_000 '{') with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted an unclosed '{' run");
+        (* nesting within the documented cap still parses *)
+        match Json.of_string (deep 64) with
+        | Ok _ -> ()
+        | Error m -> Alcotest.failf "rejected 64-deep nesting: %s" m);
+    quick "seeded byte mutations never escape the error type" (fun () ->
+        (* deterministic LCG so a failure reproduces exactly *)
+        let state = ref 0x2545F49 in
+        let rand m =
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state mod m
+        in
+        for _ = 1 to 3000 do
+          let b = Bytes.of_string fuzz_base in
+          for _ = 0 to rand 4 do
+            Bytes.set b (rand (Bytes.length b)) (Char.chr (rand 256))
+          done;
+          match Json.of_string (Bytes.to_string b) with
+          | Ok _ | Error _ -> ()
+        done);
+    quick "every truncation of a valid document is handled" (fun () ->
+        for keep = 0 to String.length fuzz_base - 1 do
+          match Json.of_string (String.sub fuzz_base 0 keep) with
+          | Ok _ | Error _ -> ()
+        done;
+        match Json.of_string fuzz_base with
+        | Ok _ -> ()
+        | Error m -> Alcotest.failf "the untruncated document failed: %s" m);
+  ]
+
+(* Round-trip property: floats constrained to %.6f-representable values
+   (k/1000), matching the emitter's fixed-point format. *)
+let gen_json =
+  QCheck.Gen.(
+    sized_size (int_bound 4)
+      (fix (fun self n ->
+           let scalar =
+             oneof
+               [
+                 return Json.Null;
+                 map (fun b -> Json.Bool b) bool;
+                 map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000);
+                 map
+                   (fun k -> Json.Float (float_of_int k /. 1000.))
+                   (int_range (-4_000_000) 4_000_000);
+                 map (fun s -> Json.Str s) (string_size (int_bound 12));
+               ]
+           in
+           if n = 0 then scalar
+           else
+             oneof
+               [
+                 scalar;
+                 map (fun l -> Json.List l) (list_size (int_bound 4) (self (n - 1)));
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair (string_size (int_bound 8)) (self (n - 1))));
+               ])))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"of_string inverts to_string"
+    (QCheck.make gen_json) (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> Json.to_string j' = Json.to_string j
+      | Error _ -> false)
+
 let () =
   Alcotest.run "tprof"
     [
@@ -501,4 +607,7 @@ let () =
       ("engine", engine_tests);
       ("lua-api", lua_api_tests);
       ("gates", gate_tests);
+      ( "parser",
+        parser_fuzz_tests
+        @ [ QCheck_alcotest.to_alcotest prop_json_roundtrip ] );
     ]
