@@ -57,6 +57,15 @@ let json_escape s =
 let current_experiment = ref ""
 let profiled_ctxs : (string * Context.t) list ref = ref []
 
+(* Host wall-clock per experiment (CLOCK_MONOTONIC, ns): the modeled
+   GFLOPS/fuel numbers are deterministic, so this is the only place the
+   harness's real speed shows up — the trajectory the committed
+   BENCH_*.json snapshots track. *)
+let wall_ns : (string * int64) list ref = ref []
+
+let record_wall ~experiment ns =
+  wall_ns := (experiment, ns) :: !wall_ns
+
 let register_profile ctx =
   if !current_experiment <> "" then
     profiled_ctxs := (!current_experiment, ctx) :: !profiled_ctxs
@@ -86,7 +95,7 @@ let write_json path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "{\n  \"schema\": \"terra-bench-2\",\n  \"results\": [\n";
+      output_string oc "{\n  \"schema\": \"terra-bench-3\",\n  \"results\": [\n";
       let rows = List.rev !json_rows in
       List.iteri
         (fun i r ->
@@ -108,7 +117,14 @@ let write_json path =
             (String.concat ", " fields)
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      output_string oc "  ],\n  \"profiles\": {\n";
+      output_string oc "  ],\n  \"wall_ns\": {\n";
+      let timings = List.rev !wall_ns in
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %Ld%s\n" (json_escape name) ns
+            (if i = List.length timings - 1 then "" else ","))
+        timings;
+      output_string oc "  },\n  \"profiles\": {\n";
       output_string oc (String.concat ",\n" (profiles_json ()));
       output_string oc "\n  }\n}\n");
   Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
@@ -880,7 +896,13 @@ let () =
       match List.assoc_opt name experiments with
       | Some f ->
           current_experiment := name;
-          Fun.protect ~finally:(fun () -> current_experiment := "") f
+          let t0 = Monotonic_clock.now () in
+          Fun.protect
+            ~finally:(fun () ->
+              record_wall ~experiment:name
+                (Int64.sub (Monotonic_clock.now ()) t0);
+              current_experiment := "")
+            f
       | None ->
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat " " (List.map fst experiments)))

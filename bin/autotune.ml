@@ -1,23 +1,32 @@
 (* The matrix-multiply auto-tuner as a command-line tool (Section 6.1). *)
 
-let tune precision test_n top =
+let tune precision test_n top jobs =
   let elem =
     match precision with
     | "single" | "float" -> Terra.Types.float_
     | _ -> Terra.Types.double
   in
-  let machine =
+  let make_machine () =
     Tmachine.Machine.create
       (Tmachine.Config.scaled Tmachine.Config.ivybridge_like)
   in
-  let ctx = Terra.Context.create ~machine () in
-  Printf.printf "auto-tuning %cGEMM on %s (test case N=%d)...\n"
+  let machine = make_machine () in
+  Printf.printf "auto-tuning %cGEMM on %s (test case N=%d%s)...\n"
     (if elem = Terra.Types.float_ then 'S' else 'D')
-    machine.Tmachine.Machine.config.Tmachine.Config.name test_n;
-  let t0 = Sys.time () in
-  let results = Tuner.Search.search ~test_n ctx ~elem () in
+    machine.Tmachine.Machine.config.Tmachine.Config.name test_n
+    (if jobs > 1 then Printf.sprintf ", %d worker domains" jobs else "");
+  let t0 = Unix.gettimeofday () in
+  let results =
+    if jobs > 1 then
+      Tuner.Search.search_par ~test_n ~jobs
+        ~make_ctx:(fun () -> Terra.Context.create ~machine:(make_machine ()) ())
+        ~elem ()
+    else
+      let ctx = Terra.Context.create ~machine () in
+      Tuner.Search.search ~test_n ctx ~elem ()
+  in
   Printf.printf "searched %d configurations in %.1fs\n" (List.length results)
-    (Sys.time () -. t0);
+    (Unix.gettimeofday () -. t0);
   List.iteri
     (fun i c ->
       if i < top then Format.printf "%2d. %a@." (i + 1) Tuner.Search.pp_candidate c)
@@ -32,9 +41,15 @@ let () =
   in
   let test_n = Arg.(value & opt int 96 & info [ "n" ] ~docv:"N") in
   let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Evaluate candidates on $(docv) worker domains in parallel.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "autotune" ~doc:"auto-tune the GEMM kernel (Section 6.1)")
-      Term.(const tune $ precision $ test_n $ top)
+      Term.(const tune $ precision $ test_n $ top $ jobs)
   in
   exit (Cmd.eval cmd)

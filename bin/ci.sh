@@ -108,6 +108,52 @@ print("batch report: %d requests, all ok (profile: %d instructions)"
 PY
 rm -f "$batch_out"
 
+echo "== parallel batch gate (--jobs byte-identity) =="
+# Explicit --jobs routes the batch through the domain pool with a
+# private engine per worker; the report must be byte-identical for
+# every worker count, including the mixed good/san-trap/leak corpus
+# whose diagnostics embed heap addresses.
+par_manifest=$(mktemp) par_a=$(mktemp) par_b=$(mktemp)
+root=$(pwd)
+{
+  echo "$root/examples/programs/mandelbrot.t fuel=2000000000 tenant=alice"
+  echo "$root/test/programs/double_free.t tenant=mallory"
+  echo "$root/test/programs/use_after_free.t tenant=mallory"
+  echo "$root/test/programs/leak.t tenant=frank"
+  echo "$root/test/programs/invalid_free.t tenant=mallory"
+  echo "$root/examples/programs/mandelbrot.t fuel=2000000000 tenant=alice"
+} > "$par_manifest"
+# the buggy rows make the batch exit nonzero by design; the gate is
+# that both runs agree on the exit code and the report bytes
+rc_a=0 rc_b=0
+t0=$(date +%s%N)
+timeout 240 dune exec bin/terra_run.exe -- --checked \
+  --batch "$par_manifest" --jobs 1 > "$par_a" || rc_a=$?
+t1=$(date +%s%N)
+timeout 240 dune exec bin/terra_run.exe -- --checked \
+  --batch "$par_manifest" --jobs 4 > "$par_b" || rc_b=$?
+t2=$(date +%s%N)
+if [ "$rc_a" -ne "$rc_b" ]; then
+  echo "exit-code divergence: jobs=1 rc=$rc_a, jobs=4 rc=$rc_b" >&2
+  exit 1
+fi
+diff "$par_a" "$par_b"
+echo "jobs=1 and jobs=4 batch reports byte-identical (rc=$rc_a)"
+ms1=$(( (t1 - t0) / 1000000 )) ms4=$(( (t2 - t1) / 1000000 ))
+echo "wall: jobs=1 ${ms1}ms, jobs=4 ${ms4}ms"
+if [ "$(nproc)" -ge 4 ]; then
+  # four workers must buy at least a 1.67x speedup on real silicon; on
+  # narrower CI boxes only the identity gate above is meaningful
+  if [ $(( ms4 * 10 )) -gt $(( ms1 * 6 )) ]; then
+    echo "jobs=4 wall ${ms4}ms exceeds 0.6x of jobs=1 wall ${ms1}ms" >&2
+    exit 1
+  fi
+  echo "jobs=4 within 0.6x of jobs=1 wall clock"
+else
+  echo "(fewer than 4 cores: speedup gate skipped, identity gate enforced)"
+fi
+rm -f "$par_manifest" "$par_a" "$par_b"
+
 echo "== serve smoke =="
 # The daemon front end: pipe the example session through terra_serve and
 # check every response parses, failed requests roll back verified, and

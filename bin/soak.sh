@@ -64,6 +64,48 @@ print("serve soak: %d requests (%d hostile, %d leaky), zero leak growth, "
 PY
 
 # ------------------------------------------------------------------
+# Parallel workers phase: the same 200-request mix through a daemon
+# running 4 worker domains over a 4-engine pool.  Responses keep
+# request order (the writer reorders by sequence number), so the same
+# per-tenant assertions hold; --tenant-inflight is raised because the
+# default in-flight budget of 1 would make a tenant's own concurrent
+# requests reject each other.
+
+par_out=$(mktemp)
+trap 'rm -f "$soak_in" "$soak_out" "$par_out"' EXIT
+
+echo "-- parallel soak (--workers 4)"
+timeout 300 dune exec bin/terra_serve.exe -- --quiet --recycle-after 32 \
+  --pool 4 --workers 4 --tenant-inflight 8 < "$soak_in" > "$par_out"
+
+python3 - "$par_out" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+runs = [l for l in lines if l.get("schema") == "terra-batch-2"]
+assert len(runs) == 200, len(runs)
+good = [r for r in runs if r["tenant"] == "alice"]
+assert good and all(r["status"] == "ok" and r["output"] == "42\n"
+                    and r["exit"] == 0 and r["leaked_bytes"] == 0
+                    for r in good), "alice must be untouched by her neighbors"
+bad = [r for r in runs if r["tenant"] == "mallory"]
+assert bad and all(r["status"] == "error" and r["exit"] == 2
+                   and r["rollback"] == "verified" for r in bad), \
+    "mallory must fail contained and rolled back"
+assert any(r["code"] == "trap.divzero" for r in bad), "no real fault ran"
+leaky = [r for r in runs if r["tenant"] == "frank"]
+assert leaky and all(r["leaked_bytes"] > 0 and r["recycled"]
+                     for r in leaky), "leaks must be reported and contained"
+status = [l for l in lines if l.get("op") == "status"][-1]
+assert status["served"] == 200, status
+assert status["live_bytes"] == 0, status
+drain = lines[-1]
+assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
+print("parallel soak: %d requests across 4 worker domains (%d hostile, "
+      "%d leaky), responses in request order, zero leak growth, drain clean"
+      % (len(runs), len(bad), len(leaky)))
+PY
+
+# ------------------------------------------------------------------
 # Kill/recover/zero-loss phase: the same 200-request mix through a
 # durable session, uninterrupted, as the reference; then killed at a
 # mid-soak durability event, recovered (twice — the second recovery
@@ -75,8 +117,8 @@ PY
 dur_flags="--quiet --recycle-after 32 --mem 16000000 --ckpt-interval 16"
 dur_root=$(mktemp -d)
 dur_ref=$(mktemp) dur_probe=$(mktemp) dur_rest=$(mktemp) dur_out=$(mktemp)
-trap 'rm -f "$soak_in" "$soak_out" "$dur_ref" "$dur_probe" "$dur_rest" \
-  "$dur_out"; rm -rf "$dur_root"' EXIT
+trap 'rm -f "$soak_in" "$soak_out" "$par_out" "$dur_ref" "$dur_probe" \
+  "$dur_rest" "$dur_out"; rm -rf "$dur_root"' EXIT
 
 echo "-- durable reference run"
 timeout 300 dune exec bin/terra_serve.exe -- $dur_flags \

@@ -33,8 +33,37 @@ let write_file path s =
 
 let rec run_file path stats fuel max_steps max_depth checked no_leak_check
     fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
-    verify_rollback retries batch profile trace =
+    verify_rollback retries batch jobs profile trace =
   match (batch, path) with
+  | Some manifest, _ when jobs <> None ->
+      let jobs = Option.get jobs in
+      (* Parallel batch mode: N worker domains, each with a private
+         engine restored to a factory-fresh baseline before every
+         request, drain the manifest together.  The report is
+         byte-identical to --jobs 1 (and carries no engine-wide
+         profile or trace, which are whole-engine artifacts). *)
+      if jobs < 1 then begin
+        prerr_endline "terra_run: --jobs must be >= 1";
+        1
+      end
+      else if trace <> None then begin
+        prerr_endline "terra_run: --trace is not available with --jobs";
+        1
+      end
+      else begin
+        let make_engine () =
+          Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
+            ~checked ~opt_level:opt ()
+        in
+        let config =
+          { Supervise.Supervisor.default_config with max_retries = retries }
+        in
+        let json, code =
+          Supervise.Batch.run_manifest_par ~config ~jobs ~make_engine manifest
+        in
+        print_string json;
+        code
+      end
   | Some manifest, _ ->
       (* Batch mode: many scripts, one shared engine, supervised runs,
          JSON report on stdout.  Profiling is always on so the report
@@ -55,9 +84,11 @@ let rec run_file path stats fuel max_steps max_depth checked no_leak_check
   | None, None ->
       prerr_endline "terra_run: expected PROGRAM.t or --batch MANIFEST";
       1
-  | None, Some path -> run_one path stats fuel max_steps max_depth checked
-      no_leak_check fail_alloc_at trap_at_step report_fuel opt dump_ir
-      dump_opt_stats transact verify_rollback retries profile trace
+  | None, Some path ->
+      ignore jobs;
+      run_one path stats fuel max_steps max_depth checked no_leak_check
+        fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats
+        transact verify_rollback retries profile trace
 
 and run_one path stats fuel max_steps max_depth checked no_leak_check
     fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
@@ -288,6 +319,21 @@ let () =
              per-request JSON report to stdout.  Exits 0 only if every \
              request succeeded.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "with $(b,--batch): drain the manifest with $(docv) worker \
+             domains, one private engine per worker, each request run \
+             from a factory-fresh engine baseline.  The JSON report is \
+             byte-identical for every $(docv) (rows stay in manifest \
+             order) but carries no engine-wide profile, and \
+             $(b,--trace) is unavailable.  Without $(b,--jobs) the \
+             manifest runs sequentially against one shared engine and \
+             the report includes the engine profile.")
+  in
   let profile =
     Arg.(
       value
@@ -322,6 +368,6 @@ let () =
         const run_file $ path $ stats $ fuel $ max_steps $ max_depth $ checked
         $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel $ opt
         $ dump_ir $ dump_opt_stats $ transact $ verify_rollback $ retries
-        $ batch $ profile $ trace)
+        $ batch $ jobs $ profile $ trace)
   in
   exit (Cmd.eval' cmd)

@@ -29,11 +29,23 @@ let serve_socket server path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   !code
 
-let main socket pool recycle_after checked no_verify_rollback opt fuel
-    mem_bytes request_fuel tenant_fuel tenant_mem tenant_depth
+let main socket pool workers recycle_after checked no_verify_rollback opt
+    fuel mem_bytes request_fuel tenant_fuel tenant_mem tenant_depth
     tenant_inflight retries max_line durable recover ckpt_interval crash_at
     quiet =
   Sys.catch_break true;
+  if workers < 1 then begin
+    prerr_endline "terra_serve: --workers must be >= 1";
+    exit 1
+  end;
+  if workers > 1 && (durable <> None || recover <> None) then begin
+    (* parallel slot assignment is scheduling-dependent, so a WAL replay
+       could not tie per-slot fingerprints out deterministically *)
+    prerr_endline
+      "terra_serve: --workers > 1 is incompatible with --durable/--recover \
+       (deterministic WAL replay needs single-threaded slot assignment)";
+    exit 1
+  end;
   if not quiet then Supervise.Supervisor.log_sink := prerr_endline;
   let budget =
     {
@@ -49,6 +61,7 @@ let main socket pool recycle_after checked no_verify_rollback opt fuel
   let config =
     {
       Serve.Server.pool_size = pool;
+      workers;
       recycle_after;
       verify_rollback = not no_verify_rollback;
       checked;
@@ -117,6 +130,16 @@ let () =
     Arg.(
       value & opt int 2
       & info [ "pool" ] ~docv:"N" ~doc:"warm engines kept in the pool.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "execute run requests on $(docv) worker domains; each request \
+             checks a private engine out of the pool (blocking when all \
+             $(b,--pool) engines are busy) and responses keep request \
+             order.  Incompatible with $(b,--durable)/$(b,--recover).")
   in
   let recycle_after =
     Arg.(
@@ -258,7 +281,7 @@ let () =
             pools, admission control, verified per-request rollback, and \
             durable crash-recoverable sessions")
       Term.(
-        const main $ socket $ pool $ recycle_after $ checked
+        const main $ socket $ pool $ workers $ recycle_after $ checked
         $ no_verify_rollback $ opt $ fuel $ mem_bytes $ request_fuel
         $ tenant_fuel $ tenant_mem $ tenant_depth $ tenant_inflight $ retries
         $ max_line $ durable $ recover $ ckpt_interval $ crash_at $ quiet)

@@ -4,9 +4,16 @@
 
 open Value
 
-let make_scope () =
+(** Build a fresh globals scope whose stateful library pieces (print
+    sink, string table, math seed) bind to [state] — the interpreter
+    state that will be current when the scope runs.  Callers that don't
+    manage states themselves (tests, one-shot runs) get a private one. *)
+let make_scope ?state () =
+  let state =
+    match state with Some st -> st | None -> Interp.make_state ()
+  in
   let g = new_table () in
-  Lualib.install g;
+  Lualib.install state g;
   root_scope g
 
 let globals scope =
@@ -32,16 +39,17 @@ let run_in ?ext_expr ?ext_stat ?(chunkname = "main chunk") scope src =
       raise e
 
 let run ?ext_expr ?ext_stat src =
-  let scope = make_scope () in
-  (scope, run_in ?ext_expr ?ext_stat scope src)
+  let state = Interp.make_state () in
+  let scope = make_scope ~state () in
+  Interp.with_state state (fun () ->
+      (scope, run_in ?ext_expr ?ext_stat scope src))
 
 (** Run and capture everything printed, for tests. *)
 let run_capture ?ext_expr ?ext_stat src =
   let buf = Buffer.create 256 in
-  let saved = !Lualib.output_sink in
-  Lualib.output_sink := Buffer.add_string buf;
-  Fun.protect
-    ~finally:(fun () -> Lualib.output_sink := saved)
-    (fun () ->
-      let _scope, rets = run ?ext_expr ?ext_stat src in
+  let state = Interp.make_state () in
+  state.Interp.output_sink <- Buffer.add_string buf;
+  let scope = make_scope ~state () in
+  Interp.with_state state (fun () ->
+      let rets = run_in ?ext_expr ?ext_stat scope src in
       (Buffer.contents buf, rets))

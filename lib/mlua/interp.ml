@@ -17,60 +17,112 @@ exception Step_limit
 
 type frame = { mutable name : string; mutable line : int }
 
-let call_stack : frame list ref = ref []
-let call_depth = ref 0
+(** Per-interpreter mutable state.  One record per engine (or per
+    [Driver.run]): the call stack, depth/step budgets, the traceback
+    snapshot, the string-methods table, the print sink, and the
+    [math.random] seed all live here instead of in process globals, so N
+    engines can run concurrently on N domains without bleeding limits,
+    tracebacks, or output into each other. *)
+type state = {
+  mutable call_stack : frame list;
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+      (** maximum Lua call depth before a catchable "stack overflow"
+          error; engines overwrite this per-run *)
+  mutable steps : int;  (** Lua statement budget (see {!tick}) *)
+  mutable saved_traceback : (string * int) list option;
+      (* snapshot of the stack captured at the deepest point of an
+         unwinding exception, so the traceback survives the frames being
+         popped *)
+  mutable string_table : table option;
+      (* set by Lualib so string values can answer method calls
+         (s:rep(2)) *)
+  mutable output_sink : string -> unit;
+      (** where [print]/[io.write] text goes; capture swaps this *)
+  mutable rand_seed : int;  (** [math.random] PRNG state *)
+}
 
-(** Maximum Lua call depth before a catchable "stack overflow" error.
-    Engines overwrite this per-run. *)
-let max_call_depth = ref 200
+let make_state () =
+  {
+    call_stack = [];
+    call_depth = 0;
+    max_call_depth = 200;
+    steps = max_int;
+    saved_traceback = None;
+    string_table = None;
+    output_sink = print_string;
+    rand_seed = 42;
+  }
 
-(* Snapshot of the stack captured at the deepest point of an unwinding
-   exception, so the traceback survives the frames being popped. *)
-let saved_traceback : (string * int) list option ref = ref None
+(* The current state is domain-local: deep evaluator internals ([tick],
+   frame bookkeeping, string indexing) reach it without threading a
+   parameter through every call, and two domains never observe each
+   other's pointer.  [Engine.run] installs its engine's state via
+   [with_state]; nesting (an engine run inside another run's host
+   callback, on one domain) restores the outer pointer on exit. *)
+let state_key : state Domain.DLS.key = Domain.DLS.new_key make_state
+let current () = Domain.DLS.get state_key
+let set_current st = Domain.DLS.set state_key st
 
-let snapshot_stack () = List.map (fun fr -> (fr.name, fr.line)) !call_stack
+let with_state st f =
+  let prev = current () in
+  set_current st;
+  match f () with
+  | v ->
+      set_current prev;
+      v
+  | exception e ->
+      set_current prev;
+      raise e
+
+let snapshot_stack st = List.map (fun fr -> (fr.name, fr.line)) st.call_stack
 
 let save_traceback () =
-  if !saved_traceback = None then saved_traceback := Some (snapshot_stack ())
+  let st = current () in
+  if st.saved_traceback = None then
+    st.saved_traceback <- Some (snapshot_stack st)
 
 (** Consume the saved traceback (or the live stack if none saved). *)
 let take_traceback () =
+  let st = current () in
   let tb =
-    match !saved_traceback with Some tb -> tb | None -> snapshot_stack ()
+    match st.saved_traceback with
+    | Some tb -> tb
+    | None -> snapshot_stack st
   in
-  saved_traceback := None;
+  st.saved_traceback <- None;
   tb
 
-let clear_traceback () = saved_traceback := None
+let clear_traceback () = (current ()).saved_traceback <- None
 
 let current_line () =
-  match !call_stack with fr :: _ when fr.line > 0 -> Some fr.line | _ -> None
+  match (current ()).call_stack with
+  | fr :: _ when fr.line > 0 -> Some fr.line
+  | _ -> None
 
 let push_frame name =
+  let st = current () in
   let fr = { name; line = 0 } in
-  call_stack := fr :: !call_stack;
-  incr call_depth
+  st.call_stack <- fr :: st.call_stack;
+  st.call_depth <- st.call_depth + 1
 
 let pop_frame () =
-  (match !call_stack with _ :: rest -> call_stack := rest | [] -> ());
-  decr call_depth
+  let st = current () in
+  (match st.call_stack with
+  | _ :: rest -> st.call_stack <- rest
+  | [] -> ());
+  st.call_depth <- st.call_depth - 1
 
-(* ------------------------------------------------------------------ *)
 (* Step budget.  [tick] runs once per statement and once per loop
    iteration (an empty loop body executes no statements, so the
    per-iteration tick is what bounds `while true do end`). *)
-
-let steps = ref max_int
-
 let tick () =
-  if !steps <= 0 then begin
+  let st = current () in
+  if st.steps <= 0 then begin
     save_traceback ();
     raise Step_limit
   end
-  else decr steps
-
-(* Set by Stdlib so string values can answer method calls (s:rep(2)). *)
-let string_table : table option ref = ref None
+  else st.steps <- st.steps - 1
 
 (* Set by the Terra library: the `{T} -> R` function-type constructor. *)
 let arrow_impl : (t -> t -> t) ref =
@@ -100,7 +152,7 @@ let rec index obj key =
         | Func f -> ( match f.call [ obj; key ] with v :: _ -> v | [] -> Nil)
         | handler -> index handler key)
   | Str _ -> (
-      match !string_table with
+      match (current ()).string_table with
       | Some st -> raw_get st key
       | None -> Nil)
   | Userdata _ -> (
@@ -292,11 +344,12 @@ and eval_exprlist scope = function
 
 and make_closure defscope params body name =
   new_func ~name (fun args ->
-      if !call_depth >= !max_call_depth then begin
+      let st = current () in
+      if st.call_depth >= st.max_call_depth then begin
         save_traceback ();
         error_str
           (Printf.sprintf "stack overflow (call depth exceeds %d)"
-             !max_call_depth)
+             st.max_call_depth)
       end;
       let s = new_scope ~parent:defscope () in
       let rec bind ps vs =
@@ -340,7 +393,9 @@ and assign scope lhs v =
 
 and exec_stat scope (st : Ast.stat) =
   tick ();
-  (match !call_stack with fr :: _ -> fr.line <- st.line | [] -> ());
+  (match (current ()).call_stack with
+  | fr :: _ -> fr.line <- st.line
+  | [] -> ());
   match st.sd with
   | Ast.Slocal (names, exprs) ->
       let vs = eval_exprlist scope exprs in

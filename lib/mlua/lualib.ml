@@ -4,8 +4,6 @@
 
 open Value
 
-let output_sink : (string -> unit) ref = ref print_string
-
 (** Hook installed by the Terra engine: converts host exceptions (traps,
     compile errors, ...) into Lua error values so [pcall] observes them
     as structured diagnostics rather than crashing the host.  Returning
@@ -22,10 +20,10 @@ let bad_arg name i v =
 
 let lua_tostring = tostring
 
-let install_base g =
+let install_base (st : Interp.state) g =
   reg g "print" (fun args ->
-      !output_sink (String.concat "\t" (List.map lua_tostring args));
-      !output_sink "\n";
+      st.Interp.output_sink (String.concat "\t" (List.map lua_tostring args));
+      st.Interp.output_sink "\n";
       []);
   reg g "type" (fun args -> [ Str (type_name (arg args 0)) ]);
   reg g "tostring" (fun args -> [ Str (lua_tostring (arg args 0)) ]);
@@ -189,7 +187,7 @@ let lua_format fmt args =
   done;
   Buffer.contents buf
 
-let install_string g =
+let install_string (state : Interp.state) g =
   let st = new_table () in
   raw_set_str g "string" (Table st);
   reg st "format" (fun args ->
@@ -226,9 +224,9 @@ let install_string g =
       else [ Nil ]);
   reg st "char" (fun args ->
       [ Str (String.init (List.length args) (fun i -> Char.chr (to_int (arg args i) land 0xff))) ]);
-  Interp.string_table := Some st
+  state.Interp.string_table <- Some st
 
-let install_math g =
+let install_math (st : Interp.state) g =
   let mt = new_table () in
   raw_set_str g "math" (Table mt);
   let f1 name f = reg mt name (fun args -> [ Num (f (to_num (arg args 0))) ]) in
@@ -255,14 +253,16 @@ let install_math g =
           [ Num (List.fold_left (fun acc v -> Float.min acc (to_num v)) (to_num first) rest) ]);
   reg mt "fmod" (fun args -> [ Num (Float.rem (to_num (arg args 0)) (to_num (arg args 1))) ]);
   reg mt "pow" (fun args -> [ Num (to_num (arg args 0) ** to_num (arg args 1)) ]);
-  (* Deterministic PRNG so every run reproduces the same results. *)
-  let seed = ref 42 in
+  (* Deterministic PRNG so every run reproduces the same results.  The
+     seed lives in the interpreter state: two engines draw from
+     independent streams, and every fresh scope restarts at 42. *)
+  st.Interp.rand_seed <- 42;
   let next () =
-    seed := (!seed * 1103515245) + 12345;
-    (!seed lsr 16) land 0x7fff
+    st.Interp.rand_seed <- (st.Interp.rand_seed * 1103515245) + 12345;
+    (st.Interp.rand_seed lsr 16) land 0x7fff
   in
   reg mt "randomseed" (fun args ->
-      seed := to_int (arg args 0);
+      st.Interp.rand_seed <- to_int (arg args 0);
       []);
   reg mt "random" (fun args ->
       let r = float_of_int (next ()) /. 32768.0 in
@@ -328,21 +328,24 @@ let install_table g =
       Array.iteri (fun i v -> raw_set t (Num (float_of_int (i + 1))) v) items;
       [])
 
-let install_io g =
+let install_io (st : Interp.state) g =
   let io = new_table () in
   raw_set_str g "io" (Table io);
   reg io "write" (fun args ->
-      List.iter (fun v -> !output_sink (lua_tostring v)) args;
+      List.iter (fun v -> st.Interp.output_sink (lua_tostring v)) args;
       []);
   let os = new_table () in
   raw_set_str g "os" (Table os);
   reg os "clock" (fun _ -> [ Num (Sys.time ()) ]);
   reg os "time" (fun _ -> [ Num (Float.floor (Sys.time () *. 1000.)) ])
 
-let install g =
-  install_base g;
-  install_string g;
-  install_math g;
+(** Install the base library into globals [g], binding the stateful
+    pieces (print sink, string-methods table, math.random seed) to the
+    interpreter state [st] that owns the scope. *)
+let install (st : Interp.state) g =
+  install_base st g;
+  install_string st g;
+  install_math st g;
   install_table g;
-  install_io g;
+  install_io st g;
   raw_set_str g "_G" (Table g)

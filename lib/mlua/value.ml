@@ -40,11 +40,11 @@ and userdata = {
 (** Lua runtime error carrying a Lua value (usually a string). *)
 exception Lua_error of t
 
-let next_id = ref 0
-
-let fresh_id () =
-  incr next_id;
-  !next_id
+(* Atomic: value identities must stay unique across concurrently running
+   engines (tables/functions travel between domains via checkpoints and
+   batch results, and [equal] compares by id). *)
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let new_table () = { tid = fresh_id (); hash = Hashtbl.create 8; meta = None }
 

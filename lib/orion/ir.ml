@@ -28,11 +28,12 @@ and body =
 
 and esrc = Snode of node | Sinput of int
 
-let next_id = ref 0
+(* Atomic: node identities must stay unique across engines running on
+   concurrent domains. *)
+let next_id = Atomic.make 0
 
 let stage ?(name = "stage") sched (e : t) : t =
-  incr next_id;
-  Ref ({ id = !next_id; body = Expr e; sched; name }, 0, 0)
+  Ref ({ id = Atomic.fetch_and_add next_id 1 + 1; body = Expr e; sched; name }, 0, 0)
 
 let materialize ?name e = stage ?name Materialize e
 let inline ?name e = stage ?name Inline e
@@ -54,8 +55,10 @@ let extern_pass ?(name = "extern") f (inputs : t list) : t =
         | _ -> invalid_arg "extern_pass: inputs must be staged nodes or inputs")
       inputs
   in
-  incr next_id;
-  Ref ({ id = !next_id; body = Extern (f, srcs); sched = Materialize; name }, 0, 0)
+  Ref
+    ( { id = Atomic.fetch_and_add next_id 1 + 1;
+        body = Extern (f, srcs); sched = Materialize; name },
+      0, 0 )
 
 let input i = In (i, 0, 0)
 

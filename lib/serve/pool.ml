@@ -9,7 +9,14 @@
     leak the request refused to clean up, or a fingerprint that moved
     after a rolled-back failure.  Recycling is the containment of last
     resort: the tenant already got its diagnostic; the pool's job is to
-    make sure the *next* tenant gets a pristine engine. *)
+    make sure the *next* tenant gets a pristine engine.
+
+    A single mutex guards the whole pool: {!checkout} blocks until a
+    slot is free (so [terra_serve --workers N] with more workers than
+    engines degrades to waiting, never to a shared engine), and
+    {!checkin} republishes the slot — including a full recycle, which
+    happens under the lock so no domain ever observes a half-rebuilt
+    engine. *)
 
 module Json = Tprof.Json
 
@@ -29,6 +36,9 @@ type t = {
   make : unit -> Terra.Engine.t;
   slots : slot array;
   recycle_after : int;
+  mutex : Mutex.t;
+      (** the single pool lock: guards every slot flag and counter *)
+  freed : Condition.t;  (** signaled when a slot becomes free *)
   mutable cursor : int;  (** round-robin start position *)
   mutable recycled_wear : int;
   mutable recycled_leak : int;
@@ -42,6 +52,8 @@ let create ~make ~size ~recycle_after =
       Array.init (max 1 size) (fun id ->
           { id; eng = make (); served = 0; total = 0; recycles = 0; busy = false });
     recycle_after = max 1 recycle_after;
+    mutex = Mutex.create ();
+    freed = Condition.create ();
     cursor = 0;
     recycled_wear = 0;
     recycled_leak = 0;
@@ -50,23 +62,39 @@ let create ~make ~size ~recycle_after =
 
 let size t = Array.length t.slots
 
-(** Check out a free slot, round-robin.  The single-threaded server
-    always has one (it checks a slot back in before reading the next
-    request); a future multi-domain server would block here. *)
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(** Check out a free slot, round-robin; blocks until one is free.  A
+    slot checked out here is exclusively owned by the caller until
+    {!checkin} — the mutex hand-off is what makes an engine, which is
+    not itself thread-safe, safe to run on whichever domain holds the
+    slot. *)
 let checkout t =
   let n = size t in
-  let rec go i =
-    if i = n then invalid_arg "Pool.checkout: no free engine"
-    else
-      let s = t.slots.((t.cursor + i) mod n) in
-      if s.busy then go (i + 1)
-      else begin
+  let pick () =
+    let rec go i =
+      if i = n then None
+      else
+        let s = t.slots.((t.cursor + i) mod n) in
+        if s.busy then go (i + 1) else Some s
+    in
+    go 0
+  in
+  Mutex.lock t.mutex;
+  let rec wait () =
+    match pick () with
+    | Some s ->
         t.cursor <- (s.id + 1) mod n;
         s.busy <- true;
+        Mutex.unlock t.mutex;
         s
-      end
+    | None ->
+        Condition.wait t.freed t.mutex;
+        wait ()
   in
-  go 0
+  wait ()
 
 let recycle t (s : slot) =
   s.eng <- t.make ();
@@ -77,42 +105,50 @@ let recycle t (s : slot) =
     otherwise the slot is recycled only when it reaches the wear
     limit. *)
 let checkin t (s : slot) ~(anomaly : anomaly option) =
-  s.busy <- false;
-  s.served <- s.served + 1;
-  s.total <- s.total + 1;
-  match anomaly with
-  | Some Leak ->
-      t.recycled_leak <- t.recycled_leak + 1;
-      recycle t s
-  | Some Fingerprint ->
-      t.recycled_fingerprint <- t.recycled_fingerprint + 1;
-      recycle t s
-  | None ->
-      if s.served >= t.recycle_after then begin
-        t.recycled_wear <- t.recycled_wear + 1;
-        recycle t s
-      end
+  with_lock t (fun () ->
+      s.served <- s.served + 1;
+      s.total <- s.total + 1;
+      (match anomaly with
+      | Some Leak ->
+          t.recycled_leak <- t.recycled_leak + 1;
+          recycle t s
+      | Some Fingerprint ->
+          t.recycled_fingerprint <- t.recycled_fingerprint + 1;
+          recycle t s
+      | None ->
+          if s.served >= t.recycle_after then begin
+            t.recycled_wear <- t.recycled_wear + 1;
+            recycle t s
+          end);
+      (* freed last: a recycled slot is only visible fully rebuilt *)
+      s.busy <- false;
+      Condition.signal t.freed)
 
 let slot_live_bytes (s : slot) =
   Tvm.Alloc.live_bytes s.eng.Terra.Engine.ctx.Terra.Context.vm.Tvm.Vm.alloc
 
 (** Total live heap bytes across the pool — the soak test's leak-growth
-    gauge. *)
+    gauge.  Like {!status_json} and {!final_leak_check}, this reads
+    engine state and must only run while no slot is checked out to a
+    running request (the parallel server quiesces first). *)
 let live_bytes t =
-  Array.fold_left (fun acc s -> acc + slot_live_bytes s) 0 t.slots
+  with_lock t (fun () ->
+      Array.fold_left (fun acc s -> acc + slot_live_bytes s) 0 t.slots)
 
 (** Every slot's engine must be leak-free at drain; returns the
     offending diagnostics (slot id, diag). *)
 let final_leak_check t =
-  Array.fold_left
-    (fun acc s ->
-      match Terra.Engine.leak_diag s.eng with
-      | Some d -> (s.id, d) :: acc
-      | None -> acc)
-    [] t.slots
-  |> List.rev
+  with_lock t (fun () ->
+      Array.fold_left
+        (fun acc s ->
+          match Terra.Engine.leak_diag s.eng with
+          | Some d -> (s.id, d) :: acc
+          | None -> acc)
+        [] t.slots
+      |> List.rev)
 
 let status_json t =
+  with_lock t @@ fun () ->
   Json.Obj
     [
       ("size", Json.Int (size t));
@@ -159,6 +195,7 @@ type meta = {
 }
 
 let meta t =
+  with_lock t @@ fun () ->
   {
     pm_cursor = t.cursor;
     pm_recycled_wear = t.recycled_wear;
@@ -182,6 +219,8 @@ let restore ~make ~recycle_after (m : meta) (engines : Terra.Engine.t array)
     =
   {
     make;
+    mutex = Mutex.create ();
+    freed = Condition.create ();
     slots =
       Array.mapi
         (fun i (sm : slot_meta) ->

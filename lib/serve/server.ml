@@ -33,6 +33,10 @@ module Batch = Supervise.Batch
 
 type config = {
   pool_size : int;
+  workers : int;
+      (** request-executing domains; 1 = the classic single-threaded
+          loop, N > 1 dispatches runs onto a {!Tpool.Pool} (responses
+          still come back in request order) *)
   recycle_after : int;  (** wear limit per engine *)
   verify_rollback : bool;  (** fingerprint-check every failed request *)
   checked : bool;  (** TerraSan checked engines *)
@@ -47,6 +51,7 @@ type config = {
 let default_config =
   {
     pool_size = 2;
+    workers = 1;
     recycle_after = 64;
     verify_rollback = true;
     checked = false;
@@ -62,11 +67,19 @@ type t = {
   cfg : config;
   pool : Pool.t;
   tenants : Tenant.table;
+  lock : Mutex.t;
+      (** guards [served] and serializes WAL appends; the pool and the
+          tenant table carry their own locks *)
   mutable served : int;  (** run requests answered (incl. rejections) *)
   mutable draining : bool;
   mutable journal : Durable.t option;  (** WAL, when running --durable *)
   mutable replaying : bool;  (** recovery replay in progress *)
 }
+
+let bump_served t =
+  Mutex.lock t.lock;
+  t.served <- t.served + 1;
+  Mutex.unlock t.lock
 
 let make_engine config () =
   Terrastd.create ?mem_bytes:config.mem_bytes ?fuel:config.engine_fuel
@@ -78,6 +91,7 @@ let create ?(config = default_config) () =
     pool = Pool.create ~make:(make_engine config) ~size:config.pool_size
         ~recycle_after:config.recycle_after;
     tenants = Tenant.table ~default_budget:config.default_budget;
+    lock = Mutex.create ();
     served = 0;
     draining = false;
     journal = None;
@@ -114,7 +128,7 @@ let arm_faults (eng : Terra.Engine.t) (r : Protocol.run_req) =
   | None -> ()
 
 let handle_run (t : t) (r : Protocol.run_req) : Json.t =
-  t.served <- t.served + 1;
+  bump_served t;
   let tenant_name =
     Option.value r.Protocol.r_tenant ~default:Batch.default_tenant
   in
@@ -372,14 +386,23 @@ let persist (t : t) : string =
     }
     []
 
+(* WAL appends are serialized under [t.lock]: the journal's file offsets
+   and sequence counter are single-writer state even when request
+   execution is not. *)
 let journal_begin t input =
   match t.journal with
-  | Some j when not t.replaying -> Durable.begin_request j input
+  | Some j when not t.replaying ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () -> Durable.begin_request j input)
   | _ -> 0
 
 let journal_end t ~seq (resp : Json.t) =
   match t.journal with
   | Some j when not t.replaying ->
+      Mutex.lock t.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
       let slot = Json.to_int_opt (Json.member "engine" resp) in
       let fp =
         Option.map
@@ -443,7 +466,7 @@ let handle (t : t) (line : string) :
         match parsed with
         | Ok (Some (Protocol.Run r)) -> handle_run t r
         | Error d ->
-            t.served <- t.served + 1;
+            bump_served t;
             Protocol.error_json
               ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
                        ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
@@ -458,7 +481,7 @@ let handle (t : t) (line : string) :
     (journaled — the rejection moves [served]). *)
 let handle_oversize (t : t) (len : int) : Json.t =
   let seq = journal_begin t (Durable.Oversize len) in
-  t.served <- t.served + 1;
+  bump_served t;
   let resp =
     Protocol.error_json
       ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
@@ -526,6 +549,7 @@ let recover ?(config = default_config) ~dir ?interval ?crash_at ?on_event ()
                       p.p_pool engines;
                   tenants =
                     Tenant.table ~default_budget:config.default_budget;
+                  lock = Mutex.create ();
                   served = p.p_served;
                   draining = false;
                   journal = None;
@@ -628,10 +652,8 @@ let read_request ic ~max_bytes : [ `Line of string | `Oversize of int | `Eof ]
   in
   go 0
 
-(** Serve line-delimited requests from [ic] to [oc] until shutdown, end
-    of input, or [Sys.Break] (SIGINT with [Sys.catch_break true]); every
-    exit path drains gracefully.  Returns the process exit code. *)
-let run_channels (t : t) (ic : in_channel) (oc : out_channel) : int =
+(** The classic single-threaded loop. *)
+let run_channels_seq (t : t) (ic : in_channel) (oc : out_channel) : int =
   let reply j =
     output_string oc (Json.to_string j);
     output_char oc '\n';
@@ -656,3 +678,144 @@ let run_channels (t : t) (ic : in_channel) (oc : out_channel) : int =
   let resp, code = drain t ~reason in
   reply resp;
   code
+
+(** The multi-domain loop: the main thread reads and classifies request
+    lines, run requests execute on a [workers]-domain {!Tpool.Pool}
+    (each checking a private engine out of the warm pool, blocking if
+    all are busy), and a dedicated writer domain reorders completions so
+    responses leave in request order no matter which worker finishes
+    first.  Introspection ops (status/profile/breakers) and the final
+    drain quiesce in-flight work first: they read engine state, which is
+    only safe when no request is running. *)
+let run_channels_par (t : t) ~workers (ic : in_channel) (oc : out_channel) :
+    int =
+  (* completions flow to the writer as (sequence, response) *)
+  let out : (int * Json.t) Tpool.Chan.t = Tpool.Chan.create () in
+  let writer =
+    Domain.spawn (fun () ->
+        let pending : (int, Json.t) Hashtbl.t = Hashtbl.create 32 in
+        let next = ref 0 in
+        let rec flush_ready () =
+          match Hashtbl.find_opt pending !next with
+          | Some j ->
+              Hashtbl.remove pending !next;
+              output_string oc (Json.to_string j);
+              output_char oc '\n';
+              flush oc;
+              incr next;
+              flush_ready ()
+          | None -> ()
+        in
+        let rec loop () =
+          match Tpool.Chan.recv out with
+          | None -> ()
+          | Some (i, j) ->
+              Hashtbl.replace pending i j;
+              flush_ready ();
+              loop ()
+        in
+        loop ())
+  in
+  let seq = ref 0 in
+  let next_seq () =
+    let i = !seq in
+    incr seq;
+    i
+  in
+  let m = Mutex.create () in
+  let idle = Condition.create () in
+  let inflight = ref 0 in
+  let quiesce () =
+    Mutex.lock m;
+    while !inflight > 0 do
+      Condition.wait idle m
+    done;
+    Mutex.unlock m
+  in
+  let reason =
+    Tpool.Pool.with_pool ~domains:workers (fun pool ->
+        let dispatch_run r =
+          let i = next_seq () in
+          Mutex.lock m;
+          incr inflight;
+          Mutex.unlock m;
+          Tpool.Pool.run pool (fun _w ->
+              let resp =
+                try handle_run t r
+                with e ->
+                  Protocol.error_json
+                    ~extra:
+                      [ ("engine", Json.Null); ("exit", Json.Int 1);
+                        ("rollback", Json.Null);
+                        ("leaked_bytes", Json.Int 0);
+                        ("recycled", Json.Bool false) ]
+                    (Diag.make ~phase:Diag.Run ~code:"serve.internal"
+                       (Printexc.to_string e))
+              in
+              Tpool.Chan.send out (i, resp);
+              Mutex.lock m;
+              decr inflight;
+              if !inflight = 0 then Condition.broadcast idle;
+              Mutex.unlock m)
+        in
+        let emit j = Tpool.Chan.send out (next_seq (), j) in
+        let rec loop () =
+          match read_request ic ~max_bytes:t.cfg.max_line_bytes with
+          | exception Sys.Break -> "sigint"
+          | `Eof -> "eof"
+          | `Oversize len ->
+              emit (handle_oversize t len);
+              loop ()
+          | `Line line -> (
+              match Protocol.parse line with
+              | Ok None -> loop ()
+              | Ok (Some Protocol.Status) ->
+                  quiesce ();
+                  emit (status_json t);
+                  loop ()
+              | Ok (Some Protocol.Profile) ->
+                  quiesce ();
+                  emit (profile_json t);
+                  loop ()
+              | Ok (Some Protocol.Breakers) ->
+                  quiesce ();
+                  emit (breakers_json t);
+                  loop ()
+              | Ok (Some Protocol.Shutdown) -> "shutdown"
+              | Ok (Some (Protocol.Run r)) ->
+                  dispatch_run r;
+                  loop ()
+              | Error d ->
+                  bump_served t;
+                  emit
+                    (Protocol.error_json
+                       ~extra:
+                         [ ("engine", Json.Null); ("exit", Json.Int 1);
+                           ("rollback", Json.Null);
+                           ("leaked_bytes", Json.Int 0);
+                           ("recycled", Json.Bool false) ]
+                       d);
+                  loop ())
+        in
+        let reason = loop () in
+        quiesce ();
+        reason)
+  in
+  let resp, code = drain t ~reason in
+  Tpool.Chan.send out (next_seq (), resp);
+  Tpool.Chan.close out;
+  Domain.join writer;
+  code
+
+(** Serve line-delimited requests from [ic] to [oc] until shutdown, end
+    of input, or [Sys.Break] (SIGINT with [Sys.catch_break true]); every
+    exit path drains gracefully.  Returns the process exit code.
+    [config.workers] > 1 selects the multi-domain loop; durable
+    sessions require the single-threaded one (slot assignment must be
+    deterministic for WAL replay to tie out). *)
+let run_channels (t : t) (ic : in_channel) (oc : out_channel) : int =
+  if t.cfg.workers > 1 && t.journal <> None then
+    invalid_arg "Server.run_channels: --workers > 1 is incompatible with a \
+                 durable session";
+  if t.cfg.workers > 1 then run_channels_par t ~workers:t.cfg.workers ic oc
+  else run_channels_seq t ic oc

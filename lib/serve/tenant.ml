@@ -38,6 +38,9 @@ let default_budget =
 
 type t = {
   name : string;
+  lock : Mutex.t;
+      (** guards the counters below; {!table}-made tenants share the
+          table's lock, so cross-tenant accounting is serialized too *)
   mutable budget : budget;
   breaker : Policy.breaker;
   mutable inflight : int;
@@ -50,9 +53,10 @@ type t = {
   mutable leaked_bytes : int;  (** bytes this tenant's requests leaked *)
 }
 
-let create ~name ~budget =
+let create ?(lock = Mutex.create ()) ~name ~budget () =
   {
     name;
+    lock;
     budget;
     breaker = Policy.breaker ~config:budget.breaker ();
     inflight = 0;
@@ -69,23 +73,39 @@ let create ~name ~budget =
     server's default budget. *)
 type table = {
   default_budget : budget;
+  lock : Mutex.t;  (** guards the table and every tenant it creates *)
   tbl : (string, t) Hashtbl.t;
   mutable order : string list;  (** reverse first-seen order *)
 }
 
-let table ~default_budget = { default_budget; tbl = Hashtbl.create 8; order = [] }
+let table ~default_budget =
+  {
+    default_budget;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 8;
+    order = [];
+  }
+
+let with_lock (m : Mutex.t) f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let find table name =
-  match Hashtbl.find_opt table.tbl name with
-  | Some t -> t
-  | None ->
-      let t = create ~name ~budget:table.default_budget in
-      Hashtbl.replace table.tbl name t;
-      table.order <- name :: table.order;
-      t
+  with_lock table.lock (fun () ->
+      match Hashtbl.find_opt table.tbl name with
+      | Some t -> t
+      | None ->
+          let t =
+            create ~lock:table.lock ~name ~budget:table.default_budget ()
+          in
+          Hashtbl.replace table.tbl name t;
+          table.order <- name :: table.order;
+          t)
 
 (** Tenants in first-seen order (deterministic status output). *)
-let all table = List.rev_map (fun n -> Hashtbl.find table.tbl n) table.order
+let all table =
+  with_lock table.lock (fun () ->
+      List.rev_map (fun n -> Hashtbl.find table.tbl n) table.order)
 
 let rejected_diag t fmt =
   Printf.ksprintf
@@ -100,7 +120,8 @@ let rejected_diag t fmt =
     per-request default).  On [Ok fuel] the request is admitted with
     that fuel grant and counts against the in-flight budget until
     {!settle}. *)
-let admit t ~req_fuel : (int, Diag.t) result =
+let admit (t : t) ~req_fuel : (int, Diag.t) result =
+  with_lock t.lock @@ fun () ->
   let b = t.budget in
   if t.inflight >= b.max_inflight then
     Error
@@ -132,13 +153,14 @@ let admit t ~req_fuel : (int, Diag.t) result =
 
 (** Book the outcome of an admitted request and release its in-flight
     slot. *)
-let settle t ~fuel ~mem_delta ~leaked ~ok =
-  t.inflight <- t.inflight - 1;
-  t.completed <- t.completed + 1;
-  if not ok then t.failed <- t.failed + 1;
-  t.fuel_spent <- t.fuel_spent + fuel;
-  t.mem_used <- t.mem_used + max 0 mem_delta;
-  t.leaked_bytes <- t.leaked_bytes + leaked
+let settle (t : t) ~fuel ~mem_delta ~leaked ~ok =
+  with_lock t.lock (fun () ->
+      t.inflight <- t.inflight - 1;
+      t.completed <- t.completed + 1;
+      if not ok then t.failed <- t.failed + 1;
+      t.fuel_spent <- t.fuel_spent + fuel;
+      t.mem_used <- t.mem_used + max 0 mem_delta;
+      t.leaked_bytes <- t.leaked_bytes + leaked)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint support *)

@@ -157,6 +157,65 @@ let tenant_of req = Option.value req.req_tenant ~default:default_tenant
     [tenant=NAME] annotation pools the tenant's requests under one
     breaker key, so one misbehaving tenant trips its own circuit without
     touching anyone else's. *)
+let run_one ~(config : Supervisor.config) ~breaker (eng : Terra.Engine.t)
+    (req : request) : entry =
+  let file = req.req_file in
+  match read_file file with
+  | exception Sys_error msg ->
+      {
+        e_file = file;
+        e_status = "error";
+        e_code = Some "batch.io";
+        e_message = Some msg;
+        e_attempts = 0;
+        e_retries = 0;
+        e_backoff = 0;
+        e_fuel = 0;
+        e_fallback = false;
+        e_divergence = None;
+        e_output = "";
+        e_tenant = tenant_of req;
+      }
+  | src ->
+      let cfg =
+        {
+          config with
+          Supervisor.breaker = Some breaker;
+          call_fuel =
+            (match req.req_fuel with
+            | Some _ as f -> f
+            | None -> config.Supervisor.call_fuel);
+          max_retries =
+            (match req.req_retries with
+            | Some n -> n
+            | None -> config.Supervisor.max_retries);
+        }
+      in
+      let o =
+        Supervisor.run_script ~config:cfg ?key:req.req_tenant ~file eng src
+      in
+      let code, message =
+        match o.Supervisor.result with
+        | Ok _ -> (None, None)
+        | Error d -> (Some d.Terra.Diag.code, Some d.Terra.Diag.message)
+      in
+      {
+        e_file = file;
+        e_status =
+          (if Result.is_ok o.Supervisor.result then "ok" else "error");
+        e_code = code;
+        e_message = message;
+        e_attempts = o.Supervisor.attempts;
+        e_retries = o.Supervisor.retries;
+        e_backoff = o.Supervisor.backoff_total;
+        e_fuel = o.Supervisor.fuel_used;
+        e_fallback = o.Supervisor.fallback;
+        e_divergence =
+          Option.map (fun d -> d.Terra.Diag.code) o.Supervisor.divergence;
+        e_output = o.Supervisor.output;
+        e_tenant = tenant_of req;
+      }
+
 let run_requests ?(config = Supervisor.default_config)
     (eng : Terra.Engine.t) (reqs : request list) : entry list =
   let breaker =
@@ -164,68 +223,52 @@ let run_requests ?(config = Supervisor.default_config)
     | Some b -> b
     | None -> Policy.breaker ()
   in
-  List.map
-    (fun req ->
-      let file = req.req_file in
-      match read_file file with
-      | exception Sys_error msg ->
-          {
-            e_file = file;
-            e_status = "error";
-            e_code = Some "batch.io";
-            e_message = Some msg;
-            e_attempts = 0;
-            e_retries = 0;
-            e_backoff = 0;
-            e_fuel = 0;
-            e_fallback = false;
-            e_divergence = None;
-            e_output = "";
-            e_tenant = tenant_of req;
-          }
-      | src ->
-          let cfg =
-            {
-              config with
-              Supervisor.breaker = Some breaker;
-              call_fuel =
-                (match req.req_fuel with
-                | Some _ as f -> f
-                | None -> config.Supervisor.call_fuel);
-              max_retries =
-                (match req.req_retries with
-                | Some n -> n
-                | None -> config.Supervisor.max_retries);
-            }
-          in
-          let o =
-            Supervisor.run_script ~config:cfg ?key:req.req_tenant ~file eng
-              src
-          in
-          let code, message =
-            match o.Supervisor.result with
-            | Ok _ -> (None, None)
-            | Error d -> (Some d.Terra.Diag.code, Some d.Terra.Diag.message)
-          in
-          {
-            e_file = file;
-            e_status =
-              (if Result.is_ok o.Supervisor.result then "ok" else "error");
-            e_code = code;
-            e_message = message;
-            e_attempts = o.Supervisor.attempts;
-            e_retries = o.Supervisor.retries;
-            e_backoff = o.Supervisor.backoff_total;
-            e_fuel = o.Supervisor.fuel_used;
-            e_fallback = o.Supervisor.fallback;
-            e_divergence =
-              Option.map
-                (fun d -> d.Terra.Diag.code)
-                o.Supervisor.divergence;
-            e_output = o.Supervisor.output;
-            e_tenant = tenant_of req;
-          })
-    reqs
+  List.map (fun req -> run_one ~config ~breaker eng req) reqs
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution.  [jobs] worker domains drain the request list
+   through a {!Tpool.Pool}; worker [w] owns engine [w] exclusively, so
+   no engine is ever touched by two domains.  Entries come back in
+   manifest order regardless of which worker ran what.
+
+   The parallel path trades the sequential path's shared-session
+   semantics for full request independence: every request starts from
+   its worker engine restored to the factory-fresh baseline snapshot
+   (so heap addresses, interned statics, and fuel deltas cannot depend
+   on which requests ran before it on that engine) and supervises under
+   its own circuit breaker.  That independence is what makes the merged
+   report a pure function of the manifest: [jobs=4] is byte-identical
+   to [jobs=1], which the CI parallel gate asserts.  The engine-wide
+   profile is per-engine state and is deliberately absent from parallel
+   reports. *)
+
+let run_requests_par ?(config = Supervisor.default_config) ~jobs
+    ~(make_engine : unit -> Terra.Engine.t) (reqs : request list) :
+    entry list =
+  if jobs < 1 then invalid_arg "Batch.run_requests_par: jobs must be >= 1";
+  (* per-worker engine + pristine baseline, created lazily on the worker
+     domain itself so even engine construction parallelizes *)
+  let slots : (Terra.Engine.t * Terra.Engine.snapshot) option array =
+    Array.make jobs None
+  in
+  let entries =
+    Tpool.Pool.with_pool ~domains:jobs (fun pool ->
+        Tpool.Pool.map_workers pool
+          (fun ~worker req ->
+            let eng, baseline =
+              match slots.(worker) with
+              | Some pair -> pair
+              | None ->
+                  let eng = make_engine () in
+                  let pair = (eng, Terra.Engine.snap eng) in
+                  slots.(worker) <- Some pair;
+                  pair
+            in
+            Terra.Engine.restore_snap eng baseline;
+            run_one ~config ~breaker:(Policy.breaker ()) eng req)
+          (Array.of_list reqs))
+  in
+  Array.to_list entries
 
 (* ------------------------------------------------------------------ *)
 (* JSON report *)
@@ -309,3 +352,32 @@ let run_manifest ?config eng manifest_path : string * int =
     if probe.Tprof.Probe.on then Some (Terra.Engine.profile_json eng) else None
   in
   (to_json ?profile entries, if all_ok entries then 0 else 1)
+
+(** Parallel {!run_manifest}: [jobs] worker domains, rows merged in
+    manifest order.  The report is a pure function of the manifest —
+    identical for every [jobs] value (see {!run_requests_par}); it never
+    carries the engine-wide profile. *)
+let run_manifest_par ?config ~jobs ~make_engine manifest_path : string * int
+    =
+  let entries =
+    match parse_manifest manifest_path with
+    | Ok reqs -> run_requests_par ?config ~jobs ~make_engine reqs
+    | Error d ->
+        [
+          {
+            e_file = manifest_path;
+            e_status = "error";
+            e_code = Some d.Terra.Diag.code;
+            e_message = Some d.Terra.Diag.message;
+            e_attempts = 0;
+            e_retries = 0;
+            e_backoff = 0;
+            e_fuel = 0;
+            e_fallback = false;
+            e_divergence = None;
+            e_output = "";
+            e_tenant = default_tenant;
+          };
+        ]
+  in
+  (to_json entries, if all_ok entries then 0 else 1)

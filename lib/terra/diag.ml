@@ -44,30 +44,43 @@ let phase_name = function
    attributed to the statement being processed without threading a
    location through every [raise] site. *)
 
-let hint_file : string option ref = ref None
-let hint_line : int option ref = ref None
+(* Domain-local, not process-global: concurrent engines on separate
+   domains each carry their own attribution hints, while nested engines
+   on one domain keep the save/restore discipline below. *)
+type hints = { mutable hint_file : string option; mutable hint_line : int option }
 
-let set_line n = hint_line := Some n
-let span_file () = match !hint_file with Some f -> f | None -> "<input>"
-let current_span () = Option.map (fun l -> (span_file (), l)) !hint_line
+let hints_key : hints Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { hint_file = None; hint_line = None })
+
+let hints () = Domain.DLS.get hints_key
+
+let set_line n = (hints ()).hint_line <- Some n
+let span_file () = match (hints ()).hint_file with Some f -> f | None -> "<input>"
+
+let current_span () =
+  Option.map (fun l -> (span_file (), l)) (hints ()).hint_line
 
 (** Reset per-run state (span hints, any stale Lua traceback snapshot).
     Called by the engine at the top of every run. *)
 let begin_run ?file () =
-  hint_file := file;
-  hint_line := None;
+  let h = hints () in
+  h.hint_file <- file;
+  h.hint_line <- None;
   Mlua.Interp.clear_traceback ()
 
-(** Opaque snapshot of the global span-hint state, so nested or
+(** Opaque snapshot of this domain's span-hint state, so nested or
     interleaved engines can restore the outer run's attribution after an
     inner run finishes (see [Engine.run]). *)
 type run_state = string option * int option
 
-let save_run_state () : run_state = (!hint_file, !hint_line)
+let save_run_state () : run_state =
+  let h = hints () in
+  (h.hint_file, h.hint_line)
 
 let restore_run_state ((f, l) : run_state) =
-  hint_file := f;
-  hint_line := l
+  let h = hints () in
+  h.hint_file <- f;
+  h.hint_line <- l
 
 (* ------------------------------------------------------------------ *)
 

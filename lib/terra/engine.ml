@@ -12,6 +12,10 @@ module V = Mlua.Value
 
 type t = {
   ctx : Context.t;
+  interp : Mlua.Interp.state;
+      (** this engine's private Lua interpreter state (call stack,
+          budgets, traceback, print sink); installed as the domain's
+          current state for the duration of every [run] *)
   mutable scope : V.scope;
   mutable installers : (V.table -> unit) list;
       (** applied, in order, to the globals of every scope this engine
@@ -41,12 +45,14 @@ let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
   if trace then Tprof.Probe.set_tracing probe true;
   (match fuel with Some n -> Tvm.Vm.set_fuel ctx.Context.vm n | None -> ());
   Tvm.Vm.set_max_depth ctx.Context.vm max_call_depth;
-  let scope = Mlua.Driver.make_scope () in
+  let interp = Mlua.Interp.make_state () in
+  let scope = Mlua.Driver.make_scope ~state:interp () in
   (match V.scope_globals scope with
   | Some g -> Terralib.install ctx g
   | None -> assert false);
   {
     ctx;
+    interp;
     scope;
     installers = [ (fun g -> Terralib.install ctx g) ];
     lua_depth = max_call_depth;
@@ -84,13 +90,18 @@ let rearm_leak_check t = t.leak_mark <- Context.leaks t.ctx
     profile covers exactly one request, and the leak check is re-armed
     so each leak is attributed to the request that introduced it. *)
 let reset_scope ?(slice = false) t =
-  let scope = Mlua.Driver.make_scope () in
+  let scope = Mlua.Driver.make_scope ~state:t.interp () in
   (match V.scope_globals scope with
   | Some g -> List.iter (fun f -> f g) t.installers
   | None -> assert false);
   t.scope <- scope;
   if slice then begin
     Tprof.Probe.reset (Context.probe t.ctx);
+    (* a fresh slice also restarts the modeled C PRNG, so a request's
+       rand() stream never depends on which requests an engine served
+       before it — required for jobs=N batch reports to be byte-
+       identical to the sequential run *)
+    t.ctx.Context.vm.Tvm.Vm.rand_state <- Tvm.Vm.initial_rand_state;
     rearm_leak_check t
   end
 
@@ -105,55 +116,68 @@ let set_limits ?max_call_depth ?lua_steps t =
   | None -> ());
   match lua_steps with Some n -> t.lua_steps <- n | None -> ()
 
-(* The interpreter's call-depth/step budgets and the diagnostic span
-   hints are process globals; save and restore them around every run so
-   two live engines (or a run nested inside a host callback of another
-   run) cannot clobber each other's limits or error attribution.  A
-   failing run's exception is converted to a structured [Diag.Error]
-   *before* the outer state is restored, so spans and tracebacks are
-   attributed against this run's state, not the outer engine's. *)
+(* Every run executes with this engine's interpreter state installed as
+   the domain's current state ([Interp.with_state]), so two live engines
+   — concurrent on separate domains, or a run nested inside a host
+   callback of another run on one domain — cannot clobber each other's
+   limits, tracebacks, or error attribution.  The budgets are still
+   saved and restored *within* the engine's own state so a nested run of
+   the same engine re-arms full budgets without consuming the outer
+   run's.  A failing run's exception is converted to a structured
+   [Diag.Error] *before* the outer state is restored, so spans and
+   tracebacks are attributed against this run's state, not the outer
+   engine's. *)
 let run ?file t src =
-  let saved_depth = !Mlua.Interp.max_call_depth in
-  let saved_steps = !Mlua.Interp.steps in
-  let saved_diag = Diag.save_run_state () in
-  let restore () =
-    Mlua.Interp.max_call_depth := saved_depth;
-    Mlua.Interp.steps := saved_steps;
-    Diag.restore_run_state saved_diag
-  in
-  Diag.begin_run ?file ();
-  Mlua.Interp.max_call_depth := t.lua_depth;
-  Mlua.Interp.steps := t.lua_steps;
-  let ext_expr, ext_stat = Frontend.hooks t.ctx in
-  let chunkname = match file with Some f -> f | None -> "main chunk" in
-  match Mlua.Driver.run_in ~ext_expr ~ext_stat ~chunkname t.scope src with
-  | vs ->
-      restore ();
-      vs
-  | exception ((Out_of_memory | Assert_failure _) as e) ->
-      restore ();
-      raise e
-  | exception e ->
-      let e =
-        match Diag.of_exn e with Some d -> Diag.Error d | None -> e
+  Mlua.Interp.with_state t.interp (fun () ->
+      let st = t.interp in
+      let saved_depth = st.Mlua.Interp.max_call_depth in
+      let saved_steps = st.Mlua.Interp.steps in
+      let saved_diag = Diag.save_run_state () in
+      let restore () =
+        st.Mlua.Interp.max_call_depth <- saved_depth;
+        st.Mlua.Interp.steps <- saved_steps;
+        Diag.restore_run_state saved_diag
       in
-      restore ();
-      raise e
+      Diag.begin_run ?file ();
+      st.Mlua.Interp.max_call_depth <- t.lua_depth;
+      st.Mlua.Interp.steps <- t.lua_steps;
+      let ext_expr, ext_stat = Frontend.hooks t.ctx in
+      let chunkname = match file with Some f -> f | None -> "main chunk" in
+      match Mlua.Driver.run_in ~ext_expr ~ext_stat ~chunkname t.scope src with
+      | vs ->
+          restore ();
+          vs
+      | exception ((Out_of_memory | Assert_failure _) as e) ->
+          restore ();
+          raise e
+      | exception e ->
+          let e =
+            match Diag.of_exn e with Some d -> Diag.Error d | None -> e
+          in
+          restore ();
+          raise e)
 
-(** Run and capture printed output (tests). *)
-let run_capture ?file t src =
+(* Redirect this engine's two output channels — the Lua print sink and
+   the modeled-C print sink — into one buffer for the duration of [f].
+   Both sinks are per-engine, so concurrent captures on other engines
+   are unaffected. *)
+let with_capture (t : t) (f : unit -> 'a) : string * 'a =
   let buf = Buffer.create 256 in
-  let saved_lua = !Mlua.Lualib.output_sink in
-  let saved_vm = !Tvm.Builtins.print_sink in
-  Mlua.Lualib.output_sink := Buffer.add_string buf;
-  Tvm.Builtins.print_sink := Buffer.add_string buf;
+  let vm = t.ctx.Context.vm in
+  let saved_lua = t.interp.Mlua.Interp.output_sink in
+  let saved_vm = vm.Tvm.Vm.print_sink in
+  t.interp.Mlua.Interp.output_sink <- Buffer.add_string buf;
+  vm.Tvm.Vm.print_sink <- Buffer.add_string buf;
   Fun.protect
     ~finally:(fun () ->
-      Mlua.Lualib.output_sink := saved_lua;
-      Tvm.Builtins.print_sink := saved_vm)
+      t.interp.Mlua.Interp.output_sink <- saved_lua;
+      vm.Tvm.Vm.print_sink <- saved_vm)
     (fun () ->
-      let rets = run ?file t src in
-      (Buffer.contents buf, rets))
+      let r = f () in
+      (Buffer.contents buf, r))
+
+(** Run and capture printed output (tests). *)
+let run_capture ?file t src = with_capture t (fun () -> run ?file t src)
 
 (** Protected entry point: every failure anywhere in the pipeline —
     lexing through Terra execution — returns as [Error diag].  Only
@@ -174,18 +198,7 @@ let run_protected (t : t) ?file src : (V.t list, Diag.t) result =
 (** [run_protected] + output capture: [(output, result)]. *)
 let run_capture_protected (t : t) ?file src :
     string * (V.t list, Diag.t) result =
-  let buf = Buffer.create 256 in
-  let saved_lua = !Mlua.Lualib.output_sink in
-  let saved_vm = !Tvm.Builtins.print_sink in
-  Mlua.Lualib.output_sink := Buffer.add_string buf;
-  Tvm.Builtins.print_sink := Buffer.add_string buf;
-  Fun.protect
-    ~finally:(fun () ->
-      Mlua.Lualib.output_sink := saved_lua;
-      Tvm.Builtins.print_sink := saved_vm)
-    (fun () ->
-      let r = run_protected t ?file src in
-      (Buffer.contents buf, r))
+  with_capture t (fun () -> run_protected t ?file src)
 
 (* ------------------------------------------------------------------ *)
 (* Transactional execution (the supervised-execution substrate).  See
@@ -205,18 +218,7 @@ let run_transactional ?file (t : t) src : (V.t list, Diag.t) result =
     output, not the half-printed output of the attempts it rolled back. *)
 let run_capture_transactional ?file (t : t) src :
     string * (V.t list, Diag.t) result =
-  let buf = Buffer.create 256 in
-  let saved_lua = !Mlua.Lualib.output_sink in
-  let saved_vm = !Tvm.Builtins.print_sink in
-  Mlua.Lualib.output_sink := Buffer.add_string buf;
-  Tvm.Builtins.print_sink := Buffer.add_string buf;
-  Fun.protect
-    ~finally:(fun () ->
-      Mlua.Lualib.output_sink := saved_lua;
-      Tvm.Builtins.print_sink := saved_vm)
-    (fun () ->
-      let r = run_transactional ?file t src in
-      (Buffer.contents buf, r))
+  with_capture t (fun () -> run_transactional ?file t src)
 
 (** Current statics bump pointer; capture before a transaction to
     fingerprint exactly the state a rollback restores. *)

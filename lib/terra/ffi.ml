@@ -208,12 +208,15 @@ let () =
 (* ------------------------------------------------------------------ *)
 (* Wrapping Lua functions as VM imports so Terra can call into Lua *)
 
-let lua_import_counter = ref 0
+(* Atomic: wrapper names must stay unique when engines on concurrent
+   domains wrap Lua functions at the same time. *)
+let lua_import_counter = Atomic.make 0
 
 let lua_wrapper ctx (fn : V.t) (arg_tys : Types.t list) (ret_ty : Types.t) :
     string =
-  incr lua_import_counter;
-  let name = Printf.sprintf "luafn#%d" !lua_import_counter in
+  let name =
+    Printf.sprintf "luafn#%d" (Atomic.fetch_and_add lua_import_counter 1 + 1)
+  in
   Vm.register_builtin ctx.Context.vm name (fun _vm args ->
       let lua_args =
         List.mapi (fun i ty -> of_vm ctx ty args.(i)) arg_tys

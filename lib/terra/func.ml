@@ -57,13 +57,14 @@ type Mlua.Value.u +=
   | Uglobal of global
   | Uintrin of string
 
-let next_fid = ref 0
+(* Atomic: function identities must stay unique across engines running
+   on concurrent domains. *)
+let next_fid = Atomic.make 0
 
 let declare ctx name =
-  incr next_fid;
   let vmid = Tvm.Vm.declare_func ctx.Context.vm name in
   {
-    fid = !next_fid;
+    fid = Atomic.fetch_and_add next_fid 1 + 1;
     name;
     ctx;
     vmid;

@@ -16,11 +16,12 @@ type lua_thunk = V.scope -> V.t
     gensym for selectively violating hygiene) creates them directly. *)
 type sym = { symid : int; symname : string; symtype : Types.t option }
 
-let next_symid = ref 0
+(* Atomic: gensym identities must stay unique across engines running on
+   concurrent domains (hygiene breaks if two domains mint the same id). *)
+let next_symid = Atomic.make 0
 
 let fresh_sym ?typ name =
-  incr next_symid;
-  { symid = !next_symid; symname = name; symtype = typ }
+  { symid = Atomic.fetch_and_add next_symid 1 + 1; symname = name; symtype = typ }
 
 type literal =
   | Lint of int64

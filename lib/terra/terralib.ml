@@ -237,8 +237,12 @@ let install ctx (globals : V.table) =
           in
           Objfile.save path fns;
           []
-      | _ -> V.error_str "saveobj(path, {name = terrafn, ...})");
-  (* install the {T} -> R arrow operator *)
+      | _ -> V.error_str "saveobj(path, {name = terrafn, ...})")
+
+(* Install the {T} -> R arrow operator.  The closure is context-free, so
+   it is registered once at module init — not per engine — keeping the
+   hook write out of the concurrent engine-creation path. *)
+let () =
   Mlua.Interp.arrow_impl :=
     (fun a b ->
       let types_of_table v =

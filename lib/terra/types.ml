@@ -67,12 +67,13 @@ let vector t n =
   | _ -> type_error "vector element type must be a primitive");
   Tvector (t, n)
 
-let next_sid = ref 0
+(* Atomic: struct identities must stay unique across engines running on
+   concurrent domains. *)
+let next_sid = Atomic.make 0
 
 let new_struct name =
-  incr next_sid;
   {
-    sid = !next_sid;
+    sid = Atomic.fetch_and_add next_sid 1 + 1;
     sname = name;
     entries = V.new_table ();
     methods = V.new_table ();

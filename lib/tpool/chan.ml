@@ -1,0 +1,60 @@
+(** A multi-producer multi-consumer channel: the communication
+    primitive between the request-reading thread and pool workers.
+    Mutex + two condition variables; optionally bounded so a slow
+    consumer exerts backpressure on producers. *)
+
+type 'a t = {
+  q : 'a Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+  {
+    q = Queue.create ();
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    capacity;
+    closed = false;
+  }
+
+(** Enqueue [v], blocking while the channel is full.  Raises
+    [Invalid_argument] if the channel has been closed. *)
+let send t v =
+  Mutex.lock t.mutex;
+  while Queue.length t.q >= t.capacity && not t.closed do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Chan.send: channel is closed"
+  end;
+  Queue.push v t.q;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+(** Dequeue the next value, blocking while the channel is empty.
+    [None] once the channel is closed and drained. *)
+let recv t : 'a option =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let v = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Condition.signal t.not_full;
+  Mutex.unlock t.mutex;
+  v
+
+(** Close the channel: senders start failing, receivers drain what is
+    queued and then see [None]. *)
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex

@@ -97,6 +97,70 @@ let search ?(space = None) ?(test_n = 96) ?(no_spill = false)
   Gemm.free_matrices ctx m;
   List.sort (fun a b -> compare b.gflops a.gflops) results
 
+(** Parallel {!search}: evaluate candidates across [jobs] worker
+    domains.  Every candidate compiles and measures in its own private
+    context (machine model, VM, matrices) built by [make_ctx] on the
+    worker domain running it, so no state is shared between candidates
+    at all — which is exactly what makes the result deterministic: a
+    candidate's GFLOPS is a pure function of its parameters
+    ([Machine.measure] resets the cache/cost model, and a fresh context
+    always lays the test matrices out at the same addresses), not of
+    which worker ran it or in what order.  Results come back sorted
+    best-first with ties resolved in search-space order, byte-stable
+    across runs and across [jobs] values; skipped candidates are
+    reported to [on_skip] in search-space order on the calling domain. *)
+let search_par ?(space = None) ?(test_n = 96) ?(no_spill = false)
+    ?(fuel_budget = 2_000_000_000) ?(on_skip = fun _ _ -> ()) ~jobs
+    ~(make_ctx : unit -> Context.t) ~elem () =
+  if jobs < 1 then invalid_arg "Search.search_par: jobs must be >= 1";
+  let space = match space with Some s -> s | None -> default_space ~elem in
+  let arr =
+    Array.of_list (List.filter (fun p -> test_n mod p.Gemm.nb = 0) space)
+  in
+  let outcomes =
+    Tpool.Pool.with_pool ~domains:jobs (fun pool ->
+        Tpool.Pool.map pool
+          (fun p ->
+            let ctx = make_ctx () in
+            let m = Gemm.alloc_matrices ctx ~elem test_n in
+            Gemm.fill_matrices ctx ~elem m;
+            Tvm.Vm.set_fuel ctx.Context.vm fuel_budget;
+            match
+              let kernel = Gemm.genkernel ctx ~elem ~no_spill p in
+              let driver =
+                Gemm.blocked_driver ctx ~elem ~kernel ~nb:p.Gemm.nb
+              in
+              Gemm.run_gemm ctx driver m
+            with
+            | gflops, _ ->
+                Ok
+                  {
+                    cparams = p;
+                    gflops;
+                    spilled = would_spill ctx.Context.machine p;
+                  }
+            | exception ((Out_of_memory | Assert_failure _) as e) -> raise e
+            | exception e ->
+                Error
+                  ( p,
+                    match Diag.of_exn e with
+                    | Some d -> d
+                    | None ->
+                        Diag.make ~phase:Diag.Run ~code:"internal.exn"
+                          (Printexc.to_string e) ))
+          arr)
+  in
+  let results =
+    List.filter_map
+      (function
+        | Ok c -> Some c
+        | Error (p, d) ->
+            on_skip p d;
+            None)
+      (Array.to_list outcomes)
+  in
+  List.sort (fun a b -> compare b.gflops a.gflops) results
+
 let best results =
   match results with
   | [] -> invalid_arg "autotuner found no working configuration"

@@ -23,26 +23,23 @@ let float2 name f =
       Machine.count vm.machine Cost.Fp_div;
       Vm.VF (f (farg args 0) (farg args 1)) )
 
-(* Deterministic xorshift so runs are reproducible. *)
-let rand_state = ref 0x9E3779B97F4A7C15L
-
-let rand_next () =
+(* Deterministic xorshift so runs are reproducible; the state is per-VM
+   (see {!Vm.t.rand_state}) so concurrent engines draw independently. *)
+let rand_next (vm : Vm.t) =
   let open Int64 in
-  let x = !rand_state in
+  let x = vm.Vm.rand_state in
   let x = logxor x (shift_left x 13) in
   let x = logxor x (shift_right_logical x 7) in
   let x = logxor x (shift_left x 17) in
-  rand_state := x;
+  vm.Vm.rand_state <- x;
   x
 
-let output = Buffer.create 256
-let print_sink : (string -> unit) ref = ref (fun s -> Buffer.add_string output s)
-let take_output () =
-  let s = Buffer.contents output in
-  Buffer.clear output;
+let take_output (vm : Vm.t) =
+  let s = Buffer.contents vm.Vm.print_buf in
+  Buffer.clear vm.Vm.print_buf;
   s
 
-let emit s = !print_sink s
+let emit (vm : Vm.t) s = vm.Vm.print_sink s
 
 (* Report a completed heap allocation/free to the profiler.  These run
    after the allocator call so failed (trapping) allocations are never
@@ -128,10 +125,10 @@ let all : (string * Vm.builtin) list =
     ( "abs",
       fun _ args -> Vm.VI (Int64.abs (iarg args 0)) );
     ( "rand",
-      fun _ _ -> Vm.VI (Int64.logand (rand_next ()) 0x7fffffffL) );
+      fun vm _ -> Vm.VI (Int64.logand (rand_next vm) 0x7fffffffL) );
     ( "srand",
-      fun _ args ->
-        rand_state := Int64.logor (iarg args 0) 1L;
+      fun vm args ->
+        vm.Vm.rand_state <- Int64.logor (iarg args 0) 1L;
         Vm.VUnit );
     ( "clock_cycles",
       (* Extension point used by the auto-tuner: reads the machine model's
@@ -139,17 +136,17 @@ let all : (string * Vm.builtin) list =
       fun vm _ -> Vm.VI (Int64.of_float (Machine.cycles vm.machine)) );
     ( "puts",
       fun vm args ->
-        emit (Mem.get_cstring vm.mem (addr_arg args 0));
-        emit "\n";
+        emit vm (Mem.get_cstring vm.mem (addr_arg args 0));
+        emit vm "\n";
         Vm.VI 0L );
     ( "print_i64",
-      fun _ args ->
-        emit (Int64.to_string (iarg args 0));
-        emit "\n";
+      fun vm args ->
+        emit vm (Int64.to_string (iarg args 0));
+        emit vm "\n";
         Vm.VUnit );
     ( "print_f64",
-      fun _ args ->
-        emit (Printf.sprintf "%.6g\n" (farg args 0));
+      fun vm args ->
+        emit vm (Printf.sprintf "%.6g\n" (farg args 0));
         Vm.VUnit );
     ( "exit",
       fun _ args ->

@@ -26,14 +26,23 @@ type t = {
   mutable fuel_mark : int;  (** [steps] at the last {!set_fuel} *)
   mutable faults : Fault.t option;
   probe : Tprof.Probe.t;  (** tracing/profiling probe; off by default *)
+  mutable rand_state : int64;
+      (** deterministic xorshift state for the modeled C [rand]/[srand];
+          per-VM so concurrent engines draw independent streams *)
+  print_buf : Buffer.t;  (** default landing spot for modeled C output *)
+  mutable print_sink : string -> unit;
+      (** where [puts]/[print_*] text goes; capture swaps this *)
 }
 
 and builtin = t -> value array -> value
+
+let initial_rand_state = 0x9E3779B97F4A7C15L
 
 let create ?mem_bytes ?(checked = false) ?faults machine =
   let mem = Mem.create ?bytes:mem_bytes () in
   let probe = Tprof.Probe.create () in
   Mem.set_probe mem probe;
+  let print_buf = Buffer.create 256 in
   {
     mem;
     alloc = Alloc.create ~checked mem;
@@ -58,6 +67,9 @@ let create ?mem_bytes ?(checked = false) ?faults machine =
       | None | Some [] -> None
       | Some specs -> Some (Fault.create specs));
     probe;
+    rand_state = initial_rand_state;
+    print_buf;
+    print_sink = Buffer.add_string print_buf;
   }
 
 let checked t = Mem.checked t.mem

@@ -121,6 +121,47 @@ let gemm_tests =
           (List.for_all
              (fun c -> c.Tuner.Search.gflops <= best.Tuner.Search.gflops)
              results));
+    quick "parallel search matches sequential exactly" (fun () ->
+        (* each candidate measures in a private context, so the ranked
+           results of search_par must equal sequential search bit for
+           bit, at any worker count *)
+        let make_ctx () =
+          Context.create ~mem_bytes:(64 * 1024 * 1024)
+            ~machine:
+              (Tmachine.Machine.create
+                 (Tmachine.Config.scaled Tmachine.Config.ivybridge_like))
+            ()
+        in
+        let space =
+          [
+            { Tuner.Gemm.nb = 16; rm = 2; rn = 2; v = 2 };
+            { Tuner.Gemm.nb = 24; rm = 4; rn = 1; v = 4 };
+            { Tuner.Gemm.nb = 48; rm = 4; rn = 2; v = 4 };
+            { Tuner.Gemm.nb = 16; rm = 1; rn = 1; v = 2 };
+          ]
+        in
+        let elem = Types.double in
+        let seq =
+          List.map
+            (fun p ->
+              Tuner.Search.search ~space:(Some [ p ]) ~test_n:48 (make_ctx ())
+                ~elem ())
+            space
+          |> List.concat
+          |> List.sort (fun a b ->
+                 compare b.Tuner.Search.gflops a.Tuner.Search.gflops)
+        in
+        let par =
+          Tuner.Search.search_par ~space:(Some space) ~test_n:48 ~jobs:3
+            ~make_ctx ~elem ()
+        in
+        checki "same count" (List.length seq) (List.length par);
+        List.iter2
+          (fun (a : Tuner.Search.candidate) (b : Tuner.Search.candidate) ->
+            checkb "params" true (a.cparams = b.cparams);
+            Alcotest.(check (float 0.0)) "gflops" a.gflops b.gflops;
+            checkb "spilled" a.spilled b.spilled)
+          seq par);
     quick "fault injection: a trapping candidate cannot sink the search"
       (fun () ->
         let machine =

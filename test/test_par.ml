@@ -1,0 +1,255 @@
+(* Multicore sharding: the tpool primitives, engine isolation across
+   domains, and the serve pool's concurrent checkout/recycle discipline.
+
+   The load-bearing property everywhere here is determinism: engines on
+   separate domains must produce byte-identical outputs, diagnostics,
+   and fingerprints to a sequential run, because nothing an engine
+   touches is shared. *)
+
+let quick = Harness.quick
+let checks = Alcotest.(check string)
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Tpool primitives *)
+
+let tpool_tests =
+  [
+    quick "chan: fifo order, close semantics" (fun () ->
+        let c = Tpool.Chan.create () in
+        for i = 1 to 10 do
+          Tpool.Chan.send c i
+        done;
+        for i = 1 to 10 do
+          checki "fifo" i (Option.get (Tpool.Chan.recv c))
+        done;
+        Tpool.Chan.close c;
+        checkb "drained channel yields None" true (Tpool.Chan.recv c = None);
+        checkb "send after close raises" true
+          (match Tpool.Chan.send c 11 with
+          | exception Invalid_argument _ -> true
+          | () -> false));
+    quick "chan: capacity bounds the queue across domains" (fun () ->
+        let c = Tpool.Chan.create ~capacity:2 () in
+        let consumer =
+          Domain.spawn (fun () ->
+              let rec go acc =
+                match Tpool.Chan.recv c with
+                | None -> List.rev acc
+                | Some v -> go (v :: acc)
+              in
+              go [])
+        in
+        for i = 1 to 50 do
+          Tpool.Chan.send c i
+        done;
+        Tpool.Chan.close c;
+        let got = Domain.join consumer in
+        checki "all delivered" 50 (List.length got);
+        checkb "in order" true (got = List.init 50 (fun i -> i + 1)));
+    quick "pool: map returns results in input order" (fun () ->
+        let items = Array.init 100 (fun i -> i) in
+        let out =
+          Tpool.Pool.with_pool ~domains:4 (fun p ->
+              Tpool.Pool.map p (fun i -> i * i) items)
+        in
+        checkb "ordered" true (out = Array.init 100 (fun i -> i * i)));
+    quick "pool: map_workers hands out exclusive worker indices" (fun () ->
+        let domains = 4 in
+        let per_worker = Array.init domains (fun _ -> Atomic.make 0) in
+        let busy = Array.init domains (fun _ -> Atomic.make false) in
+        let overlap = Atomic.make false in
+        let out =
+          Tpool.Pool.with_pool ~domains (fun p ->
+              Tpool.Pool.map_workers p
+                (fun ~worker i ->
+                  if Atomic.exchange busy.(worker) true then
+                    Atomic.set overlap true;
+                  Atomic.incr per_worker.(worker);
+                  let r = i + 1 in
+                  Atomic.set busy.(worker) false;
+                  r)
+                (Array.init 200 (fun i -> i)))
+        in
+        checkb "no two jobs share a worker slot at once" false
+          (Atomic.get overlap);
+        checki "every job ran exactly once" 200
+          (Array.fold_left (fun a c -> a + Atomic.get c) 0 per_worker);
+        checkb "results ordered" true
+          (out = Array.init 200 (fun i -> i + 1)));
+    quick "pool: a raising job surfaces on the caller, pool survives"
+      (fun () ->
+        Tpool.Pool.with_pool ~domains:2 (fun p ->
+            checkb "exception re-raised" true
+              (match
+                 Tpool.Pool.map p
+                   (fun i -> if i = 3 then failwith "boom" else i)
+                   (Array.init 8 (fun i -> i))
+               with
+              | exception Failure _ -> true
+              | _ -> false);
+            (* the pool is still serviceable after the failed batch *)
+            let out = Tpool.Pool.map p (fun i -> i * 2) [| 1; 2; 3 |] in
+            checkb "pool survives" true (out = [| 2; 4; 6 |])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine isolation across domains *)
+
+(* One corpus item: build a fresh checked engine, run the source, and
+   reduce the run to the triple that must be reproducible — captured
+   output, diagnostic (code + message, which embeds heap addresses for
+   san traps), and the engine fingerprint after the run. *)
+let run_item (file, src) : string * string * string =
+  let eng = Terrastd.create ~checked:true ~mem_bytes:(32 * 1024 * 1024) () in
+  let out, result = Terra.Engine.run_capture_protected eng ~file src in
+  let diag =
+    match result with
+    | Ok _ -> "ok"
+    | Error d -> d.Terra.Diag.code ^ ": " ^ d.Terra.Diag.message
+  in
+  (out, diag, Terra.Engine.fingerprint eng)
+
+let corpus () =
+  let golden name = (name, Harness.read_file (Harness.golden name)) in
+  [
+    ( "good.t",
+      "x = 0 for i=1,10 do x = x + i end print(x)\n\
+       terra f(n : int32) return n * 2 + 1 end print(f(20))" );
+    ("rand.t", "for i=1,4 do print(math.random(1000)) end");
+    ( "trap.t",
+      "terra d(n : int32) : int32 return 10 / n end print(d(0))" );
+    golden "double_free.t";
+    golden "use_after_free.t";
+    golden "invalid_free.t";
+    golden "leak.t";
+  ]
+
+let stress_tests =
+  [
+    quick "4 domains of engines match sequential runs byte for byte"
+      (fun () ->
+        let corpus = corpus () in
+        (* sequential reference triples, one fresh engine per item *)
+        let expected = List.map run_item corpus in
+        (* the same corpus three times over, drained by 4 domains with a
+           fresh engine per job; dynamic scheduling means every
+           interleaving of engine construction and execution is fair
+           game, and none of it may show up in the results *)
+        let jobs =
+          Array.of_list (corpus @ corpus @ corpus)
+        in
+        let got =
+          Tpool.Pool.with_pool ~domains:4 (fun p ->
+              Tpool.Pool.map p run_item jobs)
+        in
+        let expected = Array.of_list (expected @ expected @ expected) in
+        Array.iteri
+          (fun i (out, diag, fp) ->
+            let eout, ediag, efp = expected.(i) in
+            let file, _ = jobs.(i) in
+            checks (file ^ " output") eout out;
+            checks (file ^ " diagnostic") ediag diag;
+            checks (file ^ " fingerprint") efp fp)
+          got);
+    quick "math.random: interleaved engines draw independent streams"
+      (fun () ->
+        (* satellite regression: the PRNG seed lives in per-interpreter
+           state, so two engines alternating draws behave exactly like
+           two engines running alone *)
+        let draw = "print(math.random(32768))" in
+        let solo () =
+          let eng = Terrastd.create () in
+          List.init 6 (fun _ ->
+              fst (Terra.Engine.run_capture eng draw))
+        in
+        let expected = solo () in
+        let a = Terrastd.create () and b = Terrastd.create () in
+        let got_a = ref [] and got_b = ref [] in
+        for _ = 1 to 6 do
+          got_a := fst (Terra.Engine.run_capture a draw) :: !got_a;
+          got_b := fst (Terra.Engine.run_capture b draw) :: !got_b
+        done;
+        checkb "engine A matches a solo engine" true
+          (List.rev !got_a = expected);
+        checkb "engine B matches a solo engine" true
+          (List.rev !got_b = expected));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve pool under concurrency *)
+
+let pool_tests =
+  [
+    quick "checkout/recycle hammered from 4 domains never double-issues"
+      (fun () ->
+        let made = Atomic.make 0 in
+        let make () =
+          Atomic.incr made;
+          Terra.Engine.create ~mem_bytes:(8 * 1024 * 1024) ()
+        in
+        let pool = Serve.Pool.create ~make ~size:3 ~recycle_after:5 in
+        let held = Array.init 3 (fun _ -> Atomic.make false) in
+        let double_issue = Atomic.make false in
+        let per_domain = 20 in
+        let domains =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  for i = 1 to per_domain do
+                    let s = Serve.Pool.checkout pool in
+                    if Atomic.exchange held.(s.Serve.Pool.id) true then
+                      Atomic.set double_issue true;
+                    (* touch the engine while holding the slot: the
+                       mutex hand-off must make this race-free *)
+                    ignore
+                      (Terra.Engine.run_capture s.Serve.Pool.eng
+                         (Printf.sprintf "x = %d" i));
+                    Atomic.set held.(s.Serve.Pool.id) false;
+                    Serve.Pool.checkin pool s ~anomaly:None
+                  done))
+        in
+        List.iter Domain.join domains;
+        checkb "no slot was ever checked out twice" false
+          (Atomic.get double_issue);
+        let total =
+          Array.fold_left
+            (fun a (s : Serve.Pool.slot) -> a + s.Serve.Pool.total)
+            0 pool.Serve.Pool.slots
+        in
+        checki "every checkout was booked" (4 * per_domain) total;
+        (* recycle_after=5 over 80 requests on 3 slots forces plenty of
+           in-flight rebuilds; each one made a fresh engine *)
+        checkb "wear recycling happened under contention" true
+          (Atomic.get made > 3));
+    quick "blocking checkout: more domains than engines still completes"
+      (fun () ->
+        let pool =
+          Serve.Pool.create
+            ~make:(fun () ->
+              Terra.Engine.create ~mem_bytes:(8 * 1024 * 1024) ())
+            ~size:1 ~recycle_after:1000
+        in
+        let domains =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 5 do
+                    let s = Serve.Pool.checkout pool in
+                    ignore
+                      (Terra.Engine.run_capture s.Serve.Pool.eng
+                         (Printf.sprintf "y = %d" d));
+                    Serve.Pool.checkin pool s ~anomaly:None
+                  done))
+        in
+        List.iter Domain.join domains;
+        checki "all 20 requests went through the single engine" 20
+          pool.Serve.Pool.slots.(0).Serve.Pool.total);
+  ]
+
+let () =
+  Alcotest.run "par"
+    [
+      ("tpool", tpool_tests);
+      ("stress", stress_tests);
+      ("pool", pool_tests);
+    ]

@@ -622,19 +622,23 @@ let regression_tests =
         Alcotest.(check (list int)) "same addresses" (List.rev !solo)
           (List.rev !interleaved));
     quick "interpreter knobs are saved and restored around runs" (fun () ->
-        let saved_depth = !Mlua.Interp.max_call_depth in
-        let saved_steps = !Mlua.Interp.steps in
+        (* the knobs now live in a per-interpreter state record; a run
+           must leave the domain's ambient state untouched *)
+        let ambient = Mlua.Interp.current () in
+        let saved_depth = ambient.Mlua.Interp.max_call_depth in
+        let saved_steps = ambient.Mlua.Interp.steps in
         Fun.protect
           ~finally:(fun () ->
-            Mlua.Interp.max_call_depth := saved_depth;
-            Mlua.Interp.steps := saved_steps)
+            ambient.Mlua.Interp.max_call_depth <- saved_depth;
+            ambient.Mlua.Interp.steps <- saved_steps)
           (fun () ->
-            Mlua.Interp.max_call_depth := 123;
-            Mlua.Interp.steps := 45678;
+            ambient.Mlua.Interp.max_call_depth <- 123;
+            ambient.Mlua.Interp.steps <- 45678;
             let e = engine () in
             let _ = run_ok e "print(1 + 1)" in
-            checki "depth restored" 123 !Mlua.Interp.max_call_depth;
-            checki "steps restored" 45678 !Mlua.Interp.steps));
+            checki "depth untouched" 123
+              ambient.Mlua.Interp.max_call_depth;
+            checki "steps untouched" 45678 ambient.Mlua.Interp.steps));
     quick "two engines with different budgets do not interfere" (fun () ->
         let tight =
           Terrastd.create ~mem_bytes:(8 * 1024 * 1024) ~lua_steps:40 ()
