@@ -857,6 +857,85 @@ let supervise_bench () =
   record ~experiment:"supervise" ~series:"mandelbrot-txn" ();
   record ~experiment:"supervise" ~series:"mandelbrot-rollback" ()
 
+(* ------------------------------------------------------------------ *)
+(* Durable recovery: wall time to restore the newest checkpoint and
+   replay the committed WAL suffix of a terra_serve session.  Two
+   shapes: a checkpoint-heavy journal (short replay suffix) and a
+   replay-heavy one (the whole session replays from the initial
+   barrier). *)
+
+let rec bench_rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter
+        (fun f -> bench_rm_rf (Filename.concat p f))
+        (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+
+let recover_bench () =
+  section
+    "Durable recovery (terra_serve): checkpoint restore + WAL replay";
+  let config =
+    {
+      Serve.Server.default_config with
+      Serve.Server.pool_size = 2;
+      checked = true;
+      mem_bytes = Some (16 * 1024 * 1024);
+      log = ignore;
+    }
+  in
+  let good = "terra f() return 40 + 2 end print(f())" in
+  let div = "terra d(n : int32) return 10 / n end print(d(0))" in
+  let req i =
+    Printf.sprintf
+      "{\"op\":\"run\",\"src\":\"%s\",\"retries\":0,\"tenant\":\"t%02d\"}"
+      (json_escape (if i mod 4 = 3 then div else good))
+      (i mod 16)
+  in
+  let requests = 100 in
+  Printf.printf "%d requests, 2 checked engines per session:\n%!" requests;
+  List.iter
+    (fun (series, interval) ->
+      let dir = Filename.temp_file "terra-bench-recover" "" in
+      Sys.remove dir;
+      Fun.protect
+        ~finally:(fun () -> bench_rm_rf dir)
+        (fun () ->
+          let server = Serve.Server.create ~config () in
+          (match Serve.Server.enable_durability server ~dir ~interval ()
+           with
+          | Ok () -> ()
+          | Error d -> failwith d.Diag.message);
+          for i = 1 to requests do
+            ignore (Serve.Server.handle server (req i))
+          done;
+          (match server.Serve.Server.journal with
+          | Some j -> Serve.Durable.close j
+          | None -> ());
+          let t0 = Monotonic_clock.now () in
+          match Serve.Server.recover ~config ~dir () with
+          | Error d -> failwith d.Diag.message
+          | Ok (recovered, report) ->
+              let ns = Int64.sub (Monotonic_clock.now ()) t0 in
+              (match recovered.Serve.Server.journal with
+              | Some j -> Serve.Durable.close j
+              | None -> ());
+              let jint k =
+                match Tprof.Json.member k report with
+                | Some (Tprof.Json.Int n) -> n
+                | _ -> 0
+              in
+              Printf.printf
+                "  %-14s %8.1f ms  (barrier %d, replayed %d of %d)\n%!"
+                series
+                (Int64.to_float ns /. 1e6)
+                (jint "barrier") (jint "replayed") requests;
+              record ~experiment:"recover" ~series ~n:requests ();
+              record_wall ~experiment:("recover/" ^ series) ns))
+    [ ("ckpt-heavy", 32); ("replay-heavy", 1000) ]
+
 let experiments =
   [
     ("dgemm", dgemm);
@@ -870,6 +949,7 @@ let experiments =
     ("ablation", ablation);
     ("topt", topt);
     ("supervise", supervise_bench);
+    ("recover", recover_bench);
     ("bechamel", bechamel);
   ]
 

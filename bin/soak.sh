@@ -180,4 +180,98 @@ print("kill/recover soak: resumed %d requests, final status byte-identical "
       "to the uninterrupted run (served=%d), zero committed requests lost"
       % (len(runs), out_status["served"]))
 PY
+# ------------------------------------------------------------------
+# Durable parallel kill/recover phase: a fresh 200-request workload
+# through --workers 4 --durable, killed mid-soak, recovered at
+# --workers 4, and driven through the remainder.  One tenant per
+# request keeps admission scheduling-independent, so the resumed
+# session's final served count and tenant table must equal the
+# uninterrupted parallel reference exactly; engine slot placement is
+# the scheduler's choice, so the pool block is excluded.
+
+par_dur_in=$(mktemp) par_dur_ref=$(mktemp) par_dur_probe=$(mktemp)
+par_dur_rest=$(mktemp) par_dur_out=$(mktemp)
+trap 'rm -f "$soak_in" "$soak_out" "$par_out" "$dur_ref" "$dur_probe" \
+  "$dur_rest" "$dur_out" "$par_dur_in" "$par_dur_ref" "$par_dur_probe" \
+  "$par_dur_rest" "$par_dur_out"; rm -rf "$dur_root"' EXIT
+
+python3 - "$par_dur_in" <<'PY'
+import json, sys
+good = "terra f() return 40 + 2 end print(f())"
+div = "terra d(n : int32) return 10 / n end print(d(0))"
+with open(sys.argv[1], "w") as f:
+    for i in range(4):
+        f.write(json.dumps({"src": good, "tenant": "warm%d" % i}) + "\n")
+    for i in range(200):
+        src = div if i % 4 == 3 else good
+        f.write(json.dumps({"src": src, "retries": 0,
+                            "tenant": "u%03d" % i}) + "\n")
+    f.write(json.dumps({"op": "status"}) + "\n")
+    f.write(json.dumps({"op": "shutdown"}) + "\n")
+PY
+
+par_dur_flags="--quiet --pool 4 --workers 4 --mem 16000000 \
+  --ckpt-interval 16"
+
+echo "-- durable parallel reference run (--workers 4)"
+timeout 300 dune exec bin/terra_serve.exe -- $par_dur_flags \
+  --durable "$dur_root/par-ref" < "$par_dur_in" > "$par_dur_ref"
+
+echo "-- kill at durability event 250 (--workers 4)"
+rc=0
+timeout 300 dune exec bin/terra_serve.exe -- $par_dur_flags \
+  --durable "$dur_root/par-crash" --crash-at 250 < "$par_dur_in" \
+  > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "durable parallel soak: crash run exited $rc, expected 137" >&2
+  exit 1
+fi
+
+echo "-- parallel recovery (probe for the committed seq)"
+printf '{"op":"shutdown"}\n' | timeout 300 dune exec bin/terra_serve.exe -- \
+  $par_dur_flags --recover "$dur_root/par-crash" > "$par_dur_probe"
+
+python3 - "$par_dur_probe" "$par_dur_in" "$par_dur_rest" <<'PY'
+import json, sys
+report = json.loads(open(sys.argv[1]).readline())
+assert report["op"] == "recover", report
+assert report["torn"] is None, report
+# commits land in response order: open begins are bounded by the
+# checkpoint interval, not the pool size
+assert 0 <= report["discarded"] <= 16, report
+k = report["seq"]
+lines = open(sys.argv[2]).read().splitlines()
+requests = [l for l in lines if l.strip() and "\"op\"" not in l]
+assert 0 < k < len(requests), (k, len(requests))
+with open(sys.argv[3], "w") as f:
+    for l in requests[k:]:
+        f.write(l + "\n")
+    f.write(json.dumps({"op": "status"}) + "\n")
+    f.write(json.dumps({"op": "shutdown"}) + "\n")
+print("parallel recovery landed on committed seq %d; %d requests remain"
+      % (k, len(requests) - k))
+PY
+
+echo "-- resumed parallel run over the remainder (--workers 4)"
+timeout 300 dune exec bin/terra_serve.exe -- $par_dur_flags \
+  --recover "$dur_root/par-crash" < "$par_dur_rest" > "$par_dur_out"
+
+python3 - "$par_dur_ref" "$par_dur_out" <<'PY'
+import json, sys
+ref = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+out = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+ref_status = [l for l in ref if l.get("op") == "status"][-1]
+out_status = [l for l in out if l.get("op") == "status"][-1]
+for s in (ref_status, out_status):
+    for key in ("durable", "pool", "live_bytes"):
+        s.pop(key)
+assert out_status == ref_status, (out_status, ref_status)
+assert out_status["served"] == 204, out_status
+drain = out[-1]
+assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
+print("parallel kill/recover soak: zero committed requests lost, zero "
+      "uncommitted replayed (served=%d, %d tenants)"
+      % (out_status["served"], len(out_status["tenants"])))
+PY
+
 echo "SOAK OK"

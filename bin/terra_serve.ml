@@ -34,18 +34,13 @@ let main socket pool workers recycle_after checked no_verify_rollback opt
     tenant_inflight retries max_line durable recover ckpt_interval crash_at
     quiet =
   Sys.catch_break true;
-  if workers < 1 then begin
-    prerr_endline "terra_serve: --workers must be >= 1";
-    exit 1
-  end;
-  if workers > 1 && (durable <> None || recover <> None) then begin
-    (* parallel slot assignment is scheduling-dependent, so a WAL replay
-       could not tie per-slot fingerprints out deterministically *)
-    prerr_endline
-      "terra_serve: --workers > 1 is incompatible with --durable/--recover \
-       (deterministic WAL replay needs single-threaded slot assignment)";
-    exit 1
-  end;
+  (* SIGTERM drains exactly like SIGINT/EOF: route it through the same
+     Sys.Break the serve loops already handle, so `kill` gets a graceful
+     drain — WAL barrier flushed, final pool leak check — not a torn
+     tail.  (Unavailable on platforms without sigterm; best effort.) *)
+  (try
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> raise Sys.Break))
+   with Invalid_argument _ | Sys_error _ -> ());
   if not quiet then Supervise.Supervisor.log_sink := prerr_endline;
   let budget =
     {
@@ -117,6 +112,19 @@ let main socket pool workers recycle_after checked no_verify_rollback opt
 
 let () =
   let open Cmdliner in
+  (* flags that are counts or intervals reject 0/negatives up front,
+     instead of surfacing as runtime surprises deep in the serve loop *)
+  let pos_int label =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some n ->
+          Error (`Msg (Printf.sprintf "%s must be >= 1 (got %d)" label n))
+      | None ->
+          Error (`Msg (Printf.sprintf "%s must be an integer >= 1 (got %s)" label s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   let socket =
     Arg.(
       value
@@ -133,13 +141,16 @@ let () =
   in
   let workers =
     Arg.(
-      value & opt int 1
+      value
+      & opt (pos_int "--workers") 1
       & info [ "workers" ] ~docv:"N"
           ~doc:
             "execute run requests on $(docv) worker domains; each request \
              checks a private engine out of the pool (blocking when all \
              $(b,--pool) engines are busy) and responses keep request \
-             order.  Incompatible with $(b,--durable)/$(b,--recover).")
+             order.  Composes with $(b,--durable)/$(b,--recover): the WAL \
+             moves to the response-writer domain and replay pins each \
+             request to the engine slot it originally ran on.")
   in
   let recycle_after =
     Arg.(
@@ -214,9 +225,13 @@ let () =
   in
   let tenant_inflight =
     Arg.(
-      value & opt int 1
+      value
+      & opt (pos_int "--tenant-inflight") 1
       & info [ "tenant-inflight" ] ~docv:"N"
-          ~doc:"in-flight request budget per tenant.")
+          ~doc:
+            "in-flight request budget per tenant.  Durable parallel \
+             sessions ($(b,--durable) with $(b,--workers) > 1) require 1: \
+             same-tenant order must be deterministic for replay.")
   in
   let retries =
     Arg.(
@@ -254,14 +269,15 @@ let () =
   in
   let ckpt_interval =
     Arg.(
-      value & opt int 32
+      value
+      & opt (pos_int "--ckpt-interval") 32
       & info [ "ckpt-interval" ] ~docv:"N"
           ~doc:"checkpoint the pool every $(docv) committed requests.")
   in
   let crash_at =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (pos_int "--crash-at")) None
       & info [ "crash-at" ] ~docv:"N"
           ~doc:
             "abort the process (exit 137, no drain) before the $(docv)th \

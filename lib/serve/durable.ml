@@ -137,17 +137,36 @@ let append ?(on_durable = fun () -> ()) t fields =
     that was drained and rejected without ever being buffered. *)
 type input = Line of string | Oversize of int
 
-(** Journal a request before executing it; returns its sequence
-    number. *)
-let begin_request t (input : input) : int =
+(** The admission decision journaled in a run request's [begin] record.
+    Under [--workers N] the live decision depends on scheduling (which
+    siblings are in flight, which settlements have landed), so replay
+    must impose the recorded outcome rather than recompute it.
+    [Unrecorded] marks non-run lines and journals written before this
+    field existed — those replay through live admission, which is
+    deterministic for a single-threaded session. *)
+type admission = Unrecorded | Rejected | Granted of int
+
+(** Journal a request before executing it; returns its sequence number.
+    [slot] pins the pool slot the request was assigned (recorded so
+    replay reproduces the exact engine placement of a parallel run);
+    [adm] pins its admission decision. *)
+let begin_request ?slot ?(adm = Unrecorded) t (input : input) : int =
   t.seq <- t.seq + 1;
   let payload =
     match input with
     | Line l -> [ ("line", Json.Str l) ]
     | Oversize n -> [ ("oversize", Json.Int n) ]
   in
+  let pin =
+    (match slot with Some i -> [ ("slot", Json.Int i) ] | None -> [])
+    @
+    match adm with
+    | Unrecorded -> []
+    | Rejected -> [ ("grant", Json.Null) ]
+    | Granted g -> [ ("grant", Json.Int g) ]
+  in
   append t
-    ([ ("rec", Json.Str "begin"); ("seq", Json.Int t.seq) ] @ payload);
+    ([ ("rec", Json.Str "begin"); ("seq", Json.Int t.seq) ] @ payload @ pin);
   t.seq
 
 (* ------------------------------------------------------------------ *)
@@ -193,9 +212,11 @@ let write_checkpoint t ~(state : unit -> string) =
   did_event t
 
 (** Commit a journaled request: outcome, serving slot, and that slot's
-    post-request engine fingerprint; checkpoint when the barrier
-    interval is reached. *)
-let end_request t ~seq ~outcome ~slot ~fp ~(state : unit -> string) =
+    post-request engine fingerprint.  Returns [true] when the barrier
+    interval has been reached — the caller decides when to actually take
+    the checkpoint, because under [--workers N] the server must first
+    quiesce in-flight requests so the snapshot is consistent. *)
+let commit_request t ~seq ~outcome ~slot ~fp : bool =
   append t
     ~on_durable:(fun () -> t.committed <- seq)
     [
@@ -205,8 +226,13 @@ let end_request t ~seq ~outcome ~slot ~fp ~(state : unit -> string) =
       ("slot", match slot with Some i -> Json.Int i | None -> Json.Null);
       ("fp", match fp with Some s -> Json.Str s | None -> Json.Null);
     ];
-  if t.committed - t.barrier >= t.cfg.interval then
-    write_checkpoint t ~state
+  t.committed - t.barrier >= t.cfg.interval
+
+(** Commit and, when the interval is reached, checkpoint immediately —
+    the single-threaded composition, where between-requests is always a
+    consistent point. *)
+let end_request t ~seq ~outcome ~slot ~fp ~(state : unit -> string) =
+  if commit_request t ~seq ~outcome ~slot ~fp then write_checkpoint t ~state
 
 (* ------------------------------------------------------------------ *)
 (* Session creation *)
@@ -258,8 +284,10 @@ type committed_entry = {
   ce_seq : int;
   ce_input : input;
   ce_outcome : string;
-  ce_slot : int option;
+  ce_slot : int option;  (** from the [end] record, for fp tie-out *)
   ce_fp : string option;
+  ce_pin : int option;  (** from the [begin] record: replay slot pin *)
+  ce_adm : admission;  (** journaled admission decision to impose *)
 }
 
 (** A torn WAL tail: everything before it is trusted, everything at and
@@ -308,14 +336,25 @@ let int_field kvs k =
 let str_field kvs k =
   match List.assoc_opt k kvs with Some (Json.Str s) -> Some s | _ -> None
 
-(* Walk the WAL chain: committed entries in order, the count of
+(* Walk the WAL chain: committed entries in commit order, the count of
    discarded (uncommitted) begins, and the first anomaly as a torn
-   tail.  Nothing after an anomaly is trusted. *)
+   tail.  Nothing after an anomaly is trusted.
+
+   Under --workers N up to pool-size+1 requests are journaled before the
+   earliest commits, so several begin records may be open at once; ends
+   still land in sequence order because the writer domain appends them
+   in response order.  The scanner therefore keeps a pending map rather
+   than a single open slot, and enforces only what the writer
+   guarantees: no duplicate open begins, no begin reusing a committed
+   seq, strictly increasing end seqs, every end matching an open
+   begin. *)
 let scan_wals files : committed_entry list * int * torn option =
   let entries = ref [] in
-  let pending = ref None in
+  let pending : (int, input * int option * admission) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let last_end = ref min_int in
   let torn = ref None in
-  let discarded = ref 0 in
   (try
      List.iter
        (fun (file, path) ->
@@ -334,19 +373,36 @@ let scan_wals files : committed_entry list * int * torn option =
                  | Error msg -> fail msg
                  | Ok kvs -> (
                      match (str_field kvs "rec", int_field kvs "seq") with
-                     | Some "begin", Some seq -> (
-                         if !pending <> None then
-                           fail "begin record while another is open";
-                         match
-                           (str_field kvs "line", int_field kvs "oversize")
-                         with
-                         | Some l, _ -> pending := Some (seq, Line l)
-                         | None, Some n -> pending := Some (seq, Oversize n)
-                         | None, None -> fail "begin record without a payload")
+                     | Some "begin", Some seq ->
+                         if Hashtbl.mem pending seq then
+                           fail "duplicate begin for an open sequence number";
+                         if seq <= !last_end then
+                           fail "begin record reuses a committed sequence number";
+                         let input =
+                           match
+                             (str_field kvs "line", int_field kvs "oversize")
+                           with
+                           | Some l, _ -> Line l
+                           | None, Some n -> Oversize n
+                           | None, None -> fail "begin record without a payload"
+                         in
+                         let adm =
+                           match List.assoc_opt "grant" kvs with
+                           | None -> Unrecorded
+                           | Some Json.Null -> Rejected
+                           | Some (Json.Int g) -> Granted g
+                           | Some _ -> fail "begin record grant is malformed"
+                         in
+                         Hashtbl.replace pending seq
+                           (input, int_field kvs "slot", adm)
                      | Some "end", Some seq -> (
-                         match !pending with
-                         | Some (pseq, input) when pseq = seq ->
-                             pending := None;
+                         match Hashtbl.find_opt pending seq with
+                         | None -> fail "end record without a matching begin"
+                         | Some (input, pin, adm) ->
+                             if seq <= !last_end then
+                               fail "end records out of order";
+                             last_end := seq;
+                             Hashtbl.remove pending seq;
                              entries :=
                                {
                                  ce_seq = seq;
@@ -357,9 +413,10 @@ let scan_wals files : committed_entry list * int * torn option =
                                      ~default:"error";
                                  ce_slot = int_field kvs "slot";
                                  ce_fp = str_field kvs "fp";
+                                 ce_pin = pin;
+                                 ce_adm = adm;
                                }
-                               :: !entries
-                         | _ -> fail "end record without a matching begin")
+                               :: !entries)
                      | _ -> fail "unknown record type")))
            lines;
          if ragged then begin
@@ -374,10 +431,9 @@ let scan_wals files : committed_entry list * int * torn option =
          end)
        files
    with Exit -> ());
-  (* only a fully journaled begin counts as a discarded request; a torn
+  (* only fully journaled begins count as discarded requests; a torn
      record never made it to the journal in the first place *)
-  if !pending <> None then incr discarded;
-  (List.rev !entries, !discarded, !torn)
+  (List.rev !entries, Hashtbl.length pending, !torn)
 
 (** Scan [dir]: newest digest-valid checkpoint, its committed WAL
     suffix, and the recovery report ingredients. *)
@@ -385,9 +441,20 @@ let recover_scan ~dir : (recovered, Diag.t) result =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     Error
       (Diag.make ~phase:Diag.Run ~code:"recover.no-journal"
-         (Printf.sprintf "%s is not a durable session directory" dir))
+         (Printf.sprintf
+            "%s is not a durable session directory (no such directory); \
+             --recover needs a directory a --durable session wrote"
+            dir))
   else
     let files = Array.to_list (Sys.readdir dir) in
+    if not (List.exists (fun f -> gen_of_name f <> None) files) then
+      Error
+        (Diag.make ~phase:Diag.Run ~code:"recover.no-journal"
+           (Printf.sprintf
+              "%s holds no journal (no ckpt-*/wal-*.log files); was this \
+               directory written by a --durable session?"
+              dir))
+    else
     let ckpts =
       List.filter_map
         (fun f ->

@@ -96,15 +96,36 @@ let checkout t =
   in
   wait ()
 
+(** Check out a specific slot — recovery replay, where the WAL's [begin]
+    record pinned the assignment the original run made.  Blocks until
+    that slot is free and advances the round-robin cursor exactly as
+    {!checkout} would have, so the pool's post-replay cursor matches the
+    crashed run's. *)
+let checkout_pinned t id =
+  let n = size t in
+  if id < 0 || id >= n then invalid_arg "Pool.checkout_pinned";
+  let s = t.slots.(id) in
+  Mutex.lock t.mutex;
+  while s.busy do
+    Condition.wait t.freed t.mutex
+  done;
+  t.cursor <- (id + 1) mod n;
+  s.busy <- true;
+  Mutex.unlock t.mutex;
+  s
+
 let recycle t (s : slot) =
   s.eng <- t.make ();
   s.served <- 0;
   s.recycles <- s.recycles + 1
 
 (** Return a slot after a request.  [anomaly] forces a recycle;
-    otherwise the slot is recycled only when it reaches the wear
-    limit. *)
-let checkin t (s : slot) ~(anomaly : anomaly option) =
+    otherwise the slot is recycled only when it reaches the wear limit.
+    [after] runs under the pool lock once any recycle has happened but
+    before the slot is republished — the durable server uses it to read
+    the slot's settled fingerprint for the WAL without racing the next
+    checkout. *)
+let checkin ?after t (s : slot) ~(anomaly : anomaly option) =
   with_lock t (fun () ->
       s.served <- s.served + 1;
       s.total <- s.total + 1;
@@ -120,6 +141,7 @@ let checkin t (s : slot) ~(anomaly : anomaly option) =
             t.recycled_wear <- t.recycled_wear + 1;
             recycle t s
           end);
+      (match after with Some f -> f s | None -> ());
       (* freed last: a recycled slot is only visible fully rebuilt *)
       s.busy <- false;
       Condition.signal t.freed)

@@ -146,6 +146,18 @@ let entry_json (e : Batch.entry) ~(extra : (string * Json.t) list) : Json.t =
      ]
     @ extra)
 
+(** The serve-specific extras for a response that never touched an
+    engine: parse errors, oversize lines, admission rejections, source
+    read failures. *)
+let no_engine_extra =
+  [
+    ("engine", Json.Null);
+    ("exit", Json.Int 1);
+    ("rollback", Json.Null);
+    ("leaked_bytes", Json.Int 0);
+    ("recycled", Json.Bool false);
+  ]
+
 (** A non-run failure (bad request, admission rejection) rendered in the
     same shape, so clients parse one schema. *)
 let error_json ?(status = "error") ?(tenant = Batch.default_tenant)

@@ -74,6 +74,11 @@ type t = {
   mutable draining : bool;
   mutable journal : Durable.t option;  (** WAL, when running --durable *)
   mutable replaying : bool;  (** recovery replay in progress *)
+  mutable replay_pin : int option * Durable.admission;
+      (** slot + admission the WAL pinned for the entry being replayed *)
+  mutable crashed : int option;
+      (** set by the writer domain when [crash_at] fires there; the
+          dispatcher re-raises {!Durable.Crashed} on the main domain *)
 }
 
 let bump_served t =
@@ -96,6 +101,8 @@ let create ?(config = default_config) () =
     draining = false;
     journal = None;
     replaying = false;
+    replay_pin = (None, Durable.Unrecorded);
+    crashed = None;
   }
 
 let read_file path =
@@ -127,7 +134,27 @@ let arm_faults (eng : Terra.Engine.t) (r : Protocol.run_req) =
       Terra.Engine.inject eng (Tvm.Fault.Trap_at_step (vm.Tvm.Vm.steps + n))
   | None -> ()
 
-let handle_run (t : t) (r : Protocol.run_req) : Json.t =
+(* A run request that cleared admission and source resolution: the
+   request-order part of handling is done, only engine time is left. *)
+type admitted = {
+  ad_tenant : Tenant.t;
+  ad_name : string;
+  ad_file : string;
+  ad_grant : int;
+  ad_src : string;
+}
+
+type prepared =
+  | Rejected of Json.t  (** admission refused; no engine, no settle *)
+  | No_source of Json.t * int  (** admitted, but the source read failed *)
+  | Admitted of admitted
+
+(* Admission + source resolution.  This is the request-order half of a
+   run request: it moves [served] and books the tenant's admission, so
+   under --workers N it runs on the dispatch thread, in request order —
+   the WAL records its outcome and replay imposes it verbatim (live
+   admission under concurrency depends on scheduling). *)
+let prepare_run (t : t) (r : Protocol.run_req) : prepared =
   bump_served t;
   let tenant_name =
     Option.value r.Protocol.r_tenant ~default:Batch.default_tenant
@@ -138,16 +165,25 @@ let handle_run (t : t) (r : Protocol.run_req) : Json.t =
     | Some p, _ -> p
     | None, _ -> "<inline>"
   in
-  match Tenant.admit tenant ~req_fuel:r.Protocol.r_fuel with
+  let decision =
+    if t.replaying then
+      match snd t.replay_pin with
+      | Durable.Granted g -> Ok (Tenant.book_admission tenant ~grant:g)
+      | Durable.Rejected -> Error (Tenant.book_rejection tenant)
+      | Durable.Unrecorded ->
+          (* legacy journal without pinned admissions: recompute, which
+             is exact for the single-threaded sessions that wrote it *)
+          Tenant.admit tenant ~req_fuel:r.Protocol.r_fuel
+    else Tenant.admit tenant ~req_fuel:r.Protocol.r_fuel
+  in
+  match decision with
   | Error d ->
       t.cfg.log
         (Printf.sprintf "serve: %s rejected for tenant '%s' (%s)" file
            tenant_name d.Diag.code);
-      Protocol.error_json ~status:"rejected" ~tenant:tenant_name ~file
-        ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
-                 ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
-                 ("recycled", Json.Bool false) ]
-        d
+      Rejected
+        (Protocol.error_json ~status:"rejected" ~tenant:tenant_name ~file
+           ~extra:Protocol.no_engine_extra d)
   | Ok fuel_grant -> (
       match
         match r.Protocol.r_src with
@@ -160,14 +196,48 @@ let handle_run (t : t) (r : Protocol.run_req) : Json.t =
       with
       | Error d ->
           Tenant.settle tenant ~fuel:0 ~mem_delta:0 ~leaked:0 ~ok:false;
-          Protocol.error_json ~tenant:tenant_name ~file
-            ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
-                     ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
-                     ("recycled", Json.Bool false) ]
-            d
+          No_source
+            ( Protocol.error_json ~tenant:tenant_name ~file
+                ~extra:Protocol.no_engine_extra d,
+              fuel_grant )
       | Ok src ->
-          let slot = Pool.checkout t.pool in
-          let eng = slot.Pool.eng in
+          Admitted
+            {
+              ad_tenant = tenant;
+              ad_name = tenant_name;
+              ad_file = file;
+              ad_grant = fuel_grant;
+              ad_src = src;
+            })
+
+(* Slot assignment: round-robin live, WAL-pinned during replay — the
+   pin is what lets sequential replay reproduce the engine placement of
+   a parallel run. *)
+let checkout_for_run (t : t) : Pool.slot =
+  if t.replaying then
+    match fst t.replay_pin with
+    | Some id ->
+        if id < 0 || id >= Pool.size t.pool then
+          Diag.error ~phase:Diag.Run ~code:"recover.bad-slot"
+            "journal pins slot %d but the pool has %d slots" id
+            (Pool.size t.pool)
+        else Pool.checkout_pinned t.pool id
+    | None -> Pool.checkout t.pool
+  else Pool.checkout t.pool
+
+(* Engine time for an admitted request.  Returns the response and, when
+   the session is journaling, the slot's post-checkin fingerprint for
+   the WAL's end record (read under the pool lock, after any recycle,
+   before the slot is republished — so a parallel next checkout cannot
+   race it). *)
+let execute_admitted (t : t) (r : Protocol.run_req) (a : admitted)
+    (slot : Pool.slot) : Json.t * string option =
+  let tenant = a.ad_tenant in
+  let tenant_name = a.ad_name in
+  let file = a.ad_file in
+  let fuel_grant = a.ad_grant in
+  let src = a.ad_src in
+  let eng = slot.Pool.eng in
           (* fresh observation slice: per-request profile attribution and
              a re-armed leak check *)
           Terra.Engine.reset_scope ~slice:true eng;
@@ -230,7 +300,15 @@ let handle_run (t : t) (r : Protocol.run_req) : Json.t =
                   | _ -> "leak")));
           (* the engine object survives in [eng] even if the slot is
              recycled; restore its budgets only when it stays pooled *)
-          Pool.checkin t.pool slot ~anomaly;
+          let fp_end = ref None in
+          let after =
+            if t.journal <> None && not t.replaying then
+              Some
+                (fun (s : Pool.slot) ->
+                  fp_end := Some (Terra.Engine.fingerprint s.Pool.eng))
+            else None
+          in
+          Pool.checkin ?after t.pool slot ~anomaly;
           if slot.Pool.eng == eng then
             Terra.Engine.set_limits ~max_call_depth:saved_depth eng;
           let code, message =
@@ -250,38 +328,58 @@ let handle_run (t : t) (r : Protocol.run_req) : Json.t =
             | Some d when leaks <> [] -> Json.Str d.Diag.message
             | _ -> Json.Null
           in
-          Protocol.entry_json
-            {
-              Batch.e_file = file;
-              e_status =
-                (if Result.is_ok o.Supervisor.result then "ok" else "error");
-              e_code =
-                (if rollback = `Failed then Some "serve.fingerprint-mismatch"
-                 else code);
-              e_message = message;
-              e_attempts = o.Supervisor.attempts;
-              e_retries = o.Supervisor.retries;
-              e_backoff = o.Supervisor.backoff_total;
-              e_fuel = o.Supervisor.fuel_used;
-              e_fallback = o.Supervisor.fallback;
-              e_divergence =
-                Option.map (fun d -> d.Diag.code) o.Supervisor.divergence;
-              e_output = o.Supervisor.output;
-              e_tenant = tenant_name;
-            }
-            ~extra:
-              [
-                ("engine", Json.Int slot.Pool.id);
-                ("exit", Json.Int exit_code);
-                ( "rollback",
-                  match rollback with
-                  | `Verified -> Json.Str "verified"
-                  | `Failed -> Json.Str "failed"
-                  | `NA -> Json.Null );
-                ("leaked_bytes", Json.Int leaked_bytes);
-                ("leak", leak_diag);
-                ("recycled", Json.Bool (anomaly <> None));
-              ])
+          let resp =
+            Protocol.entry_json
+              {
+                Batch.e_file = file;
+                e_status =
+                  (if Result.is_ok o.Supervisor.result then "ok" else "error");
+                e_code =
+                  (if rollback = `Failed then Some "serve.fingerprint-mismatch"
+                   else code);
+                e_message = message;
+                e_attempts = o.Supervisor.attempts;
+                e_retries = o.Supervisor.retries;
+                e_backoff = o.Supervisor.backoff_total;
+                e_fuel = o.Supervisor.fuel_used;
+                e_fallback = o.Supervisor.fallback;
+                e_divergence =
+                  Option.map (fun d -> d.Diag.code) o.Supervisor.divergence;
+                e_output = o.Supervisor.output;
+                e_tenant = tenant_name;
+              }
+              ~extra:
+                [
+                  ("engine", Json.Int slot.Pool.id);
+                  ("exit", Json.Int exit_code);
+                  ( "rollback",
+                    match rollback with
+                    | `Verified -> Json.Str "verified"
+                    | `Failed -> Json.Str "failed"
+                    | `NA -> Json.Null );
+                  ("leaked_bytes", Json.Int leaked_bytes);
+                  ("leak", leak_diag);
+                  ("recycled", Json.Bool (anomaly <> None));
+                ]
+          in
+          (resp, !fp_end)
+
+(* One run request end to end, single-threaded.  [begun] fires once the
+   admission decision and any slot assignment are known, before engine
+   time — it is the WAL's write-ahead hook. *)
+let handle_run ?(begun = fun ~slot:_ ~adm:_ -> ()) (t : t)
+    (r : Protocol.run_req) : Json.t * string option =
+  match prepare_run t r with
+  | Rejected resp ->
+      begun ~slot:None ~adm:Durable.Rejected;
+      (resp, None)
+  | No_source (resp, grant) ->
+      begun ~slot:None ~adm:(Durable.Granted grant);
+      (resp, None)
+  | Admitted a ->
+      let slot = checkout_for_run t in
+      begun ~slot:(Some slot.Pool.id) ~adm:(Durable.Granted a.ad_grant);
+      execute_admitted t r a slot
 
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
@@ -386,37 +484,32 @@ let persist (t : t) : string =
     }
     []
 
-(* WAL appends are serialized under [t.lock]: the journal's file offsets
-   and sequence counter are single-writer state even when request
-   execution is not. *)
-let journal_begin t input =
+let outcome_of (resp : Json.t) =
+  Option.value (Json.to_string_opt (Json.member "status" resp)) ~default:"error"
+
+let slot_of (resp : Json.t) = Json.to_int_opt (Json.member "engine" resp)
+
+(* Single-threaded journaling: appends run under [t.lock] on the request
+   thread.  (Under --workers N the WAL has a dedicated writer domain
+   instead — see run_channels_par — and these helpers see no journal
+   because the dispatcher owns it.) *)
+let journal_begin t input ~slot ~adm =
   match t.journal with
   | Some j when not t.replaying ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
-        (fun () -> Durable.begin_request j input)
+        (fun () -> Durable.begin_request ?slot ~adm j input)
   | _ -> 0
 
-let journal_end t ~seq (resp : Json.t) =
+let journal_end t ~seq ~(resp : Json.t) ~fp =
   match t.journal with
   | Some j when not t.replaying ->
       Mutex.lock t.lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-      let slot = Json.to_int_opt (Json.member "engine" resp) in
-      let fp =
-        Option.map
-          (fun id ->
-            Terra.Engine.fingerprint t.pool.Pool.slots.(id).Pool.eng)
-          slot
-      in
-      let outcome =
-        Option.value
-          (Json.to_string_opt (Json.member "status" resp))
-          ~default:"error"
-      in
-      Durable.end_request j ~seq ~outcome ~slot ~fp ~state:(fun () ->
-          persist t)
+      Durable.end_request j ~seq ~outcome:(outcome_of resp)
+        ~slot:(slot_of resp) ~fp
+        ~state:(fun () -> persist t)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -461,51 +554,68 @@ let handle (t : t) (line : string) :
   | Ok (Some Protocol.Breakers) -> Some (breakers_json t, `Continue)
   | Ok (Some Protocol.Shutdown) -> Some (Json.Null, `Shutdown)
   | (Error _ | Ok (Some (Protocol.Run _))) as parsed ->
-      let seq = journal_begin t (Durable.Line line) in
-      let resp =
+      let seq = ref 0 in
+      let begun ~slot ~adm =
+        seq := journal_begin t (Durable.Line line) ~slot ~adm
+      in
+      let resp, fp =
         match parsed with
-        | Ok (Some (Protocol.Run r)) -> handle_run t r
+        | Ok (Some (Protocol.Run r)) -> handle_run ~begun t r
         | Error d ->
+            begun ~slot:None ~adm:Durable.Unrecorded;
             bump_served t;
-            Protocol.error_json
-              ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
-                       ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
-                       ("recycled", Json.Bool false) ]
-              d
+            (Protocol.error_json ~extra:Protocol.no_engine_extra d, None)
         | Ok _ -> assert false
       in
-      journal_end t ~seq resp;
+      journal_end t ~seq:!seq ~resp ~fp;
       Some (resp, `Continue)
+
+let oversize_resp (t : t) (len : int) : Json.t =
+  Protocol.error_json ~extra:Protocol.no_engine_extra
+    (Protocol.bad_request "request line of %d bytes exceeds the %d-byte cap"
+       len t.cfg.max_line_bytes)
 
 (** An over-long request line was drained without buffering: reject it
     (journaled — the rejection moves [served]). *)
 let handle_oversize (t : t) (len : int) : Json.t =
-  let seq = journal_begin t (Durable.Oversize len) in
-  bump_served t;
-  let resp =
-    Protocol.error_json
-      ~extra:[ ("engine", Json.Null); ("exit", Json.Int 1);
-               ("rollback", Json.Null); ("leaked_bytes", Json.Int 0);
-               ("recycled", Json.Bool false) ]
-      (Protocol.bad_request
-         "request line of %d bytes exceeds the %d-byte cap" len
-         t.cfg.max_line_bytes)
+  let seq =
+    journal_begin t (Durable.Oversize len) ~slot:None ~adm:Durable.Unrecorded
   in
-  journal_end t ~seq resp;
+  bump_served t;
+  let resp = oversize_resp t len in
+  journal_end t ~seq ~resp ~fp:None;
   resp
 
 (* ------------------------------------------------------------------ *)
 (* Durability: session setup and recovery *)
 
+(* Durable parallel service needs same-tenant requests serialized in
+   request order (max_inflight = 1, the default): tenant counter sums
+   are order-independent, but the per-tenant breaker's logical clock is
+   not — letting one tenant's requests race would make sequential
+   replay diverge from the state that was checkpointed. *)
+let durable_workers_guard (config : config) : (unit, Diag.t) result =
+  if config.workers > 1 && config.default_budget.Tenant.max_inflight <> 1 then
+    Error
+      (Diag.make ~phase:Diag.Run ~code:"durable.tenant-inflight"
+         (Printf.sprintf
+            "--durable with --workers %d requires --tenant-inflight 1 (got \
+             %d): per-tenant order must be deterministic for replay"
+            config.workers config.default_budget.Tenant.max_inflight))
+  else Ok ()
+
 (** Turn on the write-ahead journal for a fresh server. *)
 let enable_durability (t : t) ~dir ?interval ?crash_at ?on_event () :
     (unit, Diag.t) result =
-  let cfg = Durable.config ?interval ?crash_at ?on_event dir in
-  match Durable.create cfg ~state:(fun () -> persist t) with
-  | Ok j ->
-      t.journal <- Some j;
-      Ok ()
+  match durable_workers_guard t.cfg with
   | Error d -> Error d
+  | Ok () -> (
+      let cfg = Durable.config ?interval ?crash_at ?on_event dir in
+      match Durable.create cfg ~state:(fun () -> persist t) with
+      | Ok j ->
+          t.journal <- Some j;
+          Ok ()
+      | Error d -> Error d)
 
 (** Recover a durable session from [dir]: load the newest valid
     checkpoint, rebuild the pool and tenant table, replay the committed
@@ -516,6 +626,9 @@ let enable_durability (t : t) ~dir ?interval ?crash_at ?on_event () :
     degraded around). *)
 let recover ?(config = default_config) ~dir ?interval ?crash_at ?on_event ()
     : (t * Json.t, Diag.t) result =
+  match durable_workers_guard config with
+  | Error d -> Error d
+  | Ok () -> (
   match Durable.recover_scan ~dir with
   | Error d -> Error d
   | Ok rc -> (
@@ -554,16 +667,23 @@ let recover ?(config = default_config) ~dir ?interval ?crash_at ?on_event ()
                   draining = false;
                   journal = None;
                   replaying = true;
+                  replay_pin = (None, Durable.Unrecorded);
+                  crashed = None;
                 }
               in
               List.iter (Tenant.restore t.tenants) p.p_tenants;
-              (* deterministic replay of the committed suffix *)
+              (* deterministic replay of the committed suffix:
+                 sequential even when the journal came from a parallel
+                 run — each entry re-executes on the slot its begin
+                 record pinned, under the admission it recorded *)
               List.iter
                 (fun (e : Durable.committed_entry) ->
+                  t.replay_pin <- (e.Durable.ce_pin, e.Durable.ce_adm);
                   match e.Durable.ce_input with
                   | Durable.Line l -> ignore (handle t l)
                   | Durable.Oversize n -> ignore (handle_oversize t n))
                 rc.Durable.rc_entries;
+              t.replay_pin <- (None, Durable.Unrecorded);
               t.replaying <- false;
               (* fingerprint tie-out: for every slot, the recovered
                  engine must match the last fingerprint committed for
@@ -628,7 +748,7 @@ let recover ?(config = default_config) ~dir ?interval ?crash_at ?on_event ()
             with
             | result -> Ok result
             | exception Diag.Error d -> Error d
-          end)
+          end))
 
 (* ------------------------------------------------------------------ *)
 (* The request line reader *)
@@ -661,7 +781,7 @@ let run_channels_seq (t : t) (ic : in_channel) (oc : out_channel) : int =
   in
   let rec loop () =
     match read_request ic ~max_bytes:t.cfg.max_line_bytes with
-    | exception Sys.Break -> "sigint"
+    | exception Sys.Break -> "signal"
     | `Eof -> "eof"
     | `Oversize len ->
         reply (handle_oversize t len);
@@ -677,41 +797,123 @@ let run_channels_seq (t : t) (ic : in_channel) (oc : out_channel) : int =
   let reason = loop () in
   let resp, code = drain t ~reason in
   reply resp;
+  (match t.journal with Some j -> Durable.close j | None -> ());
   code
 
+(* What flows to the writer domain.  [Begun] and [Done] carry the
+   dispatcher-assigned response sequence number; [Begun i] always
+   precedes [Done i] in the channel, so the writer journals every begin
+   in request order before the matching commit can arrive. *)
+type wire =
+  | Begun of int * Durable.input * int option * Durable.admission
+      (** journal a begin record for response [i]: input, slot pin,
+          admission pin *)
+  | Done of int * Json.t * string option * bool
+      (** response [i] finished: payload, post-checkin fingerprint,
+          whether a begin was journaled for it *)
+  | Barrier of [ `Sync | `Checkpoint ]
+      (** the dispatcher is quiesced and gate-blocked: flush everything
+          queued before this message, optionally checkpoint, then
+          release the gate *)
+
 (** The multi-domain loop: the main thread reads and classifies request
-    lines, run requests execute on a [workers]-domain {!Tpool.Pool}
-    (each checking a private engine out of the warm pool, blocking if
-    all are busy), and a dedicated writer domain reorders completions so
-    responses leave in request order no matter which worker finishes
-    first.  Introspection ops (status/profile/breakers) and the final
-    drain quiesce in-flight work first: they read engine state, which is
-    only safe when no request is running. *)
+    lines, run requests execute on a [workers]-domain {!Tpool.Pool}, and
+    a dedicated writer domain reorders completions so responses leave in
+    request order no matter which worker finishes first.
+
+    The writer domain also owns the WAL when the session is durable:
+    begin records are appended in dispatch order (the dispatcher sends
+    [Begun] before handing the request to a worker), end records in
+    response order (as the reorder buffer drains), so commit order
+    equals response order and durability events are numbered at a single
+    domain — [--crash-at N] is well-defined under concurrency.  The
+    dispatcher does admission, source resolution, and slot checkout
+    itself, in request order, which both gives the begin record its pin
+    and guarantees per-slot execution order equals request order — the
+    invariant that makes sequential slot-pinned replay exact.
+
+    Checkpoints happen at barriers: after the interval-th state-mutating
+    dispatch the dispatcher quiesces in-flight requests (the same
+    machinery introspection and drain use), then gate-waits for the
+    writer to drain its queue and snapshot — so every checkpoint
+    captures a consistent multi-engine state with no request half-done
+    and no begin/end pair split across WAL generations. *)
 let run_channels_par (t : t) ~workers (ic : in_channel) (oc : out_channel) :
     int =
-  (* completions flow to the writer as (sequence, response) *)
-  let out : (int * Json.t) Tpool.Chan.t = Tpool.Chan.create () in
+  let out : wire Tpool.Chan.t = Tpool.Chan.create () in
+  let gate = Tpool.Gate.create () in
+  let durable = t.journal <> None in
   let writer =
     Domain.spawn (fun () ->
-        let pending : (int, Json.t) Hashtbl.t = Hashtbl.create 32 in
+        let pending : (int, Json.t * string option * bool) Hashtbl.t =
+          Hashtbl.create 32
+        in
+        let wal_seq : (int, int) Hashtbl.t = Hashtbl.create 32 in
         let next = ref 0 in
+        let crashed = ref false in
+        let commit_and_reply i (resp, fp, journaled) =
+          (if journaled then
+             match t.journal with
+             | Some j ->
+                 let seq = Option.value (Hashtbl.find_opt wal_seq i) ~default:0 in
+                 Hashtbl.remove wal_seq i;
+                 (* the interval check is the dispatcher's job (it must
+                    quiesce first), so the writer only commits here *)
+                 ignore
+                   (Durable.commit_request j ~seq ~outcome:(outcome_of resp)
+                      ~slot:(slot_of resp) ~fp)
+             | None -> ());
+          output_string oc (Json.to_string resp);
+          output_char oc '\n';
+          flush oc
+        in
         let rec flush_ready () =
           match Hashtbl.find_opt pending !next with
-          | Some j ->
+          | Some c ->
               Hashtbl.remove pending !next;
-              output_string oc (Json.to_string j);
-              output_char oc '\n';
-              flush oc;
+              commit_and_reply !next c;
               incr next;
               flush_ready ()
           | None -> ()
         in
+        let handle_msg = function
+          | Begun (i, input, slot, adm) -> (
+              match t.journal with
+              | Some j ->
+                  Hashtbl.replace wal_seq i
+                    (Durable.begin_request ?slot ~adm j input)
+              | None -> ())
+          | Done (i, resp, fp, journaled) ->
+              Hashtbl.replace pending i (resp, fp, journaled);
+              flush_ready ()
+          | Barrier kind ->
+              (match (kind, t.journal) with
+              | `Checkpoint, Some j ->
+                  Durable.write_checkpoint j ~state:(fun () -> persist t)
+              | _ -> ());
+              Tpool.Gate.release gate
+        in
         let rec loop () =
           match Tpool.Chan.recv out with
           | None -> ()
-          | Some (i, j) ->
-              Hashtbl.replace pending i j;
-              flush_ready ();
+          | Some msg ->
+              (* After a simulated crash nothing more reaches the disk
+                 or the client — the on-disk state is frozen exactly at
+                 event N-1, as a real kill -9 would leave it — but
+                 barriers still release their gate so the dispatcher can
+                 unwind and re-raise on the main domain. *)
+              (if !crashed then
+                 match msg with
+                 | Barrier _ -> Tpool.Gate.release gate
+                 | Begun _ | Done _ -> ()
+               else
+                 try handle_msg msg
+                 with Durable.Crashed n ->
+                   crashed := true;
+                   t.crashed <- Some n;
+                   (match msg with
+                   | Barrier _ -> Tpool.Gate.release gate
+                   | _ -> ()));
               loop ()
         in
         loop ())
@@ -732,90 +934,159 @@ let run_channels_par (t : t) ~workers (ic : in_channel) (oc : out_channel) :
     done;
     Mutex.unlock m
   in
+  (* Quiesce the workers, then drain the writer: when this returns,
+     every prior request has executed, committed, and been emitted, and
+     no engine is running.  The gate's mutex is also the happens-before
+     edge that makes journal and pool state written by the writer domain
+     safe to read here. *)
+  let sync kind =
+    quiesce ();
+    let tk = Tpool.Gate.ticket gate in
+    Tpool.Chan.send out (Barrier kind);
+    Tpool.Gate.await gate tk
+  in
+  let interval =
+    match t.journal with
+    | Some j -> j.Durable.cfg.Durable.interval
+    | None -> max_int
+  in
+  let since_barrier = ref 0 in
+  (* Count a state-mutating dispatch; at the interval boundary, take the
+     checkpoint barrier.  The quiesce inside [sync] waits for the
+     just-dispatched request too, so the snapshot covers exactly the
+     same committed prefix the single-threaded server would have. *)
+  let mutated () =
+    if durable && t.crashed = None then begin
+      incr since_barrier;
+      if !since_barrier >= interval then begin
+        sync `Checkpoint;
+        since_barrier := 0
+      end
+    end
+  in
   let reason =
     Tpool.Pool.with_pool ~domains:workers (fun pool ->
-        let dispatch_run r =
-          let i = next_seq () in
-          Mutex.lock m;
-          incr inflight;
-          Mutex.unlock m;
-          Tpool.Pool.run pool (fun _w ->
-              let resp =
-                try handle_run t r
-                with e ->
-                  Protocol.error_json
-                    ~extra:
-                      [ ("engine", Json.Null); ("exit", Json.Int 1);
-                        ("rollback", Json.Null);
-                        ("leaked_bytes", Json.Int 0);
-                        ("recycled", Json.Bool false) ]
-                    (Diag.make ~phase:Diag.Run ~code:"serve.internal"
-                       (Printexc.to_string e))
-              in
-              Tpool.Chan.send out (i, resp);
-              Mutex.lock m;
-              decr inflight;
-              if !inflight = 0 then Condition.broadcast idle;
-              Mutex.unlock m)
+        let send_done i resp fp journaled =
+          Tpool.Chan.send out (Done (i, resp, fp, journaled))
         in
-        let emit j = Tpool.Chan.send out (next_seq (), j) in
+        (* a mutating request that never reaches a worker: journal its
+           begin (pin-less) and complete it in one breath *)
+        let complete_inline i input resp =
+          if durable then Tpool.Chan.send out (Begun (i, input, None, Durable.Unrecorded));
+          send_done i resp None durable;
+          mutated ()
+        in
+        let dispatch_run r line =
+          let i = next_seq () in
+          match prepare_run t r with
+          | Rejected resp ->
+              if durable then
+                Tpool.Chan.send out
+                  (Begun (i, Durable.Line line, None, Durable.Rejected));
+              send_done i resp None durable;
+              mutated ()
+          | No_source (resp, grant) ->
+              if durable then
+                Tpool.Chan.send out
+                  (Begun (i, Durable.Line line, None, Durable.Granted grant));
+              send_done i resp None durable;
+              mutated ()
+          | Admitted a ->
+              (* checkout on the dispatch thread: per-slot execution
+                 order = request order, and the begin record gets its
+                 slot pin before the worker starts *)
+              let slot = Pool.checkout t.pool in
+              if durable then
+                Tpool.Chan.send out
+                  (Begun
+                     ( i,
+                       Durable.Line line,
+                       Some slot.Pool.id,
+                       Durable.Granted a.ad_grant ));
+              Mutex.lock m;
+              incr inflight;
+              Mutex.unlock m;
+              Tpool.Pool.run pool (fun _w ->
+                  let resp, fp =
+                    try execute_admitted t r a slot
+                    with e ->
+                      (* the slot must come back even on an internal
+                         error; its engine is no longer trusted *)
+                      Pool.checkin t.pool slot ~anomaly:(Some Pool.Fingerprint);
+                      ( Protocol.error_json ~extra:Protocol.no_engine_extra
+                          (Diag.make ~phase:Diag.Run ~code:"serve.internal"
+                             (Printexc.to_string e)),
+                        None )
+                  in
+                  send_done i resp fp durable;
+                  Mutex.lock m;
+                  decr inflight;
+                  if !inflight = 0 then Condition.broadcast idle;
+                  Mutex.unlock m);
+              mutated ()
+        in
+        let emit j = send_done (next_seq ()) j None false in
         let rec loop () =
-          match read_request ic ~max_bytes:t.cfg.max_line_bytes with
-          | exception Sys.Break -> "sigint"
-          | `Eof -> "eof"
-          | `Oversize len ->
-              emit (handle_oversize t len);
-              loop ()
-          | `Line line -> (
-              match Protocol.parse line with
-              | Ok None -> loop ()
-              | Ok (Some Protocol.Status) ->
-                  quiesce ();
-                  emit (status_json t);
-                  loop ()
-              | Ok (Some Protocol.Profile) ->
-                  quiesce ();
-                  emit (profile_json t);
-                  loop ()
-              | Ok (Some Protocol.Breakers) ->
-                  quiesce ();
-                  emit (breakers_json t);
-                  loop ()
-              | Ok (Some Protocol.Shutdown) -> "shutdown"
-              | Ok (Some (Protocol.Run r)) ->
-                  dispatch_run r;
-                  loop ()
-              | Error d ->
-                  bump_served t;
-                  emit
-                    (Protocol.error_json
-                       ~extra:
-                         [ ("engine", Json.Null); ("exit", Json.Int 1);
-                           ("rollback", Json.Null);
-                           ("leaked_bytes", Json.Int 0);
-                           ("recycled", Json.Bool false) ]
-                       d);
-                  loop ())
+          if t.crashed <> None then "crashed"
+          else
+            match read_request ic ~max_bytes:t.cfg.max_line_bytes with
+            | exception Sys.Break -> "signal"
+            | `Eof -> "eof"
+            | `Oversize len ->
+                bump_served t;
+                complete_inline (next_seq ()) (Durable.Oversize len)
+                  (oversize_resp t len);
+                loop ()
+            | `Line line -> (
+                match Protocol.parse line with
+                | Ok None -> loop ()
+                | Ok (Some Protocol.Status) ->
+                    sync `Sync;
+                    emit (status_json t);
+                    loop ()
+                | Ok (Some Protocol.Profile) ->
+                    sync `Sync;
+                    emit (profile_json t);
+                    loop ()
+                | Ok (Some Protocol.Breakers) ->
+                    sync `Sync;
+                    emit (breakers_json t);
+                    loop ()
+                | Ok (Some Protocol.Shutdown) -> "shutdown"
+                | Ok (Some (Protocol.Run r)) ->
+                    dispatch_run r line;
+                    loop ()
+                | Error d ->
+                    bump_served t;
+                    complete_inline (next_seq ()) (Durable.Line line)
+                      (Protocol.error_json ~extra:Protocol.no_engine_extra d);
+                    loop ())
         in
         let reason = loop () in
         quiesce ();
         reason)
   in
-  let resp, code = drain t ~reason in
-  Tpool.Chan.send out (next_seq (), resp);
-  Tpool.Chan.close out;
-  Domain.join writer;
-  code
+  match t.crashed with
+  | Some n ->
+      (* unwind without draining: the journal is frozen at the crash
+         point; re-raise where the single-threaded path would have *)
+      Tpool.Chan.close out;
+      Domain.join writer;
+      raise (Durable.Crashed n)
+  | None ->
+      let resp, code = drain t ~reason in
+      Tpool.Chan.send out (Done (next_seq (), resp, None, false));
+      Tpool.Chan.close out;
+      Domain.join writer;
+      (match t.journal with Some j -> Durable.close j | None -> ());
+      code
 
 (** Serve line-delimited requests from [ic] to [oc] until shutdown, end
-    of input, or [Sys.Break] (SIGINT with [Sys.catch_break true]); every
-    exit path drains gracefully.  Returns the process exit code.
-    [config.workers] > 1 selects the multi-domain loop; durable
-    sessions require the single-threaded one (slot assignment must be
-    deterministic for WAL replay to tie out). *)
+    of input, or [Sys.Break] (SIGINT/SIGTERM routed through
+    [Sys.catch_break]-style handlers); every exit path drains
+    gracefully.  Returns the process exit code.  [config.workers] > 1
+    selects the multi-domain loop; durable sessions compose with it —
+    the WAL moves to the writer domain and replay pins slots. *)
 let run_channels (t : t) (ic : in_channel) (oc : out_channel) : int =
-  if t.cfg.workers > 1 && t.journal <> None then
-    invalid_arg "Server.run_channels: --workers > 1 is incompatible with a \
-                 durable session";
   if t.cfg.workers > 1 then run_channels_par t ~workers:t.cfg.workers ic oc
   else run_channels_seq t ic oc

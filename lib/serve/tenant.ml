@@ -151,6 +151,23 @@ let admit (t : t) ~req_fuel : (int, Diag.t) result =
         Ok (min asked remaining)
       end
 
+(** Replay support: impose a journaled admission instead of recomputing
+    it.  Under [--workers N] the live decision depended on scheduling
+    (which siblings were still in flight, which settlements had landed),
+    so the WAL records the grant in each [begin] record and recovery
+    books it verbatim. *)
+let book_admission (t : t) ~grant : int =
+  with_lock t.lock (fun () ->
+      t.inflight <- t.inflight + 1;
+      t.admitted <- t.admitted + 1);
+  grant
+
+(** Replay a journaled rejection: count it and reproduce the diagnostic
+    shape of {!admit}'s refusal. *)
+let book_rejection (t : t) : Diag.t =
+  with_lock t.lock (fun () ->
+      rejected_diag t "admission rejection replayed from the journal")
+
 (** Book the outcome of an admitted request and release its in-flight
     slot. *)
 let settle (t : t) ~fuel ~mem_delta ~leaked ~ok =

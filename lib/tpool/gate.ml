@@ -1,0 +1,44 @@
+(** A reusable rendezvous gate: one domain asks another to reach a
+    known point and waits for the acknowledgment.
+
+    The asker takes a {!ticket}, publishes its request through whatever
+    channel it already has (a queue message, a flag), and {!await}s the
+    ticket; the other side calls {!release} when it gets there.  The
+    gate's mutex gives the pair a happens-before edge, so everything the
+    releasing domain wrote before {!release} is visible to the awaiting
+    domain after {!await} — which is exactly what the serve layer needs
+    when the dispatcher reads journal and pool state that the writer
+    domain has been mutating.
+
+    Multiple outstanding tickets are fine: each {!release} unblocks the
+    oldest one (tickets are just release counts). *)
+
+type t = {
+  mutex : Mutex.t;
+  released : Condition.t;
+  mutable count : int;  (** total releases so far *)
+}
+
+let create () =
+  { mutex = Mutex.create (); released = Condition.create (); count = 0 }
+
+(** The current release count; {!await} with it blocks until one more
+    {!release} happens. *)
+let ticket t =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
+
+let release t =
+  Mutex.lock t.mutex;
+  t.count <- t.count + 1;
+  Condition.broadcast t.released;
+  Mutex.unlock t.mutex
+
+let await t tk =
+  Mutex.lock t.mutex;
+  while t.count <= tk do
+    Condition.wait t.released t.mutex
+  done;
+  Mutex.unlock t.mutex

@@ -258,8 +258,8 @@ let check_refpoint ~ctx (refs : refpoint array) (server : Server.t) k =
         (slot_fp server id))
     rp.rp_fps
 
-let recover_ok ~ctx ?(interval = 100) dir =
-  match Server.recover ~config:soak_config ~dir ~interval () with
+let recover_ok ~ctx ?(config = soak_config) ?(interval = 100) dir =
+  match Server.recover ~config ~dir ~interval () with
   | Ok (server, report) -> (server, report)
   | Error d -> Alcotest.failf "%s: recovery failed: %s" ctx d.Diag.code
 
@@ -294,8 +294,9 @@ let with_dir name f =
   let dir = fresh_dir name in
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
-let durable_server ~dir ?(interval = 100) ?crash_at ?on_event () =
-  let server = Server.create ~config:soak_config () in
+let durable_server ~dir ?(config = soak_config) ?(interval = 100) ?crash_at
+    ?on_event () =
+  let server = Server.create ~config () in
   (match Server.enable_durability server ~dir ~interval ?crash_at ?on_event ()
    with
   | Ok () -> ()
@@ -556,6 +557,507 @@ let matrix_tests =
                   (!discards > 0))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Durable parallel serving (--workers 4) *)
+
+(* Same knobs as the sequential soak, widened to a 4-slot pool driven
+   by 4 worker domains.  config_digest excludes [workers], so journals
+   written here also recover under any worker count (and vice versa). *)
+let par_config = { soak_config with Server.pool_size = 4; workers = 4 }
+
+(* Run [lines] through the real channel loop — the code path
+   --workers N uses, writer domain and all — via temp files.  Returns
+   the exit code and the response lines in order (drain line last). *)
+let run_session server lines =
+  let root = fresh_dir "chan" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let in_path = Filename.concat root "in.jsonl" in
+      let out_path = Filename.concat root "out.jsonl" in
+      let oc = open_out in_path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      output_string oc "{\"op\":\"shutdown\"}\n";
+      close_out oc;
+      let ic = open_in in_path in
+      let oc = open_out out_path in
+      let code =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () -> Server.run_channels server ic oc)
+      in
+      ( code,
+        String.split_on_char '\n' (read_bytes out_path)
+        |> List.filter (fun l -> l <> "") ))
+
+let drop_fields ks (j : Json.t) =
+  match j with
+  | Json.Obj kvs ->
+      Json.Obj (List.filter (fun (k, _) -> not (List.mem k ks)) kvs)
+  | j -> j
+
+(* Unique tenant per request: admission decisions cannot depend on
+   worker scheduling, so a --workers 4 run must be response-identical
+   to the sequential loop — except for which engine slot served it. *)
+let uniq_line i =
+  let tenant = Printf.sprintf "u%02d" i in
+  match i mod 4 with
+  | 0 -> run_line ~src:divzero_src ~tenant ~retries:0 ()
+  | 1 -> run_line ~src:alloc_src ~tenant ()
+  | 2 -> run_line ~src:oob_src ~tenant ()
+  | _ -> run_line ~src:good_src ~tenant ()
+
+let par_tests =
+  [
+    quick "a --workers 4 durable session matches the sequential loop"
+      (fun () ->
+        with_dir "par-basic" (fun dir ->
+            let n = 60 in
+            let lines = List.init n (fun i -> uniq_line (i + 1)) in
+            let seq_server =
+              Server.create ~config:{ par_config with Server.workers = 1 } ()
+            in
+            let want = List.map (feed seq_server) lines in
+            let server =
+              durable_server ~config:par_config ~dir ~interval:16 ()
+            in
+            let code, out = run_session server lines in
+            checki "parallel drain is clean" 0 code;
+            checki "every request answered, in order" (n + 1)
+              (List.length out);
+            List.iteri
+              (fun i (want, got_line) ->
+                let got =
+                  match Json.of_string got_line with
+                  | Ok j -> j
+                  | Error m ->
+                      Alcotest.failf "response %d unparsable: %s" (i + 1) m
+                in
+                (* engine: slot placement is the scheduler's choice;
+                   message: sanitizer diagnostics embed absolute heap
+                   addresses, which depend on the slot's history *)
+                checks
+                  (Printf.sprintf "response %d matches the sequential run"
+                     (i + 1))
+                  (Json.to_string (drop_fields [ "engine"; "message" ] want))
+                  (Json.to_string (drop_fields [ "engine"; "message" ] got)))
+              (List.combine want (List.filteri (fun i _ -> i < n) out));
+            (* the journal the parallel run wrote recovers to exactly
+               the live parallel server's state *)
+            let live = refpoint_of server (slot_fps server) in
+            let recovered, report =
+              recover_ok ~ctx:"par-basic" ~config:par_config ~interval:16 dir
+            in
+            checki "all requests committed" n (jint report "seq");
+            checki "nothing discarded on a clean drain" 0
+              (jint report "discarded");
+            checkb "not torn" true (jget report "torn" = Json.Null);
+            checkb "recovered state equals the live parallel server" true
+              (refpoint_of recovered (slot_fps recovered) = live);
+            close_journal recovered));
+    quick "durable parallel sessions require tenant-inflight 1" (fun () ->
+        let racy =
+          {
+            par_config with
+            Server.default_budget =
+              { Tenant.default_budget with Tenant.max_inflight = 4 };
+          }
+        in
+        with_dir "guard" (fun dir ->
+            let server = Server.create ~config:racy () in
+            (match Server.enable_durability server ~dir () with
+            | Ok () -> Alcotest.fail "racy config accepted"
+            | Error d ->
+                checks "enable code" "durable.tenant-inflight" d.Diag.code);
+            match Server.recover ~config:racy ~dir () with
+            | Ok _ -> Alcotest.fail "racy recover accepted"
+            | Error d ->
+                checks "recover code" "durable.tenant-inflight" d.Diag.code));
+    quick "recovering a journal-less directory names what is missing"
+      (fun () ->
+        with_dir "empty" (fun dir ->
+            match Server.recover ~config:par_config ~dir () with
+            | Ok _ -> Alcotest.fail "recovered from an empty dir"
+            | Error d ->
+                checks "code" "recover.no-journal" d.Diag.code;
+                let contains needle msg =
+                  let ln = String.length needle and lm = String.length msg in
+                  let rec scan i =
+                    i + ln <= lm
+                    && (String.sub msg i ln = needle || scan (i + 1))
+                  in
+                  scan 0
+                in
+                checkb "message explains what is missing" true
+                  (contains "holds no journal" d.Diag.message)));
+  ]
+
+(* The parallel kill-point matrix.  Scheduling decides which slot
+   serves which request, so unlike the sequential matrix there is no
+   precomputed per-commit reference — instead every assertion is
+   anchored to the run itself: the committed seq at each event, the
+   live quiesced state captured at every checkpoint barrier, and
+   byte-identical double recoveries (replay is deterministic given the
+   journal, whatever schedule produced it). *)
+let par_matrix_tests =
+  [
+    quick "recovery is exact at every kill point of a --workers 4 soak"
+      (fun () ->
+        with_dir "par-matrix" (fun dir ->
+            let snap_root = fresh_dir "par-matrix-snaps" in
+            Fun.protect
+              ~finally:(fun () -> rm_rf snap_root)
+              (fun () ->
+                let requests = 200 in
+                let committed_at = Hashtbl.create 1024 in
+                let live_at_barrier = Hashtbl.create 32 in
+                let journal = ref None in
+                let server_ref = ref None in
+                let on_event n =
+                  let d =
+                    Filename.concat snap_root (Printf.sprintf "evt-%04d" n)
+                  in
+                  copy_dir dir d;
+                  let committed =
+                    match !journal with
+                    | Some (j : Durable.t) -> j.Durable.committed
+                    | None -> 0
+                  in
+                  Hashtbl.replace committed_at n committed;
+                  (* a checkpoint's temp file exists only between its
+                     write and its rename — i.e. exactly at the
+                     temp-write event, where the dispatcher is
+                     gate-blocked and every worker has drained, so the
+                     live state is the committed prefix and safe to
+                     read from this (writer) domain *)
+                  let tmp =
+                    Filename.concat dir
+                      (Printf.sprintf "ckpt-%010d.tmp" committed)
+                  in
+                  match !server_ref with
+                  | Some sv when Sys.file_exists tmp ->
+                      Hashtbl.replace live_at_barrier committed
+                        (refpoint_of sv (slot_fps sv))
+                  | _ -> ()
+                in
+                let server = Server.create ~config:par_config () in
+                server_ref := Some server;
+                (match
+                   Server.enable_durability server ~dir ~interval:16
+                     ~on_event ()
+                 with
+                | Ok () -> ()
+                | Error d ->
+                    Alcotest.failf "enable_durability failed: %s" d.Diag.code);
+                journal := server.Server.journal;
+                let lines =
+                  List.init requests (fun i -> soak_line (i + 1))
+                in
+                let code, out = run_session server lines in
+                checki "the parallel soak drains clean" 0 code;
+                checki "every soak request answered" (requests + 1)
+                  (List.length out);
+                let events =
+                  (Option.get server.Server.journal).Durable.events
+                in
+                checkb "the soak produced a real event stream" true
+                  (events > 2 * requests);
+                let discards = ref 0 and max_discard = ref 0 in
+                for n = 1 to events do
+                  let ctx = Printf.sprintf "event %d" n in
+                  let d =
+                    Filename.concat snap_root (Printf.sprintf "evt-%04d" n)
+                  in
+                  match Server.recover ~config:par_config ~dir:d () with
+                  | Error e when e.Diag.code = "recover.no-checkpoint" ->
+                      checki (ctx ^ ": unrecoverable only at commit 0") 0
+                        (Hashtbl.find committed_at n);
+                      checkb (ctx ^ ": and only without a checkpoint") false
+                        (Array.exists
+                           (fun f ->
+                             String.length f >= 5
+                             && String.sub f 0 5 = "ckpt-"
+                             && not (Filename.check_suffix f ".tmp"))
+                           (Sys.readdir d))
+                  | Error e ->
+                      Alcotest.failf "%s: recovery failed: %s" ctx e.Diag.code
+                  | Ok (recovered, report) ->
+                      let k = jint report "seq" in
+                      (* zero committed requests lost, zero uncommitted
+                         replayed *)
+                      checki (ctx ^ ": recovers the committed seq")
+                        (Hashtbl.find committed_at n)
+                        k;
+                      checki (ctx ^ ": served ties out") k
+                        recovered.Server.served;
+                      (* commits land in response order, so one slow
+                         request keeps every later dispatch's begin
+                         open — but the dispatcher quiesces every
+                         [interval] mutating dispatches, which bounds
+                         the open set *)
+                      let discarded = jint report "discarded" in
+                      checkb
+                        (ctx ^ ": discards bounded by the barrier interval")
+                        true
+                        (discarded >= 0 && discarded <= 16);
+                      discards := !discards + discarded;
+                      if discarded > !max_discard then
+                        max_discard := discarded;
+                      checkb (ctx ^ ": consistent snapshots are never torn")
+                        true
+                        (jget report "torn" = Json.Null);
+                      (* at (and around) checkpoint barriers the live
+                         quiesced state was captured: recovery must
+                         reproduce tenants and per-slot fingerprints
+                         byte-identically *)
+                      (match Hashtbl.find_opt live_at_barrier k with
+                      | Some rp ->
+                          checki (ctx ^ ": served at the barrier")
+                            rp.rp_served recovered.Server.served;
+                          checkb
+                            (ctx
+                           ^ ": tenants byte-identical to the live run")
+                            true
+                            (List.map Tenant.snapshot
+                               (Tenant.all recovered.Server.tenants)
+                            = rp.rp_tenants);
+                          Array.iteri
+                            (fun id fp ->
+                              checks
+                                (Printf.sprintf "%s: slot %d fingerprint"
+                                   ctx id)
+                                fp (slot_fp recovered id))
+                            rp.rp_fps
+                      | None -> ());
+                      (* replay determinism: recovering the same
+                         snapshot twice lands byte-identically *)
+                      if n mod 29 = 0 then begin
+                        let again, report2 =
+                          recover_ok ~ctx ~config:par_config d
+                        in
+                        checki (ctx ^ ": double recovery, same seq") k
+                          (jint report2 "seq");
+                        checkb (ctx ^ ": double recovery is deterministic")
+                          true
+                          (refpoint_of again (slot_fps again)
+                          = refpoint_of recovered (slot_fps recovered));
+                        close_journal again
+                      end;
+                      close_journal recovered
+                done;
+                (* the final pristine journal recovers to the drained
+                   live server exactly *)
+                let live = refpoint_of server (slot_fps server) in
+                let final, freport =
+                  recover_ok ~ctx:"final" ~config:par_config dir
+                in
+                checki "final: all commits recovered" requests
+                  (jint freport "seq");
+                checkb "final: state equals the live drained server" true
+                  (refpoint_of final (slot_fps final) = live);
+                close_journal final;
+                checkb "some kill points caught requests mid-flight" true
+                  (!discards > 0);
+                checkb "some kill points caught interleaved open begins"
+                  true (!max_discard >= 2))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial corruption sweep over a multi-generation parallel
+   journal: interleaved begin/end records from a --workers 4 run,
+   damaged one byte or one truncation at a time.  Every mutation must
+   yield a structured recover.* refusal or a clean degradation to a
+   committed prefix — never a crash, a hang, or silent acceptance. *)
+
+let sweep_tests =
+  [
+    quick "every corrupted journal recovers structured or refuses cleanly"
+      (fun () ->
+        with_dir "sweep" (fun dir ->
+            let n = 45 in
+            let lines =
+              List.init n (fun i ->
+                  let tenant = Printf.sprintf "c%02d" (i + 1) in
+                  if (i + 1) mod 3 = 0 then
+                    run_line ~src:divzero_src ~tenant ~retries:0 ()
+                  else run_line ~src:good_src ~tenant ())
+            in
+            let server =
+              durable_server ~config:par_config ~dir ~interval:8 ()
+            in
+            let code, _ = run_session server lines in
+            checki "the sweep soak drains clean" 0 code;
+            let pristine = dir ^ ".pristine" in
+            copy_dir dir pristine;
+            Fun.protect
+              ~finally:(fun () -> rm_rf pristine)
+              (fun () ->
+                (* deterministic generation layout: checkpoints landed
+                   at 8..40; the rotation at 40 keeps generation 32 as
+                   the degradation target *)
+                List.iter
+                  (fun f ->
+                    checkb (f ^ " survives rotation") true
+                      (Sys.file_exists (Filename.concat pristine f)))
+                  [
+                    "ckpt-0000000040";
+                    "ckpt-0000000032";
+                    "wal-0000000040.log";
+                    "wal-0000000032.log";
+                  ];
+                let recover_outcome name f =
+                  let d = dir ^ "." ^ name in
+                  copy_dir pristine d;
+                  Fun.protect
+                    ~finally:(fun () -> rm_rf d)
+                    (fun () ->
+                      f d;
+                      match Server.recover ~config:par_config ~dir:d () with
+                      | Ok (s, report) ->
+                          let seq = jint report "seq" in
+                          let torn = jget report "torn" <> Json.Null in
+                          close_journal s;
+                          `Recovered (seq, torn, report)
+                      | Error e ->
+                          checkb
+                            (name
+                           ^ ": refusal is a structured recover.* diag")
+                            true
+                            (String.length e.Diag.code >= 8
+                            && String.sub e.Diag.code 0 8 = "recover.");
+                          `Refused e.Diag.code
+                      | exception e ->
+                          Alcotest.failf "%s: recovery raised %s" name
+                            (Printexc.to_string e))
+                in
+                let newest_wal = "wal-0000000040.log" in
+                let prev_wal = "wal-0000000032.log" in
+                let wal_len =
+                  String.length
+                    (read_bytes (Filename.concat pristine newest_wal))
+                in
+                (* bit flips across the newest generation: each must
+                   surface as a torn tail or a shorter committed
+                   prefix, never be silently accepted *)
+                let off = ref 1 in
+                while !off < wal_len do
+                  let o = !off in
+                  (match
+                     recover_outcome
+                       (Printf.sprintf "flip-%d" o)
+                       (fun d ->
+                         let p = Filename.concat d newest_wal in
+                         write_bytes p (flip_byte (read_bytes p) o))
+                   with
+                  | `Recovered (seq, torn, _) ->
+                      checkb
+                        (Printf.sprintf "flip at %d is not silently accepted"
+                           o)
+                        true
+                        (torn || seq < n)
+                  | `Refused _ -> ());
+                  off := !off + 97
+                done;
+                (* flips in the previous generation are invisible to a
+                   recovery that loads the newest checkpoint *)
+                (match
+                   recover_outcome "flip-prev-gen" (fun d ->
+                       let p = Filename.concat d prev_wal in
+                       write_bytes p (flip_byte (read_bytes p) 40))
+                 with
+                | `Recovered (seq, torn, _) ->
+                    checki "prev-gen flip: full recovery" n seq;
+                    checkb "prev-gen flip: not torn" false torn
+                | `Refused code ->
+                    Alcotest.failf "prev-gen flip refused: %s" code);
+                (* truncation sweep: any cut of the newest WAL lands on
+                   a committed prefix at or past the barrier *)
+                List.iter
+                  (fun frac ->
+                    let len = wal_len * frac / 100 in
+                    match
+                      recover_outcome
+                        (Printf.sprintf "trunc-%d" frac)
+                        (fun d ->
+                          let p = Filename.concat d newest_wal in
+                          write_bytes p (String.sub (read_bytes p) 0 len))
+                    with
+                    | `Recovered (seq, _, _) ->
+                        checkb
+                          (Printf.sprintf
+                             "trunc %d%%: lands on a committed prefix" frac)
+                          true
+                          (seq >= 40 && seq <= n)
+                    | `Refused code ->
+                        Alcotest.failf
+                          "trunc %d%%: refused (%s) despite an intact \
+                           checkpoint"
+                          frac code)
+                  [ 3; 17; 42; 71; 89; 99 ];
+                (* a flipped newest checkpoint degrades exactly one
+                   barrier and still replays everything *)
+                (match
+                   recover_outcome "bad-ckpt" (fun d ->
+                       let p = Filename.concat d "ckpt-0000000040" in
+                       let b = read_bytes p in
+                       write_bytes p (flip_byte b (String.length b / 2)))
+                 with
+                | `Recovered (seq, torn, report) ->
+                    checki "bad ckpt: fell back one barrier" 32
+                      (jint report "barrier");
+                    checki "bad ckpt: still recovers everything" n seq;
+                    checkb "bad ckpt: not torn" false torn;
+                    checkb "bad ckpt: skip names the file" true
+                      (match jget report "skipped_checkpoints" with
+                      | Json.List (Json.Obj kvs :: _) ->
+                          List.assoc_opt "file" kvs
+                          = Some (Json.Str "ckpt-0000000040")
+                      | _ -> false)
+                | `Refused code ->
+                    Alcotest.failf "bad ckpt refused: %s" code);
+                (* newest checkpoint flipped AND the fallback
+                   generation truncated: still structured — either a
+                   recover.* refusal or a bounded committed prefix *)
+                (match
+                   recover_outcome "bad-ckpt-torn-prev" (fun d ->
+                       let p = Filename.concat d "ckpt-0000000040" in
+                       let b = read_bytes p in
+                       write_bytes p (flip_byte b (String.length b - 7));
+                       let w = Filename.concat d prev_wal in
+                       let wb = read_bytes w in
+                       write_bytes w
+                         (String.sub wb 0
+                            (String.length wb - (String.length wb / 3))))
+                 with
+                | `Recovered (seq, _, report) ->
+                    checki "combo: fell back one barrier" 32
+                      (jint report "barrier");
+                    checkb "combo: a committed prefix at most" true
+                      (seq <= n)
+                | `Refused _ -> ());
+                (* both checkpoint generations flipped: a structured
+                   refusal, not a crash *)
+                match
+                  recover_outcome "no-ckpt" (fun d ->
+                      List.iter
+                        (fun f ->
+                          let p = Filename.concat d f in
+                          let b = read_bytes p in
+                          write_bytes p (flip_byte b 11))
+                        [ "ckpt-0000000040"; "ckpt-0000000032" ])
+                with
+                | `Recovered _ ->
+                    Alcotest.fail "recovered from two bad checkpoints"
+                | `Refused code ->
+                    checks "no-ckpt code" "recover.no-checkpoint" code)))
+  ]
+
 let () =
   Alcotest.run "durable"
     [
@@ -563,4 +1065,7 @@ let () =
       ("journal-plumbing", plumbing_tests);
       ("torn-tails", torn_tests);
       ("kill-point-matrix", matrix_tests);
+      ("durable-parallel", par_tests);
+      ("parallel-kill-points", par_matrix_tests);
+      ("corruption-sweep", sweep_tests);
     ]

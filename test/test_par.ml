@@ -95,6 +95,63 @@ let tpool_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The barrier gate (the durable server's quiesce rendezvous) *)
+
+let gate_tests =
+  [
+    quick "gate: await blocks until the matching release" (fun () ->
+        let g = Tpool.Gate.create () in
+        let tk = Tpool.Gate.ticket g in
+        let released = Atomic.make false in
+        let d =
+          Domain.spawn (fun () ->
+              Atomic.set released true;
+              Tpool.Gate.release g)
+        in
+        Tpool.Gate.await g tk;
+        checkb "release happened before await returned" true
+          (Atomic.get released);
+        Domain.join d;
+        (* a stale ticket is already satisfied: await must not block *)
+        Tpool.Gate.await g tk);
+    quick "gate: barrier rendezvous round-trips through a channel"
+      (fun () ->
+        (* the durable server's writer-domain shape: the dispatcher
+           takes a ticket, sends a barrier message, and awaits; the
+           writer releases once everything queued before the barrier
+           has been processed.  The gate's mutex is the happens-before
+           edge that lets the dispatcher read writer-side state. *)
+        let c : int Tpool.Chan.t = Tpool.Chan.create () in
+        let g = Tpool.Gate.create () in
+        let processed = ref 0 in
+        let writer =
+          Domain.spawn (fun () ->
+              let rec loop () =
+                match Tpool.Chan.recv c with
+                | None -> ()
+                | Some -1 ->
+                    Tpool.Gate.release g;
+                    loop ()
+                | Some _ ->
+                    incr processed;
+                    loop ()
+              in
+              loop ())
+        in
+        for round = 1 to 50 do
+          for _ = 1 to 4 do
+            Tpool.Chan.send c 0
+          done;
+          let tk = Tpool.Gate.ticket g in
+          Tpool.Chan.send c (-1);
+          Tpool.Gate.await g tk;
+          checki "queue drained at the barrier" (round * 4) !processed
+        done;
+        Tpool.Chan.close c;
+        Domain.join writer);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Engine isolation across domains *)
 
 (* One corpus item: build a fresh checked engine, run the source, and
@@ -250,6 +307,7 @@ let () =
   Alcotest.run "par"
     [
       ("tpool", tpool_tests);
+      ("gate", gate_tests);
       ("stress", stress_tests);
       ("pool", pool_tests);
     ]
