@@ -936,6 +936,91 @@ let recover_bench () =
               record_wall ~experiment:("recover/" ^ series) ns))
     [ ("ckpt-heavy", 32); ("replay-heavy", 1000) ]
 
+(* ------------------------------------------------------------------ *)
+(* Compilation cache: host wall time spent in jit.compile+jit.optimize
+   for a cold cache (everything compiles and stores), a warm cache
+   (everything loads), and no cache at all (the baseline the cold run
+   must stay close to). *)
+
+let ccache_bench () =
+  section "Compilation cache (saveobj-style AOT): cold vs warm compiles";
+  let nfuncs = 16 in
+  let src =
+    String.concat "\n"
+      (List.init nfuncs (fun i ->
+           Printf.sprintf
+             "terra k%d(n : int32) : double\n\
+             \  var acc : double = 0.0\n\
+             \  for i = 0, n do\n\
+             \    for j = 0, 4 do\n\
+             \      acc = acc + [double](i * j + %d) * 0.5\n\
+             \    end\n\
+             \  end\n\
+             \  return acc\n\
+              end\n\
+              print(k%d(16))"
+             i i i))
+  in
+  let dir = Filename.temp_file "terra-bench-ccache" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> bench_rm_rf dir)
+    (fun () ->
+      let run series ~cache =
+        let cc =
+          if cache then Some (Terra.Ccache.create ~dir ()) else None
+        in
+        let e =
+          Terrastd.create
+            ~mem_bytes:(64 * 1024 * 1024)
+            ~profile:true ?ccache:cc ()
+        in
+        let t0 = Monotonic_clock.now () in
+        let _, r = Terra.Engine.run_capture_protected e ~file:"ccache.t" src in
+        let ns = Int64.sub (Monotonic_clock.now ()) t0 in
+        (match r with
+        | Ok _ -> ()
+        | Error d -> failwith d.Terra.Diag.message);
+        let compile_ms =
+          List.fold_left
+            (fun acc p ->
+              match p.Tprof.Report.p_name with
+              | "jit.compile" | "jit.optimize" -> acc +. p.Tprof.Report.p_ms
+              | _ -> acc)
+            0.0
+            (Terra.Engine.profile e).Tprof.Report.phases
+        in
+        let hits, misses, stores =
+          match cc with
+          | None -> (0, 0, 0)
+          | Some c ->
+              let k = Terra.Ccache.counts c in
+              ( k.Terra.Ccache.c_hits,
+                k.Terra.Ccache.c_misses,
+                k.Terra.Ccache.c_stores )
+        in
+        Printf.printf
+          "  %-8s %8.3f compile-ms  %8.1f total-ms  (hits %d, misses %d, \
+           stores %d)\n\
+           %!"
+          series compile_ms
+          (Int64.to_float ns /. 1e6)
+          hits misses stores;
+        record ~experiment:"ccache" ~series ~n:nfuncs ();
+        record_wall ~experiment:("ccache/" ^ series) ns;
+        (e, compile_ms)
+      in
+      Printf.printf "%d terra functions per engine:\n%!" nfuncs;
+      let _, nocache_ms = run "nocache" ~cache:false in
+      let _, cold_ms = run "cold" ~cache:true in
+      let warm_engine, warm_ms = run "warm" ~cache:true in
+      (* the warm engine's profile carries the jit.ccache.* rows *)
+      register_profile warm_engine.Terra.Engine.ctx;
+      Printf.printf
+        "  warm/cold compile ratio %.3f (cold/nocache %.2f)\n%!"
+        (if cold_ms > 0.0 then warm_ms /. cold_ms else 0.0)
+        (if nocache_ms > 0.0 then cold_ms /. nocache_ms else 0.0))
+
 let experiments =
   [
     ("dgemm", dgemm);
@@ -950,6 +1035,7 @@ let experiments =
     ("topt", topt);
     ("supervise", supervise_bench);
     ("recover", recover_bench);
+    ("ccache", ccache_bench);
     ("bechamel", bechamel);
   ]
 

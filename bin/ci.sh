@@ -224,6 +224,84 @@ diff "$prof_a" "$prof_b"
 echo "profiles byte-identical across runs"
 rm -f "$prof_out" "$prof_a" "$prof_b"
 
+echo "== compilation cache gate =="
+# A cold pass populates the cache; the warm pass over the same programs
+# must compile nothing (zero jit.compile visits, so zero compile-phase
+# wall-ms) and hit for every function.  Then every entry is corrupted in
+# place: the next run must report structured bad entries, produce
+# byte-identical output, and self-heal so a final run hits again.
+cache_dir=$(mktemp -d) cache_prof=$(mktemp) cache_ref=$(mktemp) \
+  cache_got=$(mktemp)
+trap 'rm -rf "$opt0_out" "$opt2_out" "$cache_dir" "$cache_prof" \
+  "$cache_ref" "$cache_got"' EXIT
+for prog in examples/programs/*.t; do
+  echo "-- $prog [cache-cold]"
+  timeout 120 dune exec bin/terra_run.exe -- --cache "$cache_dir" \
+    --fuel 2000000000 "$prog" > /dev/null
+done
+for prog in examples/programs/*.t; do
+  echo "-- $prog [cache-warm]"
+  timeout 120 dune exec bin/terra_run.exe -- --cache "$cache_dir" \
+    --profile=json --fuel 2000000000 "$prog" > /dev/null 2> "$cache_prof"
+  python3 - "$cache_prof" <<'PY'
+import json, sys
+prof = json.loads(next(l for l in open(sys.argv[1]) if l.startswith("{")))
+phases = {p["name"]: p for p in prof["phases"]}
+hits = phases.get("jit.ccache.hit", {"count": 0})["count"]
+misses = phases.get("jit.ccache.miss", {"count": 0})["count"]
+compiles = phases.get("jit.compile", {"count": 0})["count"]
+ms = (phases.get("jit.compile", {"ms": 0.0})["ms"]
+      + phases.get("jit.optimize", {"ms": 0.0})["ms"])
+assert hits > 0, "warm run never hit the cache: %s" % sorted(phases)
+assert misses == 0, "warm run missed %d times" % misses
+assert compiles == 0, "warm run compiled %d functions" % compiles
+assert ms == 0.0, "warm run spent %.3f compile-phase ms" % ms
+print("warm cache: %d hits, 0 misses, 0.0 compile-phase ms" % hits)
+PY
+done
+echo "-- corrupt-entry self-heal (mandelbrot)"
+timeout 120 dune exec bin/terra_run.exe -- --fuel 2000000000 \
+  examples/programs/mandelbrot.t > "$cache_ref"
+python3 - "$cache_dir" <<'PY'
+import os, sys
+d = sys.argv[1]
+entries = [f for f in os.listdir(d) if f.endswith(".tcc")]
+assert entries, "cache dir is empty"
+for f in entries:
+    p = os.path.join(d, f)
+    data = bytearray(open(p, "rb").read())
+    data[len(data) // 2] ^= 0x5A
+    open(p, "wb").write(bytes(data))
+print("corrupted %d cache entries in place" % len(entries))
+PY
+timeout 120 dune exec bin/terra_run.exe -- --cache "$cache_dir" \
+  --profile=json --fuel 2000000000 examples/programs/mandelbrot.t \
+  > "$cache_got" 2> "$cache_prof"
+diff "$cache_ref" "$cache_got"
+python3 - "$cache_prof" <<'PY'
+import json, sys
+prof = json.loads(next(l for l in open(sys.argv[1]) if l.startswith("{")))
+phases = {p["name"]: p for p in prof["phases"]}
+bad = phases.get("jit.ccache.bad-entry", {"count": 0})["count"]
+stores = phases.get("jit.ccache.store", {"count": 0})["count"]
+assert bad > 0, "corruption went undetected: %s" % sorted(phases)
+assert stores >= bad, "bad entries were not re-stored"
+print("corrupt entries: %d structured bad-entry recompiles, output "
+      "byte-identical" % bad)
+PY
+timeout 120 dune exec bin/terra_run.exe -- --cache "$cache_dir" \
+  --profile=json --fuel 2000000000 examples/programs/mandelbrot.t \
+  > /dev/null 2> "$cache_prof"
+python3 - "$cache_prof" <<'PY'
+import json, sys
+prof = json.loads(next(l for l in open(sys.argv[1]) if l.startswith("{")))
+phases = {p["name"]: p for p in prof["phases"]}
+assert phases.get("jit.ccache.hit", {"count": 0})["count"] > 0, \
+    "healed entry did not hit"
+assert phases.get("jit.compile", {"count": 0})["count"] == 0, phases
+print("self-heal verified: corrupted entries were overwritten and hit")
+PY
+
 echo "== durable recovery gate =="
 # Write-ahead journal + checkpoints: a session killed at a durability
 # event and recovered must land exactly on the committed prefix.  The
@@ -233,7 +311,8 @@ echo "== durable recovery gate =="
 # K-th reference status byte-for-byte (modulo the "durable" block).
 dur_in=$(mktemp) dur_ref=$(mktemp) dur_out=$(mktemp) dur_err=$(mktemp)
 dur_root=$(mktemp -d)
-trap 'rm -rf "$opt0_out" "$opt2_out" "$dur_in" "$dur_ref" "$dur_out" \
+trap 'rm -rf "$opt0_out" "$opt2_out" "$cache_dir" "$cache_prof" \
+  "$cache_ref" "$cache_got" "$dur_in" "$dur_ref" "$dur_out" \
   "$dur_err" "$dur_root"' EXIT
 python3 - "$dur_in" <<'PY'
 import json, sys
@@ -306,7 +385,8 @@ echo "== durable parallel gate (--workers 4 kill points) =="
 # scheduler's choice, so the pool block (and the pool-wide live_bytes
 # sum) is excluded from the comparison.
 par_dur_in=$(mktemp) par_dur_ref=$(mktemp) par_dur_out=$(mktemp)
-trap 'rm -rf "$opt0_out" "$opt2_out" "$dur_in" "$dur_ref" "$dur_out" \
+trap 'rm -rf "$opt0_out" "$opt2_out" "$cache_dir" "$cache_prof" \
+  "$cache_ref" "$cache_got" "$dur_in" "$dur_ref" "$dur_out" \
   "$dur_err" "$dur_root" "$par_dur_in" "$par_dur_ref" "$par_dur_out"' EXIT
 python3 - "$par_dur_in" <<'PY'
 import json, sys

@@ -71,12 +71,16 @@ PY
 # default in-flight budget of 1 would make a tenant's own concurrent
 # requests reject each other.
 
-par_out=$(mktemp)
-trap 'rm -f "$soak_in" "$soak_out" "$par_out"' EXIT
+par_out=$(mktemp) cache_root=$(mktemp -d)
+trap 'rm -f "$soak_in" "$soak_out" "$par_out"; rm -rf "$cache_root"' EXIT
 
-echo "-- parallel soak (--workers 4)"
+echo "-- parallel soak (--workers 4, shared compilation cache)"
+# The 4 worker domains race lookups, stores, and hits on one cache dir;
+# the per-tenant assertions below are unchanged — the cache must be
+# behavior-invisible — and the final status must show a hot, clean cache.
 timeout 300 dune exec bin/terra_serve.exe -- --quiet --recycle-after 32 \
-  --pool 4 --workers 4 --tenant-inflight 8 < "$soak_in" > "$par_out"
+  --pool 4 --workers 4 --tenant-inflight 8 --cache "$cache_root" \
+  < "$soak_in" > "$par_out"
 
 python3 - "$par_out" <<'PY'
 import json, sys
@@ -98,11 +102,18 @@ assert leaky and all(r["leaked_bytes"] > 0 and r["recycled"]
 status = [l for l in lines if l.get("op") == "status"][-1]
 assert status["served"] == 200, status
 assert status["live_bytes"] == 0, status
+cc = status["ccache"]
+assert cc is not None, "status is missing the ccache block"
+assert cc["bad_entries"] == 0, cc
+assert cc["stores"] == cc["misses"], cc
+assert cc["misses"] >= 3, cc
+assert cc["hits"] > cc["misses"], cc
 drain = lines[-1]
 assert drain["op"] == "shutdown" and drain["status"] == "clean", drain
 print("parallel soak: %d requests across 4 worker domains (%d hostile, "
-      "%d leaky), responses in request order, zero leak growth, drain clean"
-      % (len(runs), len(bad), len(leaky)))
+      "%d leaky), shared cache %d hits / %d misses / 0 bad, zero leak "
+      "growth, drain clean" % (len(runs), len(bad), len(leaky),
+                               cc["hits"], cc["misses"]))
 PY
 
 # ------------------------------------------------------------------

@@ -33,7 +33,30 @@ let write_file path s =
 
 let rec run_file path stats fuel max_steps max_depth checked no_leak_check
     fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
-    verify_rollback retries batch jobs profile trace =
+    verify_rollback retries batch jobs profile trace cache emit preload =
+  (* one cache handle for the whole invocation, shared by every engine
+     (including --jobs worker domains: the handle is domain-safe) *)
+  let ccache =
+    match (cache, emit, preload) with
+    | None, None, None -> None
+    | _ -> Some (Terra.Ccache.create ?dir:cache ())
+  in
+  (match (ccache, preload) with
+  | Some cc, Some pk -> (
+      match Terra.Ccache.load_pack cc pk with
+      | Ok _ -> ()
+      | Error msg ->
+          (* tolerant, like a corrupt entry: report and run cold *)
+          Printf.eprintf "terra_run: ccache.bad-pack: %s: %s\n" pk msg)
+  | _ -> ());
+  let finish code =
+    (match (ccache, emit) with
+    | Some cc, Some f -> Terra.Ccache.save_pack cc f
+    | _ -> ());
+    code
+  in
+  finish
+  @@
   match (batch, path) with
   | Some manifest, _ when jobs <> None ->
       let jobs = Option.get jobs in
@@ -53,7 +76,7 @@ let rec run_file path stats fuel max_steps max_depth checked no_leak_check
       else begin
         let make_engine () =
           Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
-            ~checked ~opt_level:opt ()
+            ~checked ~opt_level:opt ?ccache ()
         in
         let config =
           { Supervise.Supervisor.default_config with max_retries = retries }
@@ -70,7 +93,8 @@ let rec run_file path stats fuel max_steps max_depth checked no_leak_check
          carries instruction/alloc attribution across all requests. *)
       let engine =
         Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
-          ~checked ~opt_level:opt ~profile:true ~trace:(trace <> None) ()
+          ~checked ~opt_level:opt ~profile:true ~trace:(trace <> None) ?ccache
+          ()
       in
       let config =
         { Supervise.Supervisor.default_config with max_retries = retries }
@@ -88,11 +112,11 @@ let rec run_file path stats fuel max_steps max_depth checked no_leak_check
       ignore jobs;
       run_one path stats fuel max_steps max_depth checked no_leak_check
         fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats
-        transact verify_rollback retries profile trace
+        transact verify_rollback retries profile trace ccache
 
 and run_one path stats fuel max_steps max_depth checked no_leak_check
     fail_alloc_at trap_at_step report_fuel opt dump_ir dump_opt_stats transact
-    verify_rollback retries profile trace =
+    verify_rollback retries profile trace ccache =
   let src = read_file path in
   let faults =
     List.filter_map
@@ -111,7 +135,7 @@ and run_one path stats fuel max_steps max_depth checked no_leak_check
   let engine =
     Terrastd.create ?fuel ?lua_steps:max_steps ?max_call_depth:max_depth
       ~checked ~faults ~opt_level:opt ~dump_ir ~profile:(profile <> None)
-      ~trace:(trace <> None) ()
+      ~trace:(trace <> None) ?ccache ()
   in
   let code =
     if not transact then
@@ -361,6 +385,39 @@ let () =
              Perfetto).  Timestamps are virtual ticks, so traces are \
              deterministic.")
   in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "persistent compilation cache: reuse post-optimizer IR stored \
+             in $(docv) (created if missing) for functions whose \
+             typechecked AST, opt level, machine model, and checkedness \
+             match, and store what this run compiles.  Corrupt or stale \
+             entries are detected, reported in \
+             $(b,terralib.cachestats()), and transparently recompiled.")
+  in
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"FILE"
+          ~doc:
+            "at exit, write every cache entry this run compiled or used \
+             to $(docv) as a single artifact pack (saveobj-style AOT), \
+             loadable with $(b,--preload).")
+  in
+  let preload =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "preload" ] ~docv:"FILE"
+          ~doc:
+            "preload an artifact pack written by $(b,--emit) before \
+             running; a damaged pack is reported and the run proceeds \
+             cold.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "terra_run" ~doc:"run a combined Lua-Terra program")
@@ -368,6 +425,6 @@ let () =
         const run_file $ path $ stats $ fuel $ max_steps $ max_depth $ checked
         $ no_leak_check $ fail_alloc_at $ trap_at_step $ report_fuel $ opt
         $ dump_ir $ dump_opt_stats $ transact $ verify_rollback $ retries
-        $ batch $ jobs $ profile $ trace)
+        $ batch $ jobs $ profile $ trace $ cache $ emit $ preload)
   in
   exit (Cmd.eval' cmd)

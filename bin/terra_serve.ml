@@ -32,7 +32,7 @@ let serve_socket server path =
 let main socket pool workers recycle_after checked no_verify_rollback opt
     fuel mem_bytes request_fuel tenant_fuel tenant_mem tenant_depth
     tenant_inflight retries max_line durable recover ckpt_interval crash_at
-    quiet =
+    cache quiet =
   Sys.catch_break true;
   (* SIGTERM drains exactly like SIGINT/EOF: route it through the same
      Sys.Break the serve loops already handle, so `kill` gets a graceful
@@ -66,6 +66,8 @@ let main socket pool workers recycle_after checked no_verify_rollback opt
       default_budget = budget;
       max_line_bytes = max_line;
       log = (if quiet then ignore else prerr_endline);
+      (* one handle shared by every pool engine and worker domain *)
+      cache = Option.map (fun dir -> Terra.Ccache.create ~dir ()) cache;
     }
   in
   let run server =
@@ -284,6 +286,19 @@ let () =
              durability event — deterministic kill-point chaos for \
              recovery testing.")
   in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "persistent compilation cache shared by the warm engine pool \
+             and every $(b,--workers) domain: compiled IR is stored in \
+             $(docv) (created if missing) and reused across requests, \
+             engine recycles, and process restarts.  Corrupt entries are \
+             detected and transparently recompiled; counters appear in \
+             the $(b,status) op.")
+  in
   let quiet =
     Arg.(
       value & flag
@@ -300,6 +315,7 @@ let () =
         const main $ socket $ pool $ workers $ recycle_after $ checked
         $ no_verify_rollback $ opt $ fuel $ mem_bytes $ request_fuel
         $ tenant_fuel $ tenant_mem $ tenant_depth $ tenant_inflight $ retries
-        $ max_line $ durable $ recover $ ckpt_interval $ crash_at $ quiet)
+        $ max_line $ durable $ recover $ ckpt_interval $ crash_at $ cache
+        $ quiet)
   in
   exit (Cmd.eval' cmd)

@@ -46,6 +46,11 @@ type config = {
   default_budget : Tenant.budget;
   max_line_bytes : int;  (** request-line cap; longer lines are rejected *)
   log : string -> unit;  (** supervision narration (stderr in the CLI) *)
+  cache : Terra.Ccache.t option;
+      (** shared persistent compilation cache: every pool engine (and,
+          under --workers N, every domain) compiles against one handle.
+          Excluded from {!config_digest}: cached compiles are
+          byte-identical to cold ones, so replay is unaffected. *)
 }
 
 let default_config =
@@ -61,6 +66,7 @@ let default_config =
     default_budget = Tenant.default_budget;
     max_line_bytes = 1 lsl 20;
     log = ignore;
+    cache = None;
   }
 
 type t = {
@@ -88,7 +94,8 @@ let bump_served t =
 
 let make_engine config () =
   Terrastd.create ?mem_bytes:config.mem_bytes ?fuel:config.engine_fuel
-    ~checked:config.checked ~opt_level:config.opt_level ~profile:true ()
+    ~checked:config.checked ~opt_level:config.opt_level ~profile:true
+    ?ccache:config.cache ()
 
 let create ?(config = default_config) () =
   {
@@ -402,6 +409,18 @@ let status_json (t : t) =
         match t.journal with
         | Some j -> Durable.status_json j
         | None -> Json.Null );
+      ( "ccache",
+        match t.cfg.cache with
+        | None -> Json.Null
+        | Some cc ->
+            let c = Terra.Ccache.counts cc in
+            Json.Obj
+              [
+                ("hits", Json.Int c.Terra.Ccache.c_hits);
+                ("misses", Json.Int c.Terra.Ccache.c_misses);
+                ("stores", Json.Int c.Terra.Ccache.c_stores);
+                ("bad_entries", Json.Int c.Terra.Ccache.c_bad_entries);
+              ] );
     ]
 
 let profile_json (t : t) =

@@ -20,10 +20,13 @@ type t = {
           fold/copyprop/peephole/DCE, 2 = + CSE and LICM (default) *)
   opt_stats : Topt.Stats.t;  (** accumulated across every compiled function *)
   mutable dump_ir : ir_dump;
+  ccache : Ccache.t option;
+      (** persistent compilation cache; shareable across engines and
+          domains (never captured by snapshots or checkpoints) *)
 }
 
 let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults
-    ?(opt_level = 2) () =
+    ?(opt_level = 2) ?ccache () =
   let vm = Tvm.Vm.create ?mem_bytes ?checked ?faults machine in
   Tvm.Builtins.install vm;
   {
@@ -34,6 +37,7 @@ let create ?mem_bytes ?(machine = Machine.ivybridge ()) ?checked ?faults
     opt_level;
     opt_stats = Topt.Stats.create ();
     dump_ir = Dump_none;
+    ccache;
   }
 
 (** Is TerraSan checked execution on for this context? *)

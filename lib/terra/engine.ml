@@ -37,8 +37,10 @@ let () =
 
 let create ?machine ?mem_bytes ?fuel ?(max_call_depth = 200) ?lua_steps
     ?checked ?faults ?opt_level ?dump_ir ?(profile = false) ?(trace = false)
-    () =
-  let ctx = Context.create ?machine ?mem_bytes ?checked ?faults ?opt_level () in
+    ?ccache () =
+  let ctx =
+    Context.create ?machine ?mem_bytes ?checked ?faults ?opt_level ?ccache ()
+  in
   (match dump_ir with Some d -> ctx.Context.dump_ir <- d | None -> ());
   let probe = Context.probe ctx in
   if profile then Tprof.Probe.set_on probe true;

@@ -21,36 +21,87 @@ let ensure_compiled (f : Func.t) =
     if not (Hashtbl.mem visited g.Func.fid) then begin
       Hashtbl.replace visited g.Func.fid ();
       if g.Func.extern_name = None then begin
-        if g.Func.compiled then
-          Tprof.Probe.phase_count (probe g) "jit.codecache.hit";
+        (* in-memory code-cache accounting ties out by construction:
+           every ensure is exactly one hit or one miss *)
+        Tprof.Probe.phase_count (probe g) "jit.ensure";
+        Tprof.Probe.phase_count (probe g)
+          (if g.Func.compiled then "jit.codecache.hit"
+           else "jit.codecache.miss");
         let typed =
           Tprof.Probe.time (probe g) "jit.typecheck" (fun () ->
               Typecheck.typecheck g)
         in
         if not g.Func.compiled then begin
           let ctx = g.Func.ctx in
-          let result =
-            Tprof.Probe.time (probe g) "jit.compile" (fun () ->
-                Compile.compile_func ~no_spill:g.Func.no_spill ctx
-                  ~name:g.Func.name typed)
+          (* persistent cache: key the typechecked AST plus every
+             context-dependent input codegen reads (the key walk also
+             pre-interns strings and pre-resolves imports, so a warm
+             process replays the cold process's addresses and indices) *)
+          let ckey =
+            match ctx.Context.ccache with
+            | None -> None
+            | Some cc ->
+                Option.map
+                  (fun k -> (cc, k))
+                  (Ccache.key ~vm:ctx.Context.vm
+                     ~machine:ctx.Context.machine.Tmachine.Machine.config
+                     ~intern:(Context.intern_string ctx) ~name:g.Func.name
+                     ~opt_level:ctx.Context.opt_level
+                     ~checked:(Context.checked ctx)
+                     ~no_spill:g.Func.no_spill ~tparams:typed.Func.tparams
+                     ~tret:typed.Func.tret ~tbody:typed.Func.tbody)
           in
-          let dump tag fn =
-            Format.eprintf "; %s (opt=%d)@.%a@." tag ctx.Context.opt_level
-              Tvm.Ir.pp_func fn
+          let cached =
+            match ckey with
+            | None -> None
+            | Some (cc, k) -> (
+                match
+                  Ccache.lookup cc ~vm:ctx.Context.vm ~key:k
+                    ~name:g.Func.name
+                with
+                | Ccache.Hit fn ->
+                    Tprof.Probe.phase_count (probe g) "jit.ccache.hit";
+                    Some fn
+                | Ccache.Miss ->
+                    Tprof.Probe.phase_count (probe g) "jit.ccache.miss";
+                    None
+                | Ccache.Bad_entry _ ->
+                    (* counted + recorded by the cache; the recompile
+                       below overwrites the bad entry (self-heal) *)
+                    Tprof.Probe.phase_count (probe g) "jit.ccache.bad-entry";
+                    Tprof.Probe.phase_count (probe g) "jit.ccache.miss";
+                    None)
           in
-          if ctx.Context.dump_ir = Context.Dump_before then
-            dump "before optimization" result.Compile.func;
-          (* the Topt pipeline sits between lowering and the VM; checked
-             contexts keep every memory access for the sanitizer *)
-          let optimized =
-            Tprof.Probe.time (probe g) "jit.optimize" (fun () ->
-                Topt.Pipeline.optimize ~level:ctx.Context.opt_level
-                  ~checked:(Context.checked ctx) ~stats:ctx.Context.opt_stats
-                  result.Compile.func)
-          in
-          if ctx.Context.dump_ir = Context.Dump_after then
-            dump "after optimization" optimized;
-          Tvm.Vm.set_func ctx.Context.vm g.Func.vmid optimized;
+          (match cached with
+          | Some fn -> Tvm.Vm.set_func ctx.Context.vm g.Func.vmid fn
+          | None ->
+              let result =
+                Tprof.Probe.time (probe g) "jit.compile" (fun () ->
+                    Compile.compile_func ~no_spill:g.Func.no_spill ctx
+                      ~name:g.Func.name typed)
+              in
+              let dump tag fn =
+                Format.eprintf "; %s (opt=%d)@.%a@." tag ctx.Context.opt_level
+                  Tvm.Ir.pp_func fn
+              in
+              if ctx.Context.dump_ir = Context.Dump_before then
+                dump "before optimization" result.Compile.func;
+              (* the Topt pipeline sits between lowering and the VM; checked
+                 contexts keep every memory access for the sanitizer *)
+              let optimized =
+                Tprof.Probe.time (probe g) "jit.optimize" (fun () ->
+                    Topt.Pipeline.optimize ~level:ctx.Context.opt_level
+                      ~checked:(Context.checked ctx)
+                      ~stats:ctx.Context.opt_stats result.Compile.func)
+              in
+              if ctx.Context.dump_ir = Context.Dump_after then
+                dump "after optimization" optimized;
+              (match ckey with
+              | Some (cc, k) ->
+                  Ccache.store cc ~key:k ~name:g.Func.name optimized;
+                  Tprof.Probe.phase_count (probe g) "jit.ccache.store"
+              | None -> ());
+              Tvm.Vm.set_func ctx.Context.vm g.Func.vmid optimized);
           g.Func.compiled <- true
         end;
         List.iter visit typed.Func.trefs

@@ -127,6 +127,29 @@ let install ctx (globals : V.table) =
      a rolled-back transaction really left the session unchanged. *)
   reg tl "fingerprint" (fun _ ->
       [ V.Str (Tvm.Vm.fingerprint ctx.Context.vm) ]);
+  (* Ccache hooks: counters of the persistent compilation cache attached
+     to this context (all zero when none is) *)
+  reg tl "cachestats" (fun _ ->
+      let t = V.new_table () in
+      let num n v = V.raw_set_str t n (V.Num (float_of_int v)) in
+      (match ctx.Context.ccache with
+      | None ->
+          V.raw_set_str t "enabled" (V.Bool false);
+          num "hits" 0;
+          num "misses" 0;
+          num "stores" 0;
+          num "bad_entries" 0
+      | Some cc ->
+          let c = Ccache.counts cc in
+          V.raw_set_str t "enabled" (V.Bool true);
+          num "hits" c.Ccache.c_hits;
+          num "misses" c.Ccache.c_misses;
+          num "stores" c.Ccache.c_stores;
+          num "bad_entries" c.Ccache.c_bad_entries;
+          match Ccache.last_error cc with
+          | Some msg -> V.raw_set_str t "last_error" (V.Str msg)
+          | None -> ());
+      [ V.Table t ]);
   (* TerraSan hooks: is checked execution on, and what is still live on
      the Terra heap (count, bytes) — Lua-side leak accounting *)
   reg tl "issanitized" (fun _ -> [ V.Bool (Context.checked ctx) ]);

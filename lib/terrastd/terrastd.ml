@@ -12,10 +12,10 @@ let install (e : Terra.Engine.t) =
       Datalayout.Lua_api.install ctx g)
 
 let create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps ?checked
-    ?faults ?opt_level ?dump_ir ?profile ?trace () =
+    ?faults ?opt_level ?dump_ir ?profile ?trace ?ccache () =
   let e =
     Terra.Engine.create ?machine ?mem_bytes ?fuel ?max_call_depth ?lua_steps
-      ?checked ?faults ?opt_level ?dump_ir ?profile ?trace ()
+      ?checked ?faults ?opt_level ?dump_ir ?profile ?trace ?ccache ()
   in
   install e;
   e

@@ -420,6 +420,10 @@ let simplify (t : t) : int =
     List.iter
       (fun b ->
         match b.term with
+        (* a block merged away earlier in this round is still in the
+           snapshot this iteration walks; acting on it would delete its
+           (live) successor while a live block still jumps there *)
+        | _ when not (List.memq b t.blocks) -> ()
         | Tjmp c when c <> b.bid && c <> entry -> (
             match pred_list ps c with
             | [ p ] when p = b.bid -> (

@@ -33,15 +33,16 @@ let contains_sub ~sub s =
 (** A fully-installed engine (terralib + the DSL layers) sized for
     tests. *)
 let engine ?(mem_bytes = 32 * 1024 * 1024) ?(checked = false) ?faults
-    ?opt_level ?fuel ?profile ?trace () =
+    ?opt_level ?fuel ?profile ?trace ?ccache () =
   Terrastd.create ~mem_bytes ~checked ?faults ?opt_level ?fuel ?profile
-    ?trace ()
+    ?trace ?ccache ()
 
 (** Build an engine, pass it to [f].  Keeps engine knobs out of the test
     body when the test only needs one. *)
-let with_engine ?mem_bytes ?checked ?faults ?opt_level ?fuel ?profile ?trace f
-    =
-  f (engine ?mem_bytes ?checked ?faults ?opt_level ?fuel ?profile ?trace ())
+let with_engine ?mem_bytes ?checked ?faults ?opt_level ?fuel ?profile ?trace
+    ?ccache f =
+  f (engine ?mem_bytes ?checked ?faults ?opt_level ?fuel ?profile ?trace
+       ?ccache ())
 
 (** Run [src], returning [(output, result)]. *)
 let run_capture ?file e src = Engine.run_capture_protected e ?file src
@@ -65,9 +66,9 @@ let run_expect ?file ?(name = "output") e src ~expect =
 
 (** Run a golden buggy program from test/programs/ through a fresh
     engine; returns the engine (for leak checks) and the result. *)
-let run_golden ?faults ~checked name =
+let run_golden ?faults ?ccache ~checked name =
   let src = read_file (golden name) in
-  let e = engine ~checked ?faults () in
+  let e = engine ~checked ?faults ?ccache () in
   let _, r = Engine.run_capture_protected e ~file:name src in
   (e, r)
 

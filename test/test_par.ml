@@ -303,6 +303,171 @@ let pool_tests =
           pool.Serve.Pool.slots.(0).Serve.Pool.total);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Compilation cache under domain concurrency *)
+
+module Json = Tprof.Json
+module Server = Serve.Server
+module Ccache = Terra.Ccache
+module Blobio = Terra.Blobio
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+(* Serve responses modulo scheduling: which pool slot answered is the
+   one legitimate difference between --workers 1 and --workers 4. *)
+let drop_engine line =
+  match Json.of_string line with
+  | Error m -> Alcotest.failf "unparseable response %S: %s" line m
+  | Ok (Json.Obj fields) ->
+      Json.to_string (Json.Obj (List.filter (fun (k, _) -> k <> "engine") fields))
+  | Ok j -> Json.to_string j
+
+let ccache_tests =
+  [
+    quick "4 workers hammering one cache dir match the sequential run"
+      (fun () ->
+        let scratch = Filename.temp_file "terra-par-ccache" "" in
+        Sys.remove scratch;
+        Sys.mkdir scratch 0o755;
+        let rec rm_rf p =
+          if Sys.file_exists p then
+            if Sys.is_directory p then begin
+              Array.iter
+                (fun f -> rm_rf (Filename.concat p f))
+                (Sys.readdir p);
+              Sys.rmdir p
+            end
+            else Sys.remove p
+        in
+        Fun.protect
+          ~finally:(fun () -> rm_rf scratch)
+          (fun () ->
+            (* 6 distinct programs, each requested 3 times: every domain
+               races lookups, stores, and hits on the same directory *)
+            let src i =
+              Printf.sprintf
+                "terra f(n : int32) : int32 return n * 2 + %d end print(f(%d))"
+                i i
+            in
+            let reqs =
+              List.concat_map
+                (fun round ->
+                  List.init 6 (fun i ->
+                      (* one tenant per request: the default inflight
+                         budget must not serialize the 4-domain race *)
+                      Json.to_string
+                        (Json.Obj
+                           [
+                             ("src", Json.Str (src i));
+                             ( "tenant",
+                               Json.Str (Printf.sprintf "t%d-%d" round i) );
+                           ])))
+                [ 0; 1; 2 ]
+            in
+            let in_path = Filename.concat scratch "in.jsonl" in
+            let oc = open_out in_path in
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              reqs;
+            output_string oc "{\"op\":\"shutdown\"}\n";
+            close_out oc;
+            let run_serve ~workers ~cache_dir =
+              let cc = Ccache.create ~dir:cache_dir () in
+              let config =
+                {
+                  Server.default_config with
+                  pool_size = 4;
+                  recycle_after = 1000;
+                  checked = true;
+                  mem_bytes = Some (32 * 1024 * 1024);
+                  workers;
+                  cache = Some cc;
+                }
+              in
+              let s = Server.create ~config () in
+              let out_path =
+                Filename.concat scratch
+                  (Printf.sprintf "out-w%d-%s.jsonl" workers
+                     (Filename.basename cache_dir))
+              in
+              let ic = open_in in_path and oc = open_out out_path in
+              let code = Server.run_channels s ic oc in
+              close_in ic;
+              close_out oc;
+              checki "clean exit" 0 code;
+              (List.map drop_engine (read_lines out_path), Ccache.counts cc)
+            in
+            let dir1 = Filename.concat scratch "cache1" in
+            let dir4 = Filename.concat scratch "cache4" in
+            let seq, c1 = run_serve ~workers:1 ~cache_dir:dir1 in
+            let par, c4 = run_serve ~workers:4 ~cache_dir:dir4 in
+            (* byte-identical reports, response by response *)
+            checki "same response count" (List.length seq) (List.length par);
+            List.iteri
+              (fun i (a, b) ->
+                checks (Printf.sprintf "response %d" i) a b)
+              (List.combine seq par);
+            (* counter tie-out: every request is exactly one lookup, and
+               every miss stored; races only shift the hit/miss split *)
+            checki "seq: one lookup per request" 18
+              (c1.Ccache.c_hits + c1.Ccache.c_misses);
+            checki "seq: misses = distinct programs" 6 c1.Ccache.c_misses;
+            checki "seq: stores = misses" c1.Ccache.c_misses
+              c1.Ccache.c_stores;
+            checki "par: one lookup per request" 18
+              (c4.Ccache.c_hits + c4.Ccache.c_misses);
+            checki "par: stores = misses" c4.Ccache.c_misses
+              c4.Ccache.c_stores;
+            checkb "par: every program missed at least once" true
+              (c4.Ccache.c_misses >= 6);
+            checki "seq: no bad entries" 0 c1.Ccache.c_bad_entries;
+            checki "par: no bad entries" 0 c4.Ccache.c_bad_entries;
+            (* no torn entries: last-writer-wins left 6 whole files *)
+            let entries dir =
+              List.sort compare
+                (List.filter
+                   (fun f -> Filename.check_suffix f ".tcc")
+                   (Array.to_list (Sys.readdir dir)))
+            in
+            checkb "same entry set as sequential" true
+              (entries dir1 = entries dir4);
+            List.iter
+              (fun f ->
+                let ic = open_in_bin (Filename.concat dir4 f) in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () ->
+                    match
+                      Blobio.read_framed ic ~magic:Ccache.entry_magic
+                    with
+                    | Ok payload ->
+                        let e =
+                          (Marshal.from_string payload 0 : Ccache.entry)
+                        in
+                        checki (f ^ ": version") Ccache.format_version
+                          e.Ccache.e_version;
+                        checks (f ^ ": key echo = filename")
+                          (Filename.chop_suffix f ".tcc")
+                          e.Ccache.e_key
+                    | Error m -> Alcotest.failf "torn entry %s: %s" f m))
+              (entries dir4);
+            (* the hammered dir is fully warm for a fresh fleet *)
+            let warm, cw = run_serve ~workers:4 ~cache_dir:dir4 in
+            checkb "warm fleet reports identically" true (warm = par);
+            checki "warm fleet compiles nothing" 0 cw.Ccache.c_misses;
+            checki "warm fleet hits everything" 18 cw.Ccache.c_hits));
+  ]
+
 let () =
   Alcotest.run "par"
     [
@@ -310,4 +475,5 @@ let () =
       ("gate", gate_tests);
       ("stress", stress_tests);
       ("pool", pool_tests);
+      ("ccache", ccache_tests);
     ]

@@ -85,6 +85,30 @@ let test_cfg_unsupported_bails () =
   let f = mk_func [| Ir.Jmp 99 |] in
   checkb "identity" true (opt f == f)
 
+let test_cfg_merge_chain () =
+  (* regression: a constant branch folds this into a straight A→B→C
+     chain; merging B into A and then visiting the already-removed B in
+     the same round used to delete C while A still jumped to it, making
+     to_func raise Unsupported out of the pipeline *)
+  let f =
+    mk_func ~nparams:1
+      [|
+        Ir.Mov (1, Ir.Ki 5L);
+        Ir.Ibin (Ir.Lts, 2, Ir.R 1, Ir.Ki 12L);
+        Ir.Br (Ir.R 2, 3, 5);
+        Ir.Mov (1, Ir.R 0);
+        Ir.Jmp 5;
+        Ir.Ret (Some (Ir.R 1));
+        Ir.Ret None;
+      |]
+  in
+  let g = opt f in
+  List.iter
+    (fun x ->
+      checkb "same result" true
+        (run_func f [| Vm.VI x |] = run_func g [| Vm.VI x |]))
+    [ -8L; 0L; 42L ]
+
 (* ------------------------------------------------------------------ *)
 (* Individual passes *)
 
@@ -480,6 +504,8 @@ let () =
           Alcotest.test_case "roundtrip loop" `Quick test_cfg_roundtrip_loop;
           Alcotest.test_case "unsupported code bails" `Quick
             test_cfg_unsupported_bails;
+          Alcotest.test_case "straight-chain merge keeps edges live" `Quick
+            test_cfg_merge_chain;
         ] );
       ( "passes",
         [

@@ -354,6 +354,35 @@ print(ok)
             with
             | Some p -> checkb "hit counted" true (p.Report.p_count >= 1)
             | None -> Alcotest.fail "no jit.codecache.hit phase"));
+    quick "codecache hits + misses = ensure_compiled visits" (fun () ->
+        (* cache accounting ties out by construction, like fuel: every
+           non-extern ensure is exactly one hit or one miss *)
+        Harness.with_engine ~profile:true (fun e ->
+            let _ =
+              Harness.run_ok e
+                {|
+terra g() : int32 return 2 end
+terra f() return g() + 1 end
+print(f())
+print(f())
+print(g())
+|}
+            in
+            let phase name =
+              match
+                List.find_opt
+                  (fun p -> p.Report.p_name = name)
+                  (Engine.profile e).Report.phases
+              with
+              | Some p -> p.Report.p_count
+              | None -> 0
+            in
+            let ensure = phase "jit.ensure" in
+            let hits = phase "jit.codecache.hit" in
+            let misses = phase "jit.codecache.miss" in
+            checkb "some ensures" true (ensure > 0);
+            checki "misses = functions compiled" 2 misses;
+            checki "hits + misses = ensures" ensure (hits + misses)));
     quick "compile phases are timed" (fun () ->
         Harness.with_engine ~profile:true (fun e ->
             let _ = Harness.run_ok e "terra f() return 1 end\nprint(f())" in
